@@ -1,0 +1,281 @@
+// Package gis_test holds the benchmark suite: one testing.B benchmark
+// family per evaluation table/figure (T1..F9, see DESIGN.md). The
+// gisbench binary prints the full parameter sweeps; these benchmarks
+// expose the same code paths to `go test -bench` with stable names.
+//
+// Simulated-WAN benchmarks use a small link latency so a full -bench run
+// stays tractable; the *shape* of the comparisons (who wins, by roughly
+// what factor) matches the full-scale gisbench output.
+package gis_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gis/internal/core"
+	"gis/internal/plan"
+	"gis/internal/types"
+	"gis/internal/workload"
+)
+
+var benchCtx = context.Background()
+
+// benchLink is the simulated WAN used by remote benchmarks.
+var benchLink = workload.Link{Latency: 500 * time.Microsecond, BytesPerSec: 50 << 20}
+
+func mustQuery(b *testing.B, e *core.Engine, q string) {
+	b.Helper()
+	if _, err := e.Query(benchCtx, q); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---- T1: selection pushdown vs ship-everything ----
+
+func benchmarkT1(b *testing.B, push bool, sel float64) {
+	f, err := workload.TwoTable(100, 20000, true, benchLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	f.Engine.PlanOptions().PushFilters = push
+	q := fmt.Sprintf("SELECT oid, amount FROM orders WHERE amount < %g", sel*1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, q)
+	}
+}
+
+func BenchmarkT1Pushdown_Sel001(b *testing.B) { benchmarkT1(b, true, 0.01) }
+func BenchmarkT1ShipAll_Sel001(b *testing.B)  { benchmarkT1(b, false, 0.01) }
+func BenchmarkT1Pushdown_Sel100(b *testing.B) { benchmarkT1(b, true, 1.0) }
+func BenchmarkT1ShipAll_Sel100(b *testing.B)  { benchmarkT1(b, false, 1.0) }
+
+// ---- T2/F7: distributed join strategies ----
+
+func benchmarkT2(b *testing.B, strat plan.Strategy, leftRows int) {
+	f, err := workload.TwoTable(2000, 20000, true, benchLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	f.Engine.PlanOptions().ForceStrategy = strat
+	q := fmt.Sprintf("SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < %d", leftRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, q)
+	}
+}
+
+func BenchmarkT2JoinStrategyShipAll_Left10(b *testing.B)  { benchmarkT2(b, plan.StrategyShipAll, 10) }
+func BenchmarkT2JoinStrategySemiJoin_Left10(b *testing.B) { benchmarkT2(b, plan.StrategySemiJoin, 10) }
+func BenchmarkT2JoinStrategyBind_Left10(b *testing.B)     { benchmarkT2(b, plan.StrategyBind, 10) }
+func BenchmarkT2JoinStrategyShipAll_Left1000(b *testing.B) {
+	benchmarkT2(b, plan.StrategyShipAll, 1000)
+}
+func BenchmarkT2JoinStrategySemiJoin_Left1000(b *testing.B) {
+	benchmarkT2(b, plan.StrategySemiJoin, 1000)
+}
+
+// F7 is the crossover sweep of the same axis; the bench exposes the two
+// extreme points.
+func BenchmarkF7SemijoinCrossoverLow(b *testing.B)  { benchmarkT2(b, plan.StrategySemiJoin, 5) }
+func BenchmarkF7SemijoinCrossoverHigh(b *testing.B) { benchmarkT2(b, plan.StrategySemiJoin, 2000) }
+
+// ---- F3: join-order search ----
+
+func benchmarkF3(b *testing.B, n int, algo plan.JoinOrderAlgo) {
+	rels := []plan.RelInfo{{Rows: 1e6}}
+	var preds []plan.PredInfo
+	for i := 1; i < n; i++ {
+		rows := float64(10 * i)
+		rels = append(rels, plan.RelInfo{Rows: rows})
+		preds = append(preds, plan.PredInfo{A: 0, B: i, Sel: 1 / rows})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.OrderSearch(rels, preds, algo)
+	}
+}
+
+func BenchmarkF3JoinOrderDP5(b *testing.B)      { benchmarkF3(b, 5, plan.OrderDP) }
+func BenchmarkF3JoinOrderDP10(b *testing.B)     { benchmarkF3(b, 10, plan.OrderDP) }
+func BenchmarkF3JoinOrderGreedy10(b *testing.B) { benchmarkF3(b, 10, plan.OrderGreedy) }
+func BenchmarkF3JoinOrderGreedy50(b *testing.B) { benchmarkF3(b, 50, plan.OrderGreedy) }
+
+// ---- T4: fan-out scalability ----
+
+func benchmarkT4(b *testing.B, k int, parallel bool) {
+	f, err := workload.Partitioned(k, 16000/k, true, benchLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	f.Engine.PlanOptions().ParallelFragments = parallel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, "SELECT SUM(amount) FROM events")
+	}
+}
+
+func BenchmarkT4FanOutSequential4(b *testing.B)  { benchmarkT4(b, 4, false) }
+func BenchmarkT4FanOutParallel4(b *testing.B)    { benchmarkT4(b, 4, true) }
+func BenchmarkT4FanOutSequential16(b *testing.B) { benchmarkT4(b, 16, false) }
+func BenchmarkT4FanOutParallel16(b *testing.B)   { benchmarkT4(b, 16, true) }
+
+// ---- F5: mediation overhead ----
+
+func benchmarkF5(b *testing.B, table, where string) {
+	f, err := workload.Heterogeneous(50000, false, workload.Link{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	q := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s", table, where)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, q)
+	}
+}
+
+func BenchmarkF5MediationNative(b *testing.B) { benchmarkF5(b, "orders_native", "rg = 'N'") }
+func BenchmarkF5MediationMediated(b *testing.B) {
+	benchmarkF5(b, "orders_mediated", "region = 'north'")
+}
+
+// ---- T6: atomic commitment ----
+
+func benchmarkT6(b *testing.B, n int) {
+	f, err := workload.TxnStores(n, 50, true, benchLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Engine.Exec(benchCtx, "UPDATE accounts SET balance = balance + 1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT6Commit1(b *testing.B) { benchmarkT6(b, 1) }
+func BenchmarkT6Commit2(b *testing.B) { benchmarkT6(b, 2) }
+func BenchmarkT6Commit4(b *testing.B) { benchmarkT6(b, 4) }
+func BenchmarkT6Commit8(b *testing.B) { benchmarkT6(b, 8) }
+
+// ---- T8: capability-restricted wrappers ----
+
+func benchmarkT8(b *testing.B, table string) {
+	f, err := workload.Capability(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	q := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM %s WHERE region = 'north'", table)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, q)
+	}
+}
+
+func BenchmarkT8CapabilityRelational(b *testing.B) { benchmarkT8(b, "orders_rel") }
+func BenchmarkT8CapabilityKeyValue(b *testing.B)   { benchmarkT8(b, "orders_kv") }
+func BenchmarkT8CapabilityDocument(b *testing.B)   { benchmarkT8(b, "orders_doc") }
+func BenchmarkT8CapabilityFile(b *testing.B)       { benchmarkT8(b, "orders_file") }
+
+// ---- F9: optimizer ablation ----
+
+func benchmarkF9(b *testing.B, tweak func(*plan.Options)) {
+	f, err := workload.TwoTable(2000, 20000, true, benchLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	opts := plan.DefaultOptions()
+	tweak(opts)
+	*f.Engine.PlanOptions() = *opts
+	q := `SELECT c.segment, COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id
+	      WHERE o.amount < 100 AND c.id < 500 GROUP BY c.segment`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, q)
+	}
+}
+
+func BenchmarkF9AblationFull(b *testing.B) { benchmarkF9(b, func(*plan.Options) {}) }
+func BenchmarkF9AblationNoPushdown(b *testing.B) {
+	benchmarkF9(b, func(o *plan.Options) { o.PushFilters = false })
+}
+func BenchmarkF9AblationNoPruning(b *testing.B) {
+	benchmarkF9(b, func(o *plan.Options) { o.PruneColumns = false })
+}
+func BenchmarkF9AblationShipAll(b *testing.B) {
+	benchmarkF9(b, func(o *plan.Options) { o.ForceStrategy = plan.StrategyShipAll })
+}
+func BenchmarkF9AblationSequentialFragments(b *testing.B) {
+	benchmarkF9(b, func(o *plan.Options) { o.ParallelFragments = false })
+}
+func BenchmarkF9AblationNoAggPushdown(b *testing.B) {
+	benchmarkF9(b, func(o *plan.Options) { o.PushAggregates = false })
+}
+
+// ---- micro-benchmarks of the engine itself (no network) ----
+
+func BenchmarkMicroParseOnly(b *testing.B) {
+	f, err := workload.TwoTable(10, 10, false, workload.Link{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	q := "SELECT c.name, COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE o.amount > 10 GROUP BY c.name ORDER BY c.name LIMIT 5"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Engine.Explain(benchCtx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroLocalScan100k(b *testing.B) {
+	f, err := workload.TwoTable(100, 100000, false, workload.Link{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, "SELECT COUNT(*) FROM orders WHERE amount < 500")
+	}
+}
+
+func BenchmarkMicroLocalJoin(b *testing.B) {
+	f, err := workload.TwoTable(1000, 20000, false, workload.Link{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, "SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id")
+	}
+}
+
+func BenchmarkMicroInsert(b *testing.B) {
+	f, err := workload.TwoTable(10, 10, false, workload.Link{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("INSERT INTO customers (id, name, segment) VALUES (%d, 'n', 'retail')", 1000+i)
+		if _, err := f.Engine.Exec(benchCtx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = types.Null

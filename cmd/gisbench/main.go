@@ -1,0 +1,62 @@
+// Command gisbench regenerates the evaluation tables and figures: it
+// builds each experiment's synthetic federation, runs the parameter
+// sweep, and prints the rows EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	gisbench                 # run every experiment at full scale
+//	gisbench -exp T1,F7      # run selected experiments
+//	gisbench -scale 0.1      # shrink workloads 10x (quick runs)
+//	gisbench -latency 5ms    # simulated WAN latency per frame
+//	gisbench -reps 5         # median-of-N timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gis/internal/experiments"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		scale   = flag.Float64("scale", 1.0, "workload size multiplier")
+		latency = flag.Duration("latency", 2*time.Millisecond, "simulated link latency")
+		bwMB    = flag.Int64("bw", 50, "simulated link bandwidth (MiB/s)")
+		reps    = flag.Int("reps", 3, "repetitions per measurement (median)")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	sc.Rows = *scale
+	sc.Reps = *reps
+	sc.Link.Latency = *latency
+	sc.Link.BytesPerSec = *bwMB << 20
+
+	start := time.Now()
+	var ids []string
+	if *expList != "" {
+		ids = strings.Split(*expList, ",")
+	} else {
+		ids = []string{"T1", "T2", "F3", "T4", "F5", "T6", "F7", "T8", "F9"}
+	}
+	fmt.Printf("gisbench: scale=%.2f link=%v/%dMiBps reps=%d\n\n", *scale, *latency, *bwMB, *reps)
+	failed := false
+	for _, id := range ids {
+		tab, err := experiments.ByID(strings.TrimSpace(id), sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	if failed {
+		os.Exit(1)
+	}
+}

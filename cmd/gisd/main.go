@@ -1,0 +1,143 @@
+// Command gisd serves a component information system over the wire
+// protocol so a mediator on another machine (or process) can federate
+// it. It can host a relational store loaded from CSV files, a key-value
+// bucket, or a raw CSV file source.
+//
+// Usage:
+//
+//	gisd -listen :7070 -name ny \
+//	     -table customers=./customers.csv:id:int,name:string,region:string \
+//	     -table orders=./orders.csv:oid:int,cust_id:int,amount:float
+//
+// Each -table flag is name=path:col:type[,col:type...]; the first column
+// is the primary key. The store is a fully-capable relational engine
+// (filters, projection, aggregation, sort, limit, transactions).
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"gis/internal/relstore"
+	"gis/internal/types"
+	"gis/internal/wire"
+)
+
+// tableFlag accumulates -table definitions.
+type tableFlag []string
+
+func (t *tableFlag) String() string { return strings.Join(*t, "; ") }
+
+func (t *tableFlag) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		name   = flag.String("name", "gisd", "source name reported to mediators")
+		tables tableFlag
+	)
+	flag.Var(&tables, "table", "table definition: name=path:col:type[,col:type...] (repeatable)")
+	flag.Parse()
+
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "gisd: at least one -table is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store := relstore.New(*name)
+	for _, def := range tables {
+		if err := loadTable(store, def); err != nil {
+			log.Fatalf("gisd: %v", err)
+		}
+	}
+
+	srv, err := wire.Serve(*listen, store)
+	if err != nil {
+		log.Fatalf("gisd: %v", err)
+	}
+	log.Printf("gisd: serving source %q on %s", *name, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("gisd: shutting down")
+	srv.Close()
+}
+
+// loadTable parses one -table definition and loads its CSV data.
+func loadTable(store *relstore.Store, def string) error {
+	eq := strings.IndexByte(def, '=')
+	if eq < 0 {
+		return fmt.Errorf("bad -table %q: missing '='", def)
+	}
+	name := def[:eq]
+	rest := def[eq+1:]
+	colon := strings.IndexByte(rest, ':')
+	if colon < 0 {
+		return fmt.Errorf("bad -table %q: missing column spec", def)
+	}
+	path := rest[:colon]
+	var cols []types.Column
+	for _, spec := range strings.Split(rest[colon+1:], ",") {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad column spec %q (want name:type)", spec)
+		}
+		kind, ok := types.KindFromName(parts[1])
+		if !ok {
+			return fmt.Errorf("unknown type %q in column spec %q", parts[1], spec)
+		}
+		cols = append(cols, types.Column{Name: parts[0], Type: kind})
+	}
+	schema := &types.Schema{Columns: cols}
+	if err := store.CreateTable(name, schema, 0); err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	var rows []types.Row
+	recNo := 0
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		recNo++
+		if len(rec) != len(cols) {
+			return fmt.Errorf("%s record %d: %d fields, want %d", path, recNo, len(rec), len(cols))
+		}
+		row := make(types.Row, len(cols))
+		for i, field := range rec {
+			if field == "" {
+				row[i] = types.Null
+				continue
+			}
+			v, err := types.NewString(field).Coerce(cols[i].Type)
+			if err != nil {
+				return fmt.Errorf("%s record %d column %s: %w", path, recNo, cols[i].Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if _, err := store.Insert(context.Background(), name, rows); err != nil {
+		return err
+	}
+	log.Printf("gisd: loaded %s (%d rows) from %s", name, len(rows), path)
+	return nil
+}

@@ -1,0 +1,309 @@
+// Command gisql is the interactive shell of the federation: it connects
+// to one or more gisd component systems (or starts an in-process demo
+// federation), auto-imports their tables into a global schema, and runs
+// global SQL against the mediator.
+//
+// Usage:
+//
+//	gisql -source ny=localhost:7070 -source eu=localhost:7071
+//	gisql -demo                       # self-contained demo federation
+//	gisql -demo -e "SELECT ..."       # one-shot query
+//
+// Shell commands: \tables, \sources, \explain <query>, \q.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gis/internal/catalog"
+	"gis/internal/core"
+	"gis/internal/relstore"
+	"gis/internal/source"
+	"gis/internal/types"
+	"gis/internal/wire"
+)
+
+type sourceFlag []string
+
+func (s *sourceFlag) String() string { return strings.Join(*s, ",") }
+
+func (s *sourceFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		sources sourceFlag
+		demo    = flag.Bool("demo", false, "start an in-process demo federation")
+		config  = flag.String("config", "", "JSON federation description (catalog.Config)")
+		oneShot = flag.String("e", "", "execute one statement and exit")
+	)
+	flag.Var(&sources, "source", "component system: name=host:port (repeatable)")
+	flag.Parse()
+
+	e := core.New()
+	ctx := context.Background()
+
+	switch {
+	case *config != "":
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
+			os.Exit(1)
+		}
+		if err := e.ApplyConfig(data, dialSource); err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
+			os.Exit(1)
+		}
+	case *demo:
+		if err := buildDemo(e); err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("demo federation ready: tables customers, orders")
+	case len(sources) > 0:
+		for _, def := range sources {
+			if err := attachSource(ctx, e, def); err != nil {
+				fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "gisql: provide -source name=addr (repeatable), -config file.json, or -demo")
+		os.Exit(2)
+	}
+	if err := e.Analyze(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "gisql: analyze: %v\n", err)
+	}
+
+	if *oneShot != "" {
+		if err := runStatement(ctx, e, *oneShot); err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	repl(ctx, e)
+}
+
+// dialSource connects one config-declared component system, applying
+// any simulated link parameters it specifies.
+func dialSource(sc catalog.SourceConfig) (source.Source, error) {
+	var opts []wire.Option
+	opts = append(opts, wire.WithName(sc.Name))
+	if sc.LatencyMS > 0 || sc.BandwidthMBps > 0 {
+		opts = append(opts, wire.WithSimLink(wire.SimLink{
+			Latency:     time.Duration(sc.LatencyMS) * time.Millisecond,
+			BytesPerSec: int64(sc.BandwidthMBps) << 20,
+		}))
+	}
+	return wire.Dial(sc.Addr, opts...)
+}
+
+// attachSource dials a gisd endpoint and imports every remote table into
+// the global schema under its own name (prefixed with the source name on
+// conflict).
+func attachSource(ctx context.Context, e *core.Engine, def string) error {
+	eq := strings.IndexByte(def, '=')
+	if eq < 0 {
+		return fmt.Errorf("bad -source %q: want name=addr", def)
+	}
+	name, addr := def[:eq], def[eq+1:]
+	cl, err := wire.Dial(addr, wire.WithName(name))
+	if err != nil {
+		return err
+	}
+	if err := e.Catalog().AddSource(cl); err != nil {
+		return err
+	}
+	tables, err := cl.Tables(ctx)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		info, err := cl.TableInfo(ctx, tbl)
+		if err != nil {
+			return err
+		}
+		globalName := tbl
+		if err := e.Catalog().DefineTable(globalName, info.Schema); err != nil {
+			globalName = name + "_" + tbl
+			if err := e.Catalog().DefineTable(globalName, info.Schema); err != nil {
+				return err
+			}
+		}
+		if err := e.Catalog().MapSimple(globalName, name, tbl); err != nil {
+			return err
+		}
+		fmt.Printf("imported %s.%s as %s (%d rows)\n", name, tbl, globalName, info.RowCount)
+	}
+	return nil
+}
+
+// buildDemo assembles a two-store demo federation in process.
+func buildDemo(e *core.Engine) error {
+	ctx := context.Background()
+	ny := relstore.New("ny")
+	custSchema := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "name", Type: types.KindString},
+		types.Column{Name: "region", Type: types.KindString},
+	)
+	if err := ny.CreateTable("customers", custSchema, 0); err != nil {
+		return err
+	}
+	names := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	regionsList := []string{"east", "west"}
+	var rows []types.Row
+	for i, n := range names {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(n),
+			types.NewString(regionsList[i%2]),
+		})
+	}
+	if _, err := ny.Insert(ctx, "customers", rows); err != nil {
+		return err
+	}
+	eu := relstore.New("eu")
+	ordSchema := types.NewSchema(
+		types.Column{Name: "oid", Type: types.KindInt},
+		types.Column{Name: "cust_id", Type: types.KindInt},
+		types.Column{Name: "amount", Type: types.KindFloat},
+	)
+	if err := eu.CreateTable("orders", ordSchema, 0); err != nil {
+		return err
+	}
+	rows = nil
+	for i := 0; i < 20; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i%len(names) + 1)),
+			types.NewFloat(float64((i*37)%500) + 0.5),
+		})
+	}
+	if _, err := eu.Insert(ctx, "orders", rows); err != nil {
+		return err
+	}
+	cat := e.Catalog()
+	if err := cat.AddSource(ny); err != nil {
+		return err
+	}
+	if err := cat.AddSource(eu); err != nil {
+		return err
+	}
+	if err := cat.DefineTable("customers", custSchema); err != nil {
+		return err
+	}
+	if err := cat.MapSimple("customers", "ny", "customers"); err != nil {
+		return err
+	}
+	if err := cat.DefineTable("orders", ordSchema); err != nil {
+		return err
+	}
+	return cat.MapSimple("orders", "eu", "orders")
+}
+
+func repl(ctx context.Context, e *core.Engine) {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println(`gisql — type SQL, \tables, \sources, \explain <q>, or \q`)
+	var pending strings.Builder
+	for {
+		if pending.Len() == 0 {
+			fmt.Print("gis> ")
+		} else {
+			fmt.Print("...> ")
+		}
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") && pending.Len() == 0 {
+			if !command(ctx, e, line) {
+				return
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+		if !strings.HasSuffix(line, ";") {
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+		pending.Reset()
+		if err := runStatement(ctx, e, stmt); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+// command handles backslash commands; returns false to quit.
+func command(ctx context.Context, e *core.Engine, line string) bool {
+	switch {
+	case line == "\\q" || line == "\\quit":
+		return false
+	case line == "\\tables":
+		for _, t := range e.Catalog().Tables() {
+			tab, err := e.Catalog().Table(t)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%s %s (%d fragment(s))\n", t, tab.Schema, len(tab.Fragments))
+		}
+		for _, v := range e.Catalog().Views() {
+			body, _ := e.Catalog().View(v)
+			fmt.Printf("%s (view) = %s\n", v, body)
+		}
+		for _, v := range e.Catalog().Views() {
+			body, _ := e.Catalog().View(v)
+			fmt.Printf("%s (view) = %s\n", v, body)
+		}
+	case line == "\\sources":
+		for _, s := range e.Catalog().Sources() {
+			src, err := e.Catalog().Source(s)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%s [%s]\n", s, src.Capabilities())
+		}
+	case strings.HasPrefix(line, "\\explain "):
+		out, err := e.Explain(ctx, strings.TrimPrefix(line, "\\explain "))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Print(out)
+	case strings.HasPrefix(line, "\\analyze "):
+		out, err := e.ExplainAnalyze(ctx, strings.TrimPrefix(line, "\\analyze "))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Print(out)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", line)
+	}
+	return true
+}
+
+func runStatement(ctx context.Context, e *core.Engine, stmt string) error {
+	res, err := e.Run(ctx, stmt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+	return nil
+}

@@ -1,0 +1,104 @@
+// Quickstart: build a three-source federation in process — a relational
+// store, a key-value store, and a CSV file — define a global schema over
+// them, and run federated SQL including a cross-source join and a global
+// aggregate. This is the smallest complete use of the library.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gis"
+	"gis/internal/filestore"
+	"gis/internal/kvstore"
+	"gis/internal/relstore"
+	"gis/internal/types"
+)
+
+func main() {
+	ctx := context.Background()
+	e := gis.New()
+
+	// --- Component system 1: a relational store with customers. ---
+	rel := relstore.New("crm")
+	custSchema := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "name", Type: types.KindString},
+		types.Column{Name: "city", Type: types.KindString},
+	)
+	must(rel.CreateTable("customers", custSchema, 0))
+	mustN(rel.Insert(ctx, "customers", []types.Row{
+		{types.NewInt(1), types.NewString("alice"), types.NewString("oslo")},
+		{types.NewInt(2), types.NewString("bob"), types.NewString("rome")},
+		{types.NewInt(3), types.NewString("carol"), types.NewString("oslo")},
+	}))
+
+	// --- Component system 2: a key-value store with account balances.
+	// It only supports keyed access; the mediator compensates the rest.
+	kv := kvstore.New("ledger")
+	acctSchema := types.NewSchema(
+		types.Column{Name: "cust_id", Type: types.KindInt},
+		types.Column{Name: "balance", Type: types.KindFloat},
+	)
+	must(kv.CreateBucket("accounts", acctSchema, 0))
+	mustN(kv.Insert(ctx, "accounts", []types.Row{
+		{types.NewInt(1), types.NewFloat(120.5)},
+		{types.NewInt(2), types.NewFloat(33.0)},
+		{types.NewInt(3), types.NewFloat(910.0)},
+	}))
+
+	// --- Component system 3: a CSV file with support tickets. ---
+	files := filestore.New("ticketing")
+	ticketSchema := types.NewSchema(
+		types.Column{Name: "tid", Type: types.KindInt},
+		types.Column{Name: "cust_id", Type: types.KindInt},
+		types.Column{Name: "severity", Type: types.KindString},
+	)
+	must(files.RegisterData("tickets",
+		"100,1,low\n101,3,high\n102,3,low\n103,2,high\n", ticketSchema))
+
+	// --- Global schema: one table per component table. ---
+	cat := e.Catalog()
+	must(cat.AddSource(rel))
+	must(cat.AddSource(kv))
+	must(cat.AddSource(files))
+	must(cat.DefineTable("customers", custSchema))
+	must(cat.MapSimple("customers", "crm", "customers"))
+	must(cat.DefineTable("accounts", acctSchema))
+	must(cat.MapSimple("accounts", "ledger", "accounts"))
+	must(cat.DefineTable("tickets", ticketSchema))
+	must(cat.MapSimple("tickets", "ticketing", "tickets"))
+	must(e.Analyze(ctx))
+
+	// --- Federated queries. ---
+	fmt.Println("Customers with balances (relational ⋈ key-value):")
+	res, err := e.Query(ctx, `
+		SELECT c.name, a.balance FROM customers c
+		JOIN accounts a ON c.id = a.cust_id
+		ORDER BY a.balance DESC`)
+	must(err)
+	fmt.Print(res)
+
+	fmt.Println("\nHigh-severity tickets per city (all three sources):")
+	res, err = e.Query(ctx, `
+		SELECT c.city, COUNT(*) AS tickets
+		FROM customers c JOIN tickets t ON c.id = t.cust_id
+		WHERE t.severity = 'high' AND c.id IN (SELECT cust_id FROM accounts WHERE balance > 30)
+		GROUP BY c.city ORDER BY tickets DESC`)
+	must(err)
+	fmt.Print(res)
+
+	fmt.Println("\nThe distributed plan (EXPLAIN):")
+	out, err := e.Explain(ctx, "SELECT c.name FROM customers c JOIN accounts a ON c.id = a.cust_id WHERE a.balance > 100")
+	must(err)
+	fmt.Print(out)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustN(_ int64, err error) { must(err) }

@@ -1,0 +1,66 @@
+// Package gis is a Global Information System: a federated query engine
+// that presents a single global schema over heterogeneous, autonomous,
+// distributed component information systems — the architecture of
+// "Global Information System Issues" (ICDE 1989).
+//
+// The mediator (an Engine) plans global SQL against a catalog of GAV
+// mappings, decomposes each query into per-source sub-queries sized to
+// each wrapper's capabilities, compensates at the mediator for whatever
+// a source cannot evaluate, translates between representations (name,
+// value, and unit conflicts), and coordinates global updates with
+// two-phase commit.
+//
+// # Quick start
+//
+//	e := gis.New()
+//	store := relstore.New("db1")                       // a component system
+//	store.CreateTable("users", schema, 0)
+//	e.Catalog().AddSource(store)                       // register it
+//	e.Catalog().DefineTable("users", schema)           // global schema
+//	e.Catalog().MapSimple("users", "db1", "users")     // GAV mapping
+//	res, err := e.Query(ctx, "SELECT * FROM users WHERE id < 10")
+//
+// Component systems ship in internal sub-packages: relstore (full SQL
+// pushdown, transactions), kvstore (keyed access over a B-tree),
+// docstore (JSON documents), filestore (CSV scan-only), and wire (any of
+// the above served over TCP with simulated WAN links).
+package gis
+
+import (
+	"gis/internal/catalog"
+	"gis/internal/core"
+	"gis/internal/plan"
+	"gis/internal/txn"
+)
+
+// Engine is the mediator: the entry point of the library.
+type Engine = core.Engine
+
+// Result is a materialized query result.
+type Result = core.Result
+
+// Catalog is the global schema registry.
+type Catalog = catalog.Catalog
+
+// Fragment maps one remote table onto a global table.
+type Fragment = catalog.Fragment
+
+// ColumnMapping defines how one global column derives from a fragment.
+type ColumnMapping = catalog.ColumnMapping
+
+// PlanOptions configures the optimizer (ablation switches included).
+type PlanOptions = plan.Options
+
+// Coordinator drives two-phase commit for global updates.
+type Coordinator = txn.Coordinator
+
+// New creates an engine with every optimization enabled.
+func New() *Engine { return core.New() }
+
+// NewWithPlanOptions creates an engine with explicit optimizer settings.
+func NewWithPlanOptions(o *PlanOptions) *Engine {
+	return core.New(core.WithPlanOptions(o))
+}
+
+// DefaultPlanOptions returns the fully-enabled optimizer configuration.
+func DefaultPlanOptions() *PlanOptions { return plan.DefaultOptions() }

@@ -1,0 +1,3 @@
+module gis
+
+go 1.22

@@ -1,0 +1,395 @@
+package catalog
+
+import (
+	"testing"
+
+	"gis/internal/expr"
+	"gis/internal/relstore"
+	"gis/internal/types"
+)
+
+// newHospitalFixture builds a catalog with two sources holding patient
+// tables under conflicting schemas, mapped onto one global table.
+//
+// Global: patients(id INT, gender STRING, weight_kg FLOAT, site STRING)
+// hospA.pat: (pid INT, sex STRING codes M/F, kg FLOAT)       + site const "A"
+// hospB.people: (weight_lbs FLOAT, person_id INT, gender STRING full words) + site const "B"
+func newHospitalFixture(t *testing.T) (*Catalog, *relstore.Store, *relstore.Store) {
+	t.Helper()
+	hospA := relstore.New("hospA")
+	if err := hospA.CreateTable("pat", types.NewSchema(
+		types.Column{Name: "pid", Type: types.KindInt},
+		types.Column{Name: "sex", Type: types.KindString},
+		types.Column{Name: "kg", Type: types.KindFloat},
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	hospB := relstore.New("hospB")
+	if err := hospB.CreateTable("people", types.NewSchema(
+		types.Column{Name: "weight_lbs", Type: types.KindFloat},
+		types.Column{Name: "person_id", Type: types.KindInt},
+		types.Column{Name: "gender", Type: types.KindString},
+	), 1); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if err := c.AddSource(hospA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(hospB); err != nil {
+		t.Fatal(err)
+	}
+	global := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "gender", Type: types.KindString},
+		types.Column{Name: "weight_kg", Type: types.KindFloat},
+		types.Column{Name: "site", Type: types.KindString},
+	)
+	if err := c.DefineTable("patients", global); err != nil {
+		t.Fatal(err)
+	}
+	siteA, siteB := types.NewString("A"), types.NewString("B")
+	if err := c.MapFragment("patients", &Fragment{
+		Source: "hospA", RemoteTable: "pat",
+		Columns: []ColumnMapping{
+			{RemoteCol: 0},
+			{RemoteCol: 1, ValueMap: map[string]string{"M": "male", "F": "female"}},
+			{RemoteCol: 2},
+			{RemoteCol: -1, Const: &siteA},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MapFragment("patients", &Fragment{
+		Source: "hospB", RemoteTable: "people",
+		Columns: []ColumnMapping{
+			{RemoteCol: 1},
+			{RemoteCol: 2},
+			{RemoteCol: 0, Scale: 0.453592}, // lbs → kg
+			{RemoteCol: -1, Const: &siteB},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c, hospA, hospB
+}
+
+func TestCatalogRegistration(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	if len(c.Sources()) != 2 || len(c.Tables()) != 1 {
+		t.Errorf("sources=%v tables=%v", c.Sources(), c.Tables())
+	}
+	tab, err := c.Table("patients")
+	if err != nil || len(tab.Fragments) != 2 {
+		t.Fatalf("table = %+v, %v", tab, err)
+	}
+	if _, err := c.Table("ghost"); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, err := c.Source("ghost"); err == nil {
+		t.Error("unknown source must error")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	// Duplicate definitions.
+	if err := c.DefineTable("patients", types.NewSchema(types.Column{Name: "x", Type: types.KindInt})); err == nil {
+		t.Error("duplicate global table must error")
+	}
+	st := relstore.New("hospA")
+	if err := c.AddSource(st); err == nil {
+		t.Error("duplicate source must error")
+	}
+	// Fragment with wrong column count.
+	err := c.MapFragment("patients", &Fragment{
+		Source: "hospA", RemoteTable: "pat",
+		Columns: []ColumnMapping{{RemoteCol: 0}},
+	})
+	if err == nil {
+		t.Error("wrong arity fragment must error")
+	}
+	// Remote column out of range.
+	err = c.MapFragment("patients", &Fragment{
+		Source: "hospA", RemoteTable: "pat",
+		Columns: []ColumnMapping{{RemoteCol: 0}, {RemoteCol: 9}, {RemoteCol: 2}, {RemoteCol: 0}},
+	})
+	if err == nil {
+		t.Error("out-of-range remote column must error")
+	}
+	// Unknown remote table.
+	err = c.MapFragment("patients", &Fragment{
+		Source: "hospA", RemoteTable: "ghost",
+		Columns: make([]ColumnMapping, 4),
+	})
+	if err == nil {
+		t.Error("unknown remote table must error")
+	}
+	// Affine over strings.
+	err = c.MapFragment("patients", &Fragment{
+		Source: "hospA", RemoteTable: "pat",
+		Columns: []ColumnMapping{
+			{RemoteCol: 0},
+			{RemoteCol: 1, Scale: 2},
+			{RemoteCol: 2},
+			{RemoteCol: 0},
+		},
+	})
+	if err == nil {
+		t.Error("affine mapping over string column must error")
+	}
+}
+
+func TestValueMapTranslation(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	tab, _ := c.Table("patients")
+	fragA := tab.Fragments[0]
+	// Remote → global.
+	g, err := fragA.Columns[1].ToGlobal(types.NewString("M"))
+	if err != nil || g.Str() != "male" {
+		t.Errorf("ToGlobal(M) = %v, %v", g, err)
+	}
+	// Unmapped code passes through.
+	g, _ = fragA.Columns[1].ToGlobal(types.NewString("X"))
+	if g.Str() != "X" {
+		t.Errorf("ToGlobal(X) = %v", g)
+	}
+	// Global → remote (inverse).
+	r, ok := fragA.Columns[1].ToRemote(types.NewString("female"))
+	if !ok || r.Str() != "F" {
+		t.Errorf("ToRemote(female) = %v, %v", r, ok)
+	}
+	// A global constant that collides with a remote code must refuse.
+	if _, ok := fragA.Columns[1].ToRemote(types.NewString("M")); ok {
+		t.Error("colliding constant must not push")
+	}
+}
+
+func TestAffineTranslation(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	tab, _ := c.Table("patients")
+	fragB := tab.Fragments[1]
+	g, err := fragB.Columns[2].ToGlobal(types.NewFloat(220.462))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg := g.Float(); kg < 99.9 || kg > 100.1 {
+		t.Errorf("220 lbs = %v kg", kg)
+	}
+	r, ok := fragB.Columns[2].ToRemote(types.NewFloat(100))
+	if !ok {
+		t.Fatal("affine must invert")
+	}
+	if lbs := r.Float(); lbs < 220 || lbs > 221 {
+		t.Errorf("100 kg = %v lbs", lbs)
+	}
+}
+
+func TestConstMapping(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	tab, _ := c.Table("patients")
+	fragA := tab.Fragments[0]
+	g, err := fragA.Columns[3].ToGlobal(types.Null)
+	if err != nil || g.Str() != "A" {
+		t.Errorf("const mapping = %v, %v", g, err)
+	}
+	if _, ok := fragA.Columns[3].ToRemote(types.NewString("A")); ok {
+		t.Error("const columns must not invert")
+	}
+}
+
+func TestSplitFilterTranslation(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	tab, _ := c.Table("patients")
+	fragA, fragB := tab.Fragments[0], tab.Fragments[1]
+	// gender = 'male' AND weight_kg > 80 AND site = 'A'
+	pred, err := expr.Bind(expr.Conjoin([]expr.Expr{
+		expr.NewBinary(expr.OpEq, expr.NewColRef("", "gender"), expr.NewConst(types.NewString("male"))),
+		expr.NewBinary(expr.OpGt, expr.NewColRef("", "weight_kg"), expr.NewConst(types.NewFloat(80))),
+		expr.NewBinary(expr.OpEq, expr.NewColRef("", "site"), expr.NewConst(types.NewString("A"))),
+	}), tab.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, residual := fragA.SplitFilter(pred)
+	// gender → sex = 'M' pushes (value map inverse); weight_kg identity
+	// pushes; site is const → residual.
+	if remote == nil || residual == nil {
+		t.Fatalf("split = %v | %v", remote, residual)
+	}
+	rcs := expr.Conjuncts(remote)
+	if len(rcs) != 2 {
+		t.Errorf("remote conjuncts = %v", rcs)
+	}
+	if got := rcs[0].String(); got != "(sex = 'M')" {
+		t.Errorf("value-mapped pushdown = %s", got)
+	}
+	// Fragment B: weight_kg > 80 → weight_lbs > ~176.4.
+	remoteB, _ := fragB.SplitFilter(pred)
+	found := false
+	for _, rc := range expr.Conjuncts(remoteB) {
+		b, ok := rc.(*expr.Binary)
+		if !ok {
+			continue
+		}
+		if col, ok := b.L.(*expr.ColRef); ok && col.Name == "weight_lbs" {
+			v := b.R.(*expr.Const).Val.Float()
+			if v < 176 || v > 177 {
+				t.Errorf("lbs bound = %v", v)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("affine predicate did not push: %v", remoteB)
+	}
+}
+
+func TestNegativeScaleFlipsComparison(t *testing.T) {
+	// global = -1 * remote  (e.g. sign-flipped ledger)
+	st := relstore.New("flip")
+	st.CreateTable("t", types.NewSchema(types.Column{Name: "neg", Type: types.KindFloat}), 0)
+	c := New()
+	c.AddSource(st)
+	c.DefineTable("g", types.NewSchema(types.Column{Name: "v", Type: types.KindFloat}))
+	if err := c.MapFragment("g", &Fragment{
+		Source: "flip", RemoteTable: "t",
+		Columns: []ColumnMapping{{RemoteCol: 0, Scale: -1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := c.Table("g")
+	pred, _ := expr.Bind(expr.NewBinary(expr.OpGt, expr.NewColRef("", "v"), expr.NewConst(types.NewFloat(5))), tab.Schema)
+	remote, residual := tab.Fragments[0].SplitFilter(pred)
+	if residual != nil {
+		t.Fatal("predicate should push fully")
+	}
+	b := remote.(*expr.Binary)
+	if b.Op != expr.OpLt {
+		t.Errorf("negative scale must flip > to <, got %s", b.Op)
+	}
+	if v := b.R.(*expr.Const).Val.Float(); v != -5 {
+		t.Errorf("flipped constant = %v", v)
+	}
+}
+
+func TestTranslateRow(t *testing.T) {
+	c, _, _ := newHospitalFixture(t)
+	tab, _ := c.Table("patients")
+	fragA := tab.Fragments[0]
+	// Requested global columns: id, gender, weight_kg, site.
+	globalCols := []int{0, 1, 2, 3}
+	remote, backed := fragA.RemoteCols(globalCols)
+	if len(remote) != 3 || backed[3] {
+		t.Fatalf("remote cols = %v backed = %v", remote, backed)
+	}
+	row, err := fragA.TranslateRow(tab.Schema, globalCols,
+		types.Row{types.NewInt(1), types.NewString("F"), types.NewFloat(61)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Int() != 1 || row[1].Str() != "female" || row[2].Float() != 61 || row[3].Str() != "A" {
+		t.Errorf("translated = %v", row)
+	}
+	// Subset + reorder.
+	row, err = fragA.TranslateRow(tab.Schema, []int{3, 1},
+		types.Row{types.NewString("M")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Str() != "A" || row[1].Str() != "male" {
+		t.Errorf("subset translated = %v", row)
+	}
+	// NULL passes through.
+	row, err = fragA.TranslateRow(tab.Schema, []int{1}, types.Row{types.Null})
+	if err != nil || !row[0].IsNull() {
+		t.Errorf("null translate = %v, %v", row, err)
+	}
+	// Affine coercion to global type.
+	fragB := tab.Fragments[1]
+	row, err = fragB.TranslateRow(tab.Schema, []int{2}, types.Row{types.NewFloat(100)})
+	if err != nil || row[0].Kind() != types.KindFloat {
+		t.Errorf("affine row = %v, %v", row, err)
+	}
+}
+
+func TestPartitionPruning(t *testing.T) {
+	st := relstore.New("p")
+	st.CreateTable("t", types.NewSchema(types.Column{Name: "id", Type: types.KindInt}), 0)
+	c := New()
+	c.AddSource(st)
+	c.DefineTable("g", types.NewSchema(types.Column{Name: "id", Type: types.KindInt}))
+	// Fragment holds id < 100.
+	err := c.MapFragment("g", &Fragment{
+		Source: "p", RemoteTable: "t",
+		Columns: []ColumnMapping{{RemoteCol: 0}},
+		Where:   expr.NewBinary(expr.OpLt, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(100))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := c.Table("g")
+	frag := tab.Fragments[0]
+	bind := func(e expr.Expr) expr.Expr {
+		b, err := expr.Bind(e, tab.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// id = 500 contradicts id < 100 → prune.
+	if !frag.PruneByPartition(bind(expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(500))))) {
+		t.Error("disjoint equality must prune")
+	}
+	if !frag.PruneByPartition(bind(expr.NewBinary(expr.OpGe, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(100))))) {
+		t.Error("disjoint range must prune")
+	}
+	if frag.PruneByPartition(bind(expr.NewBinary(expr.OpLt, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(50))))) {
+		t.Error("overlapping range must not prune")
+	}
+	if frag.PruneByPartition(bind(expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(99))))) {
+		t.Error("boundary-inside equality must not prune")
+	}
+	if frag.PruneByPartition(nil) {
+		t.Error("nil filter must not prune")
+	}
+}
+
+func TestMapSimple(t *testing.T) {
+	st := relstore.New("s")
+	st.CreateTable("t", types.NewSchema(
+		types.Column{Name: "a", Type: types.KindInt},
+		types.Column{Name: "b", Type: types.KindString},
+	), 0)
+	c := New()
+	c.AddSource(st)
+	c.DefineTable("g", types.NewSchema(
+		types.Column{Name: "a", Type: types.KindInt},
+		types.Column{Name: "b", Type: types.KindString},
+	))
+	if err := c.MapSimple("g", "s", "t"); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := c.Table("g")
+	if len(tab.Fragments) != 1 || !tab.Fragments[0].Columns[0].Identity() {
+		t.Errorf("simple fragment = %+v", tab.Fragments[0])
+	}
+}
+
+func TestGlobalTableStats(t *testing.T) {
+	c, hospA, _ := newHospitalFixture(t)
+	tab, _ := c.Table("patients")
+	if tab.Stats() == nil {
+		// Both fragments report RowCount 0 → Unknown stats merge.
+		t.Log("stats nil before analyze (fragments empty)")
+	}
+	// Install explicit stats on one fragment.
+	ts, err := hospA.Stats("pat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Fragments[0].SetStats(ts)
+	if tab.Stats() == nil {
+		t.Error("stats must merge when a fragment is analyzed")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gis/internal/catalog"
+	"gis/internal/relstore"
+	"gis/internal/source"
+	"gis/internal/types"
+	"gis/internal/wire"
+)
+
+// TestApplyConfigEndToEnd spins two wire-served stores, loads a JSON
+// federation description that partitions a table across them, and runs a
+// query — the full gisql -config path.
+func TestApplyConfigEndToEnd(t *testing.T) {
+	mk := func(name string, base int) *wire.Server {
+		st := relstore.New(name)
+		if err := st.CreateTable("log", types.NewSchema(
+			types.Column{Name: "seq", Type: types.KindInt},
+			types.Column{Name: "msg", Type: types.KindString},
+		), 0); err != nil {
+			t.Fatal(err)
+		}
+		var rows []types.Row
+		for i := 0; i < 10; i++ {
+			rows = append(rows, types.Row{
+				types.NewInt(int64(base + i)),
+				types.NewString(fmt.Sprintf("m%d", base+i)),
+			})
+		}
+		if _, err := st.Insert(ctx, "log", rows); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := wire.Serve("127.0.0.1:0", st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	s1, s2 := mk("siteA", 0), mk("siteB", 100)
+
+	cfg := fmt.Sprintf(`{
+	  "sources": [
+	    {"name": "siteA", "addr": "%s", "latency_ms": 1},
+	    {"name": "siteB", "addr": "%s"}
+	  ],
+	  "tables": [{
+	    "name": "log",
+	    "columns": [{"name": "seq", "type": "int"}, {"name": "msg", "type": "string"}],
+	    "fragments": [
+	      {"source": "siteA", "remote_table": "log",
+	       "columns": [{"remote_col": 0}, {"remote_col": 1}], "where": "seq < 100"},
+	      {"source": "siteB", "remote_table": "log",
+	       "columns": [{"remote_col": 0}, {"remote_col": 1}], "where": "seq >= 100"}
+	    ]
+	  }]
+	}`, s1.Addr(), s2.Addr())
+
+	e := New()
+	var clients []*wire.Client
+	dial := func(sc catalog.SourceConfig) (source.Source, error) {
+		var opts []wire.Option
+		opts = append(opts, wire.WithName(sc.Name))
+		if sc.LatencyMS > 0 {
+			opts = append(opts, wire.WithSimLink(wire.SimLink{
+				Latency: time.Duration(sc.LatencyMS) * time.Millisecond,
+			}))
+		}
+		cl, err := wire.Dial(sc.Addr, opts...)
+		if err == nil {
+			clients = append(clients, cl)
+		}
+		return cl, err
+	}
+	if err := e.ApplyConfig([]byte(cfg), dial); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	})
+	if err := e.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	res := query(t, e, "SELECT COUNT(*) FROM log")
+	wantRows(t, res, false, "(20)")
+	// Partition pruning through the config-parsed predicates.
+	plan, err := e.Explain(ctx, "SELECT msg FROM log WHERE seq > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "siteA.log") {
+		t.Errorf("pruned fragment still planned:\n%s", plan)
+	}
+	// Cross-site write under 2PC via the wire protocol.
+	n, err := e.Exec(ctx, "UPDATE log SET msg = 'x' WHERE seq = 5 OR seq = 105")
+	if err != nil || n != 2 {
+		t.Fatalf("wire 2PC update = %d, %v", n, err)
+	}
+}

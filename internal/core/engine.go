@@ -1,0 +1,465 @@
+// Package core implements the mediator itself — the paper's Global
+// Information System. An Engine owns the global catalog, plans global
+// SQL against it (parse → subquery materialization → logical plan →
+// optimize → decompose), executes the distributed plan, and coordinates
+// global updates with two-phase commit.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"gis/internal/catalog"
+	"gis/internal/exec"
+	"gis/internal/expr"
+	"gis/internal/plan"
+	"gis/internal/source"
+	"gis/internal/sql"
+	"gis/internal/stats"
+	"gis/internal/txn"
+	"gis/internal/types"
+)
+
+// Engine is a Global Information System instance.
+type Engine struct {
+	cat   *catalog.Catalog
+	opts  *plan.Options
+	coord *txn.Coordinator
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPlanOptions overrides the optimizer configuration (used by the
+// evaluation harness for ablations).
+func WithPlanOptions(o *plan.Options) Option {
+	return func(e *Engine) { e.opts = o }
+}
+
+// New creates an empty engine; register sources and define the global
+// schema through Catalog().
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		cat:   catalog.New(),
+		opts:  plan.DefaultOptions(),
+		coord: txn.NewCoordinator(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Catalog exposes the global catalog for registration and mapping.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Coordinator exposes the transaction coordinator (decision log access).
+func (e *Engine) Coordinator() *txn.Coordinator { return e.coord }
+
+// PlanOptions returns the engine's optimizer options (mutable; used by
+// the harness to toggle rules between runs).
+func (e *Engine) PlanOptions() *plan.Options { return e.opts }
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Schema  *types.Schema
+	Rows    []types.Row
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Query parses, plans, and executes a SELECT, materializing the result.
+func (e *Engine) Query(ctx context.Context, text string, params ...types.Value) (*Result, error) {
+	stmt, err := sql.Parse(text, params...)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: Query requires a SELECT; use Exec for %T", stmt)
+	}
+	return e.runSelect(ctx, sel)
+}
+
+// QueryIter plans and executes a SELECT, streaming rows. The returned
+// schema describes the stream.
+func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Value) (*types.Schema, source.RowIter, error) {
+	sel, err := sql.ParseSelect(text, params...)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := e.planSelect(ctx, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := exec.Run(ctx, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Schema(), it, nil
+}
+
+func (e *Engine) runSelect(ctx context.Context, sel *sql.SelectStmt) (*Result, error) {
+	p, err := e.planSelect(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	schema := p.Schema()
+	cols := make([]string, schema.Len())
+	for i, c := range schema.Columns {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Schema: schema, Rows: rows}, nil
+}
+
+// planSelect materializes subqueries and produces an optimized plan.
+func (e *Engine) planSelect(ctx context.Context, sel *sql.SelectStmt) (plan.Node, error) {
+	if err := e.materializeSubqueries(ctx, sel); err != nil {
+		return nil, err
+	}
+	builder := plan.NewBuilder(e.cat)
+	logical, err := builder.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Optimize(logical, e.cat, e.opts)
+}
+
+// Explain returns the optimized plan of a statement as indented text.
+func (e *Engine) Explain(ctx context.Context, text string, params ...types.Value) (string, error) {
+	stmt, err := sql.Parse(text, params...)
+	if err != nil {
+		return "", err
+	}
+	if ex, ok := stmt.(*sql.ExplainStmt); ok {
+		stmt = ex.Stmt
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("core: EXPLAIN supports SELECT statements")
+	}
+	p, err := e.planSelect(ctx, sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(p), nil
+}
+
+// Run executes any statement: SELECT returns a Result; INSERT, UPDATE
+// and DELETE return the affected-row count in a single-column Result.
+func (e *Engine) Run(ctx context.Context, text string, params ...types.Value) (*Result, error) {
+	stmt, err := sql.Parse(text, params...)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return e.runSelect(ctx, s)
+	case *sql.ExplainStmt:
+		var out string
+		if s.Analyze {
+			out, err = e.ExplainAnalyze(ctx, s.Stmt.String())
+		} else {
+			out, err = e.Explain(ctx, text)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var rows []types.Row
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			rows = append(rows, types.Row{types.NewString(line)})
+		}
+		return &Result{
+			Columns: []string{"plan"},
+			Schema:  types.NewSchema(types.Column{Name: "plan", Type: types.KindString}),
+			Rows:    rows,
+		}, nil
+	default:
+		n, err := e.execStmt(ctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Columns: []string{"affected"},
+			Schema:  types.NewSchema(types.Column{Name: "affected", Type: types.KindInt}),
+			Rows:    []types.Row{{types.NewInt(n)}},
+		}, nil
+	}
+}
+
+// Exec executes a write statement (INSERT/UPDATE/DELETE) and returns the
+// number of affected rows. Writes spanning several sources run under
+// two-phase commit.
+func (e *Engine) Exec(ctx context.Context, text string, params ...types.Value) (int64, error) {
+	stmt, err := sql.Parse(text, params...)
+	if err != nil {
+		return 0, err
+	}
+	return e.execStmt(ctx, stmt)
+}
+
+// Analyze collects optimizer statistics for every fragment of every
+// global table: from the source's stats provider when available, else by
+// scanning the remote table.
+func (e *Engine) Analyze(ctx context.Context) error {
+	for _, name := range e.cat.Tables() {
+		tab, err := e.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		for _, frag := range tab.Fragments {
+			src, err := e.cat.Source(frag.Source)
+			if err != nil {
+				return err
+			}
+			if sp, ok := src.(interface {
+				Stats(table string) (*stats.TableStats, error)
+			}); ok {
+				ts, err := sp.Stats(frag.RemoteTable)
+				if err == nil {
+					frag.SetStats(ts)
+					continue
+				}
+			}
+			// Fallback: full scan and collect at the mediator.
+			it, err := src.Execute(ctx, source.NewScan(frag.RemoteTable))
+			if err != nil {
+				return fmt.Errorf("core: analyze %s.%s: %w", frag.Source, frag.RemoteTable, err)
+			}
+			rows, err := source.Drain(it)
+			if err != nil {
+				return fmt.Errorf("core: analyze %s.%s: %w", frag.Source, frag.RemoteTable, err)
+			}
+			frag.SetStats(stats.Collect(rows, frag.Info().Schema.Len()))
+		}
+	}
+	return nil
+}
+
+// materializeSubqueries executes every uncorrelated subquery in the
+// statement and substitutes its result: EXISTS → boolean constant,
+// scalar → value constant, IN → literal list. Correlated subqueries are
+// rejected (binding the inner query against the global schema alone
+// fails, surfacing a clear error).
+func (e *Engine) materializeSubqueries(ctx context.Context, sel *sql.SelectStmt) error {
+	for cur := sel; cur != nil; cur = cur.Union {
+		// Derived tables first (they may contain subqueries).
+		if cur.From != nil {
+			if err := e.materializeFromSubqueries(ctx, cur.From); err != nil {
+				return err
+			}
+		}
+		var err error
+		if cur.Where != nil {
+			cur.Where, err = e.substituteSubqueries(ctx, cur.Where)
+			if err != nil {
+				return err
+			}
+		}
+		if cur.Having != nil {
+			cur.Having, err = e.substituteSubqueries(ctx, cur.Having)
+			if err != nil {
+				return err
+			}
+		}
+		for i := range cur.Items {
+			if cur.Items[i].Expr == nil {
+				continue
+			}
+			cur.Items[i].Expr, err = e.substituteSubqueries(ctx, cur.Items[i].Expr)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) materializeFromSubqueries(ctx context.Context, t sql.TableExpr) error {
+	switch n := t.(type) {
+	case *sql.SubqueryTable:
+		return e.materializeSubqueries(ctx, n.Select)
+	case *sql.JoinExpr:
+		if err := e.materializeFromSubqueries(ctx, n.L); err != nil {
+			return err
+		}
+		return e.materializeFromSubqueries(ctx, n.R)
+	default:
+		return nil
+	}
+}
+
+func (e *Engine) substituteSubqueries(ctx context.Context, ex expr.Expr) (expr.Expr, error) {
+	var firstErr error
+	out := expr.Transform(ex, func(n expr.Expr) expr.Expr {
+		sub, ok := n.(*expr.Subquery)
+		if !ok || firstErr != nil {
+			return n
+		}
+		inner, ok := sub.Stmt.(*sql.SelectStmt)
+		if !ok {
+			firstErr = fmt.Errorf("core: malformed subquery node")
+			return n
+		}
+		res, err := e.runSelect(ctx, inner)
+		if err != nil {
+			firstErr = fmt.Errorf("core: subquery: %w", err)
+			return n
+		}
+		switch sub.Mode {
+		case expr.SubExists:
+			return expr.NewConst(types.NewBool((len(res.Rows) > 0) != sub.Negate))
+		case expr.SubScalar:
+			if len(res.Rows) > 1 {
+				firstErr = fmt.Errorf("core: scalar subquery returned %d rows", len(res.Rows))
+				return n
+			}
+			if len(res.Rows) == 0 {
+				return expr.NewConst(types.Null)
+			}
+			if len(res.Rows[0]) != 1 {
+				firstErr = fmt.Errorf("core: scalar subquery returned %d columns", len(res.Rows[0]))
+				return n
+			}
+			return expr.NewConst(res.Rows[0][0])
+		case expr.SubIn:
+			list := make([]expr.Expr, 0, len(res.Rows))
+			for _, r := range res.Rows {
+				if len(r) != 1 {
+					firstErr = fmt.Errorf("core: IN subquery must return one column, got %d", len(r))
+					return n
+				}
+				list = append(list, expr.NewConst(r[0]))
+			}
+			if len(list) == 0 {
+				// x IN (empty) is FALSE; NOT IN (empty) is TRUE.
+				return expr.NewConst(types.NewBool(sub.Negate))
+			}
+			return &expr.InList{E: sub.Operand, List: list, Negate: sub.Negate}
+		default:
+			firstErr = fmt.Errorf("core: unknown subquery mode %d", sub.Mode)
+			return n
+		}
+	})
+	return out, firstErr
+}
+
+// ApplyConfig loads a JSON federation description (catalog.Config) into
+// the engine: it dials every listed source over the wire protocol and
+// defines the global tables. Used by tools; library callers usually
+// register sources directly.
+func (e *Engine) ApplyConfig(data []byte, dial func(catalog.SourceConfig) (source.Source, error)) error {
+	cfg, err := catalog.ParseConfig(data)
+	if err != nil {
+		return err
+	}
+	for _, sc := range cfg.Sources {
+		if dial == nil {
+			return fmt.Errorf("core: config lists sources but no dialer was supplied")
+		}
+		src, err := dial(sc)
+		if err != nil {
+			return fmt.Errorf("core: dialing source %s (%s): %w", sc.Name, sc.Addr, err)
+		}
+		if err := e.cat.AddSource(src); err != nil {
+			return err
+		}
+	}
+	return e.cat.Apply(cfg, sql.ParseExpr)
+}
+
+// CreateView registers a named view after validating that its body
+// parses and plans against the current catalog. Views expand wherever
+// their name appears in FROM; expression subqueries inside view bodies
+// are not supported.
+func (e *Engine) CreateView(name, selectSQL string) error {
+	sel, err := sql.ParseSelect(selectSQL)
+	if err != nil {
+		return fmt.Errorf("core: view %s: %w", name, err)
+	}
+	// Validate by planning the body before defining the name (this also
+	// rejects self-reference: the name does not resolve yet).
+	if _, err := plan.NewBuilder(e.cat).BuildSelect(sel); err != nil {
+		return fmt.Errorf("core: view %s does not plan: %w", name, err)
+	}
+	return e.cat.DefineView(name, selectSQL)
+}
+
+// ExplainAnalyze plans AND executes a SELECT, returning the plan
+// annotated with each operator's measured row count and inclusive time,
+// followed by the total.
+func (e *Engine) ExplainAnalyze(ctx context.Context, text string, params ...types.Value) (string, error) {
+	stmt, err := sql.Parse(text, params...)
+	if err != nil {
+		return "", err
+	}
+	if ex, ok := stmt.(*sql.ExplainStmt); ok {
+		stmt = ex.Stmt
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("core: EXPLAIN ANALYZE supports SELECT statements")
+	}
+	p, err := e.planSelect(ctx, sel)
+	if err != nil {
+		return "", err
+	}
+	prof := exec.NewProfile()
+	start := time.Now()
+	rows, err := exec.Collect(exec.WithProfile(ctx, prof), p)
+	if err != nil {
+		return "", err
+	}
+	out := plan.ExplainFunc(p, prof.Annotate)
+	out += fmt.Sprintf("total: %d row(s) in %s\n", len(rows), time.Since(start).Round(time.Microsecond))
+	return out, nil
+}

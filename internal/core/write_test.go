@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gis/internal/catalog"
+	"gis/internal/relstore"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// newMediatedEngine maps a legacy store (codes + imperial units) onto a
+// clean global table, exercising every write-path translation.
+//
+// Global:  items(id INT, status STRING, weight_kg FLOAT, site STRING)
+// Remote:  legacy.t(id INT, st STRING codes A/I, lbs FLOAT)
+func newMediatedEngine(t *testing.T) (*Engine, *relstore.Store) {
+	t.Helper()
+	legacy := relstore.New("legacy")
+	if err := legacy.CreateTable("t", types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "st", Type: types.KindString},
+		types.Column{Name: "lbs", Type: types.KindFloat},
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	if err := e.Catalog().AddSource(legacy); err != nil {
+		t.Fatal(err)
+	}
+	global := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "status", Type: types.KindString},
+		types.Column{Name: "weight_kg", Type: types.KindFloat},
+		types.Column{Name: "site", Type: types.KindString},
+	)
+	if err := e.Catalog().DefineTable("items", global); err != nil {
+		t.Fatal(err)
+	}
+	site := types.NewString("legacy")
+	if err := e.Catalog().MapFragment("items", &catalog.Fragment{
+		Source: "legacy", RemoteTable: "t",
+		Columns: []catalog.ColumnMapping{
+			{RemoteCol: 0},
+			{RemoteCol: 1, ValueMap: map[string]string{"A": "active", "I": "inactive"}},
+			{RemoteCol: 2, Scale: 0.453592},
+			{RemoteCol: -1, Const: &site},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e, legacy
+}
+
+func TestInsertThroughMappings(t *testing.T) {
+	e, legacy := newMediatedEngine(t)
+	n, err := e.Exec(ctx, "INSERT INTO items (id, status, weight_kg) VALUES (1, 'active', 45.3592)")
+	if err != nil || n != 1 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	// The remote row stores the inverse representation.
+	st, err := legacy.Stats("t")
+	if err != nil || st.RowCount != 1 {
+		t.Fatalf("remote rows = %v, %v", st, err)
+	}
+	res := query(t, e, "SELECT status, weight_kg, site FROM items WHERE id = 1")
+	row := res.Rows[0]
+	if row[0].Str() != "active" || row[2].Str() != "legacy" {
+		t.Errorf("read-back = %v", row)
+	}
+	if kg := row[1].Float(); kg < 45.35 || kg > 45.37 {
+		t.Errorf("weight round trip = %v", kg)
+	}
+	// Remote representation is really pounds and codes.
+	raw := queryRemote(t, legacy)
+	if raw[0][1].Str() != "A" {
+		t.Errorf("remote code = %v, want A", raw[0][1])
+	}
+	if lbs := raw[0][2].Float(); lbs < 99.9 || lbs > 100.1 {
+		t.Errorf("remote lbs = %v, want ~100", lbs)
+	}
+}
+
+func queryRemote(t *testing.T, s *relstore.Store) []types.Row {
+	t.Helper()
+	it, err := s.Execute(ctx, source.NewScan("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := source.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestInsertConflictingConstRejected(t *testing.T) {
+	e, _ := newMediatedEngine(t)
+	// site is fixed to 'legacy' by the mapping; storing another value
+	// would silently change on read-back, so it must be rejected.
+	if _, err := e.Exec(ctx, "INSERT INTO items (id, status, weight_kg, site) VALUES (1, 'active', 1, 'other')"); err == nil {
+		t.Error("conflicting constant column must be rejected")
+	}
+	// Matching or NULL const value is fine.
+	if _, err := e.Exec(ctx, "INSERT INTO items (id, status, weight_kg, site) VALUES (2, 'active', 1, 'legacy')"); err != nil {
+		t.Errorf("matching constant rejected: %v", err)
+	}
+}
+
+func TestUpdateThroughMappings(t *testing.T) {
+	e, legacy := newMediatedEngine(t)
+	if _, err := e.Exec(ctx, "INSERT INTO items (id, status, weight_kg) VALUES (1, 'active', 10)"); err != nil {
+		t.Fatal(err)
+	}
+	// Value-mapped SET: status 'inactive' becomes code 'I' remotely.
+	n, err := e.Exec(ctx, "UPDATE items SET status = 'inactive' WHERE id = 1")
+	if err != nil || n != 1 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	raw := queryRemote(t, legacy)
+	if raw[0][1].Str() != "I" {
+		t.Errorf("remote code after update = %v", raw[0][1])
+	}
+	// Affine SET with a constant: 20 kg becomes ~44.1 lbs remotely.
+	if _, err := e.Exec(ctx, "UPDATE items SET weight_kg = 20 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	raw = queryRemote(t, legacy)
+	if lbs := raw[0][2].Float(); lbs < 44 || lbs > 44.2 {
+		t.Errorf("remote lbs after update = %v", lbs)
+	}
+	// Value-mapped predicate translates too.
+	res := query(t, e, "SELECT COUNT(*) FROM items WHERE status = 'inactive'")
+	wantRows(t, res, false, "(1)")
+	// SET of a constant-mapped column is rejected.
+	if _, err := e.Exec(ctx, "UPDATE items SET site = 'x'"); err == nil {
+		t.Error("updating a constant-mapped column must fail")
+	}
+	// Computed SET over a transformed column is not translatable.
+	if _, err := e.Exec(ctx, "UPDATE items SET weight_kg = weight_kg * 2"); err == nil {
+		t.Error("computed update over an affine column must fail clearly")
+	}
+}
+
+func TestDeleteThroughMappings(t *testing.T) {
+	e, legacy := newMediatedEngine(t)
+	for _, stmt := range []string{
+		"INSERT INTO items (id, status, weight_kg) VALUES (1, 'active', 10)",
+		"INSERT INTO items (id, status, weight_kg) VALUES (2, 'inactive', 20)",
+	} {
+		if _, err := e.Exec(ctx, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := e.Exec(ctx, "DELETE FROM items WHERE status = 'inactive'")
+	if err != nil || n != 1 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	raw := queryRemote(t, legacy)
+	if len(raw) != 1 || raw[0][0].Int() != 1 {
+		t.Errorf("remaining = %v", raw)
+	}
+}
+
+func TestIdentityUpdateWithExpression(t *testing.T) {
+	// Identity-mapped columns accept computed SET values.
+	e := newTestEngine(t)
+	n, err := e.Exec(ctx, "UPDATE customers SET balance = balance * 2 + 1 WHERE id = 1")
+	if err != nil || n != 1 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	res := query(t, e, "SELECT balance FROM customers WHERE id = 1")
+	wantRows(t, res, false, "(201)")
+}
+
+func TestInsertParamsAndMultiRow(t *testing.T) {
+	e := newTestEngine(t)
+	n, err := e.Exec(ctx,
+		"INSERT INTO customers (id, name, region, balance) VALUES (?, ?, 'east', ?), (?, 'greg', 'west', 1)",
+		types.NewInt(50), types.NewString("fred"), types.NewFloat(7),
+		types.NewInt(51))
+	if err != nil || n != 2 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	res := query(t, e, "SELECT name FROM customers WHERE id >= 50")
+	wantRows(t, res, false, "(fred)", "(greg)")
+}
+
+func TestWriteErrorMessagesAreActionable(t *testing.T) {
+	e, _ := newMediatedEngine(t)
+	_, err := e.Exec(ctx, "UPDATE items SET site = 'x'")
+	if err == nil || !strings.Contains(err.Error(), "constant-mapped") {
+		t.Errorf("error should explain the constant mapping: %v", err)
+	}
+}

@@ -1,0 +1,378 @@
+// Package docstore implements a JSON-document component system. Each
+// collection stores schemaless documents; a wrapper mapping ("this path
+// is that column") projects documents onto a relational schema so the
+// mediator can query them. The wrapper pushes down filters and
+// projections (document databases evaluate per-document predicates) but
+// not joins, grouping, or sorting.
+package docstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// FieldMap binds one column of the exposed schema to a dotted path into
+// the document (e.g. "address.city").
+type FieldMap struct {
+	Column types.Column
+	Path   string
+}
+
+// Store is a set of document collections exposed as a weak source.
+type Store struct {
+	name string
+
+	mu          sync.RWMutex
+	collections map[string]*collection
+}
+
+type collection struct {
+	fields []FieldMap
+	schema *types.Schema
+	docs   []map[string]any
+}
+
+// New returns an empty document store.
+func New(name string) *Store {
+	return &Store{name: name, collections: make(map[string]*collection)}
+}
+
+// CreateCollection registers a collection with its field mapping.
+func (s *Store) CreateCollection(name string, fields []FieldMap) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.collections[name]; dup {
+		return fmt.Errorf("docstore %s: collection %q already exists", s.name, name)
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("docstore %s: collection %q needs at least one field", s.name, name)
+	}
+	cols := make([]types.Column, len(fields))
+	for i, f := range fields {
+		if f.Path == "" {
+			return fmt.Errorf("docstore %s: field %q has empty path", s.name, f.Column.Name)
+		}
+		cols[i] = f.Column
+	}
+	s.collections[name] = &collection{
+		fields: append([]FieldMap(nil), fields...),
+		schema: &types.Schema{Columns: cols},
+	}
+	return nil
+}
+
+// InsertJSON parses and stores one JSON document.
+func (s *Store) InsertJSON(name string, doc string) error {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(doc), &m); err != nil {
+		return fmt.Errorf("docstore %s: bad document: %w", s.name, err)
+	}
+	return s.InsertDoc(name, m)
+}
+
+// InsertDoc stores one already-decoded document.
+func (s *Store) InsertDoc(name string, doc map[string]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return fmt.Errorf("docstore %s: unknown collection %q", s.name, name)
+	}
+	c.docs = append(c.docs, doc)
+	return nil
+}
+
+// Name implements source.Source.
+func (s *Store) Name() string { return s.name }
+
+// Tables implements source.Source.
+func (s *Store) Tables(context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// TableInfo implements source.Source.
+func (s *Store) TableInfo(_ context.Context, name string) (*source.TableInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return nil, fmt.Errorf("docstore %s: unknown collection %q", s.name, name)
+	}
+	return &source.TableInfo{Schema: c.schema.Clone(), RowCount: int64(len(c.docs))}, nil
+}
+
+// Capabilities implements source.Source: filters and projections push
+// down; aggregation, sorting and limiting do not. Writes are supported
+// (rows map back onto document paths) but not transactions.
+func (s *Store) Capabilities() source.Capabilities {
+	return source.Capabilities{Filter: source.FilterFull, Project: true, Write: true}
+}
+
+// Execute implements source.Source.
+func (s *Store) Execute(ctx context.Context, q *source.Query) (source.RowIter, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("docstore %s: unknown collection %q", s.name, q.Table)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q.HasAggregation() || len(q.OrderBy) > 0 || q.Limit >= 0 {
+		return nil, fmt.Errorf("docstore %s: query shape exceeds capabilities: %s", s.name, q)
+	}
+	var out []types.Row
+	for _, doc := range c.docs {
+		row, err := c.extract(doc)
+		if err != nil {
+			return nil, fmt.Errorf("docstore %s: %w", s.name, err)
+		}
+		if q.Filter != nil {
+			ok, err := expr.EvalBool(q.Filter, row)
+			if err != nil {
+				return nil, fmt.Errorf("docstore %s: %w", s.name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		if q.Columns != nil {
+			nr := make(types.Row, len(q.Columns))
+			for j, col := range q.Columns {
+				if col < 0 || col >= len(row) {
+					return nil, fmt.Errorf("docstore %s: projected column %d out of range", s.name, col)
+				}
+				nr[j] = row[col]
+			}
+			row = nr
+		}
+		out = append(out, row)
+	}
+	return source.SliceIter(out), nil
+}
+
+// extract projects one document onto the collection's schema, coercing
+// JSON values to the declared column types. Missing paths yield NULL.
+func (c *collection) extract(doc map[string]any) (types.Row, error) {
+	row := make(types.Row, len(c.fields))
+	for i, f := range c.fields {
+		raw, found := lookupPath(doc, f.Path)
+		if !found || raw == nil {
+			row[i] = types.Null
+			continue
+		}
+		v, err := fromJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("field %s (path %s): %w", f.Column.Name, f.Path, err)
+		}
+		cv, err := v.Coerce(f.Column.Type)
+		if err != nil {
+			return nil, fmt.Errorf("field %s (path %s): %w", f.Column.Name, f.Path, err)
+		}
+		row[i] = cv
+	}
+	return row, nil
+}
+
+// lookupPath walks a dotted path through nested JSON objects.
+func lookupPath(doc map[string]any, path string) (any, bool) {
+	cur := any(doc)
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// fromJSON converts a decoded JSON scalar to a Value.
+func fromJSON(raw any) (types.Value, error) {
+	switch v := raw.(type) {
+	case bool:
+		return types.NewBool(v), nil
+	case float64:
+		// encoding/json decodes every number as float64; keep integral
+		// values as INT so key joins behave.
+		if v == float64(int64(v)) {
+			return types.NewInt(int64(v)), nil
+		}
+		return types.NewFloat(v), nil
+	case string:
+		return types.NewString(v), nil
+	case json.Number:
+		if i, err := v.Int64(); err == nil {
+			return types.NewInt(i), nil
+		}
+		f, err := v.Float64()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewFloat(f), nil
+	default:
+		return types.Null, fmt.Errorf("unsupported JSON value %T (objects/arrays must be mapped by path)", raw)
+	}
+}
+
+// setPath writes v at a dotted path, creating intermediate objects.
+func setPath(doc map[string]any, path string, v any) error {
+	parts := strings.Split(path, ".")
+	cur := doc
+	for i, part := range parts {
+		if i == len(parts)-1 {
+			cur[part] = v
+			return nil
+		}
+		next, ok := cur[part]
+		if !ok {
+			child := map[string]any{}
+			cur[part] = child
+			cur = child
+			continue
+		}
+		child, isMap := next.(map[string]any)
+		if !isMap {
+			return fmt.Errorf("path %s collides with a scalar at %s", path, part)
+		}
+		cur = child
+	}
+	return nil
+}
+
+// toJSON converts a value to its JSON representation.
+func toJSON(v types.Value) any {
+	switch v.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return v.Bool()
+	case types.KindInt:
+		return float64(v.Int())
+	case types.KindFloat:
+		return v.Float()
+	case types.KindTime:
+		return v.Time().Format("2006-01-02T15:04:05.999999999Z07:00")
+	default:
+		return v.String()
+	}
+}
+
+// Insert implements source.Writer: each row becomes one document with
+// the mapped paths set.
+func (s *Store) Insert(_ context.Context, name string, rows []types.Row) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return 0, fmt.Errorf("docstore %s: unknown collection %q", s.name, name)
+	}
+	var n int64
+	for _, r := range rows {
+		if len(r) != len(c.fields) {
+			return n, fmt.Errorf("docstore %s: row has %d values, collection maps %d fields", s.name, len(r), len(c.fields))
+		}
+		doc := map[string]any{}
+		for i, f := range c.fields {
+			if r[i].IsNull() {
+				continue
+			}
+			if err := setPath(doc, f.Path, toJSON(r[i])); err != nil {
+				return n, fmt.Errorf("docstore %s: %w", s.name, err)
+			}
+		}
+		c.docs = append(c.docs, doc)
+		n++
+	}
+	return n, nil
+}
+
+// Update implements source.Writer: documents whose extracted row matches
+// the filter get the mapped paths of the SET clauses rewritten.
+func (s *Store) Update(_ context.Context, name string, filter expr.Expr, set []source.SetClause) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return 0, fmt.Errorf("docstore %s: unknown collection %q", s.name, name)
+	}
+	var n int64
+	for _, doc := range c.docs {
+		row, err := c.extract(doc)
+		if err != nil {
+			return n, fmt.Errorf("docstore %s: %w", s.name, err)
+		}
+		if filter != nil {
+			ok, err := expr.EvalBool(filter, row)
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		for _, sc := range set {
+			if sc.Col < 0 || sc.Col >= len(c.fields) {
+				return n, fmt.Errorf("docstore %s: SET column %d out of range", s.name, sc.Col)
+			}
+			v, err := sc.Value.Eval(row)
+			if err != nil {
+				return n, err
+			}
+			if err := setPath(doc, c.fields[sc.Col].Path, toJSON(v)); err != nil {
+				return n, fmt.Errorf("docstore %s: %w", s.name, err)
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Delete implements source.Writer.
+func (s *Store) Delete(_ context.Context, name string, filter expr.Expr) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		return 0, fmt.Errorf("docstore %s: unknown collection %q", s.name, name)
+	}
+	kept := c.docs[:0]
+	var n int64
+	for _, doc := range c.docs {
+		row, err := c.extract(doc)
+		if err != nil {
+			return n, fmt.Errorf("docstore %s: %w", s.name, err)
+		}
+		match := true
+		if filter != nil {
+			match, err = expr.EvalBool(filter, row)
+			if err != nil {
+				return n, err
+			}
+		}
+		if match {
+			n++
+			continue
+		}
+		kept = append(kept, doc)
+	}
+	c.docs = kept
+	return n, nil
+}

@@ -1,0 +1,216 @@
+package docstore
+
+import (
+	"context"
+	"testing"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+var ctx = context.Background()
+
+func newTestDocs(t *testing.T) *Store {
+	t.Helper()
+	s := New("docs1")
+	err := s.CreateCollection("patients", []FieldMap{
+		{Column: types.Column{Name: "id", Type: types.KindInt}, Path: "id"},
+		{Column: types.Column{Name: "name", Type: types.KindString}, Path: "name"},
+		{Column: types.Column{Name: "city", Type: types.KindString}, Path: "address.city"},
+		{Column: types.Column{Name: "weight", Type: types.KindFloat}, Path: "vitals.weight"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		`{"id": 1, "name": "ann", "address": {"city": "oslo"}, "vitals": {"weight": 60.5}}`,
+		`{"id": 2, "name": "bob", "address": {"city": "rome"}, "vitals": {"weight": 82}}`,
+		`{"id": 3, "name": "cat", "address": {"city": "oslo"}}`,
+		`{"id": 4, "name": "dan"}`,
+	}
+	for _, d := range docs {
+		if err := s.InsertJSON("patients", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func docPred(t *testing.T, s *Store, e expr.Expr) expr.Expr {
+	t.Helper()
+	info, err := s.TableInfo(ctx, "patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := expr.Bind(e, info.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDocScanWithNestedPathsAndNulls(t *testing.T) {
+	s := newTestDocs(t)
+	it, err := s.Execute(ctx, source.NewScan("patients"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := source.Drain(it)
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("scan = %d rows, %v", len(rows), err)
+	}
+	if rows[0][2].Str() != "oslo" || rows[0][3].Float() != 60.5 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	// Missing nested paths are NULL.
+	if !rows[2][3].IsNull() || !rows[3][2].IsNull() {
+		t.Errorf("missing paths must be NULL: %v %v", rows[2], rows[3])
+	}
+	// Integral JSON number decodes as INT.
+	if rows[1][0].Kind() != types.KindInt {
+		t.Errorf("id kind = %v", rows[1][0].Kind())
+	}
+	// weight: 82 in JSON coerces to FLOAT via schema.
+	if rows[1][3].Kind() != types.KindFloat || rows[1][3].Float() != 82 {
+		t.Errorf("weight = %v", rows[1][3])
+	}
+}
+
+func TestDocFilterAndProjection(t *testing.T) {
+	s := newTestDocs(t)
+	q := source.NewScan("patients")
+	q.Filter = docPred(t, s, expr.NewBinary(expr.OpEq,
+		expr.NewColRef("", "city"), expr.NewConst(types.NewString("oslo"))))
+	q.Columns = []int{1}
+	it, err := s.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := source.Drain(it)
+	if len(rows) != 2 || rows[0][0].Str() != "ann" || rows[1][0].Str() != "cat" {
+		t.Errorf("filtered projection = %v", rows)
+	}
+}
+
+func TestDocRejectsUnsupportedShapes(t *testing.T) {
+	s := newTestDocs(t)
+	q := source.NewScan("patients")
+	q.Limit = 1
+	if _, err := s.Execute(ctx, q); err == nil {
+		t.Error("limit must be rejected")
+	}
+	q = source.NewScan("patients")
+	q.OrderBy = []source.OrderSpec{{Col: 0}}
+	if _, err := s.Execute(ctx, q); err == nil {
+		t.Error("sort must be rejected")
+	}
+}
+
+func TestDocErrors(t *testing.T) {
+	s := New("d")
+	if err := s.CreateCollection("c", nil); err == nil {
+		t.Error("empty field map must error")
+	}
+	if err := s.CreateCollection("c", []FieldMap{{Column: types.Column{Name: "x", Type: types.KindInt}, Path: ""}}); err == nil {
+		t.Error("empty path must error")
+	}
+	fm := []FieldMap{{Column: types.Column{Name: "x", Type: types.KindInt}, Path: "x"}}
+	if err := s.CreateCollection("c", fm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateCollection("c", fm); err == nil {
+		t.Error("duplicate collection must error")
+	}
+	if err := s.InsertJSON("c", "{bad json"); err == nil {
+		t.Error("bad JSON must error")
+	}
+	if err := s.InsertJSON("ghost", "{}"); err == nil {
+		t.Error("unknown collection must error")
+	}
+	if _, err := s.Execute(ctx, source.NewScan("ghost")); err == nil {
+		t.Error("unknown collection Execute must error")
+	}
+	// Uncoercible field surfaces at query time.
+	s.InsertJSON("c", `{"x": "not a number"}`)
+	it, err := s.Execute(ctx, source.NewScan("c"))
+	if err == nil {
+		if _, err = source.Drain(it); err == nil {
+			t.Error("uncoercible field must error")
+		}
+	}
+	// Structured value at a scalar path errors.
+	s2 := New("d2")
+	s2.CreateCollection("c", fm)
+	s2.InsertJSON("c", `{"x": {"nested": 1}}`)
+	if it, err := s2.Execute(ctx, source.NewScan("c")); err == nil {
+		if _, err = source.Drain(it); err == nil {
+			t.Error("object at scalar path must error")
+		}
+	}
+}
+
+func TestDocCapabilities(t *testing.T) {
+	s := New("d")
+	c := s.Capabilities()
+	if c.Filter != source.FilterFull || !c.Project || c.Aggregate || c.Sort || c.Limit || !c.Write {
+		t.Errorf("caps = %v", c)
+	}
+}
+
+func TestDocWrites(t *testing.T) {
+	s := newTestDocs(t)
+	info, _ := s.TableInfo(ctx, "patients")
+	// Insert a row: paths materialize nested objects.
+	n, err := s.Insert(ctx, "patients", []types.Row{
+		{types.NewInt(9), types.NewString("eve"), types.NewString("bern"), types.NewFloat(70)},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	q := source.NewScan("patients")
+	q.Filter = docPred(t, s, expr.NewBinary(expr.OpEq,
+		expr.NewColRef("", "id"), expr.NewConst(types.NewInt(9))))
+	it, _ := s.Execute(ctx, q)
+	rows, _ := source.Drain(it)
+	if len(rows) != 1 || rows[0][2].Str() != "bern" || rows[0][3].Float() != 70 {
+		t.Fatalf("inserted row = %v", rows)
+	}
+	// NULL columns leave paths absent.
+	if _, err := s.Insert(ctx, "patients", []types.Row{
+		{types.NewInt(10), types.NewString("f"), types.Null, types.Null},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Update through the wrapper.
+	newCity, _ := expr.Bind(expr.NewConst(types.NewString("oslo")), info.Schema)
+	n, err = s.Update(ctx, "patients",
+		docPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(9)))),
+		[]source.SetClause{{Col: 2, Value: newCity}})
+	if err != nil || n != 1 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	it, _ = s.Execute(ctx, q)
+	rows, _ = source.Drain(it)
+	if rows[0][2].Str() != "oslo" {
+		t.Errorf("updated city = %v", rows[0][2])
+	}
+	// Delete.
+	n, err = s.Delete(ctx, "patients",
+		docPred(t, s, expr.NewBinary(expr.OpGe, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(9)))))
+	if err != nil || n != 2 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	info2, _ := s.TableInfo(ctx, "patients")
+	if info2.RowCount != 4 {
+		t.Errorf("rows after delete = %d", info2.RowCount)
+	}
+	// Arity check.
+	if _, err := s.Insert(ctx, "patients", []types.Row{{types.NewInt(1)}}); err == nil {
+		t.Error("short row must error")
+	}
+	// Unknown collection.
+	if _, err := s.Insert(ctx, "ghost", nil); err == nil {
+		t.Error("unknown collection insert must error")
+	}
+}

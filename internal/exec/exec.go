@@ -1,0 +1,514 @@
+// Package exec implements the mediator's Volcano-style execution engine:
+// streaming iterators for filter/project/limit/union, hash-based join,
+// aggregation and duplicate elimination, sort, fragment scans with
+// mediator-side compensation and representation translation, and the
+// distributed join strategies (ship-all, semijoin, bind join).
+package exec
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"gis/internal/expr"
+	"gis/internal/plan"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// Run executes an optimized plan and streams its result rows. When a
+// Profile is attached to the context (EXPLAIN ANALYZE), every operator's
+// output is instrumented.
+func Run(ctx context.Context, n plan.Node) (source.RowIter, error) {
+	it, err := run(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	if p := profileFrom(ctx); p != nil {
+		it = &countIter{in: it, st: p.node(n)}
+	}
+	return it, nil
+}
+
+func run(ctx context.Context, n plan.Node) (source.RowIter, error) {
+	switch t := n.(type) {
+	case *plan.FragScan:
+		return runFragScan(ctx, t, nil)
+
+	case *plan.Filter:
+		in, err := Run(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{ctx: ctx, in: in, pred: t.Pred}, nil
+
+	case *plan.Project:
+		in, err := Run(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{ctx: ctx, in: in, exprs: t.Exprs}, nil
+
+	case *plan.Join:
+		return runJoin(ctx, t)
+
+	case *plan.Aggregate:
+		return runAggregate(ctx, t)
+
+	case *plan.Sort:
+		return runSort(ctx, t)
+
+	case *plan.Limit:
+		in, err := Run(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: in, remaining: t.N, offset: t.Offset}, nil
+
+	case *plan.Distinct:
+		in, err := Run(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{in: in, seen: make(map[uint64][]types.Row)}, nil
+
+	case *plan.Union:
+		if t.Parallel {
+			return runParallelUnion(ctx, t)
+		}
+		return &unionIter{ctx: ctx, inputs: t.Inputs}, nil
+
+	case *plan.Values:
+		rows := make([]types.Row, len(t.Rows))
+		for i, exprs := range t.Rows {
+			row := make(types.Row, len(exprs))
+			for j, e := range exprs {
+				v, err := e.Eval(nil)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+			rows[i] = row
+		}
+		return source.SliceIter(rows), nil
+
+	case *plan.GlobalScan:
+		return nil, fmt.Errorf("exec: plan was not decomposed (GlobalScan %s reached the executor)", t.Table.Name)
+
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+// Collect runs the plan and materializes every row.
+func Collect(ctx context.Context, n plan.Node) ([]types.Row, error) {
+	it, err := Run(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return source.Drain(it)
+}
+
+// ---- filter ----
+
+type filterIter struct {
+	ctx  context.Context
+	in   source.RowIter
+	pred expr.Expr
+}
+
+func (f *filterIter) Next() (types.Row, error) {
+	for {
+		if err := f.ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := f.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := expr.EvalBool(f.pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.in.Close() }
+
+// ---- project ----
+
+type projectIter struct {
+	ctx   context.Context
+	in    source.RowIter
+	exprs []expr.Expr
+}
+
+func (p *projectIter) Next() (types.Row, error) {
+	if err := p.ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, err := p.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(types.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() error { return p.in.Close() }
+
+// ---- limit ----
+
+type limitIter struct {
+	in        source.RowIter
+	remaining int64
+	offset    int64
+	done      bool
+}
+
+func (l *limitIter) Next() (types.Row, error) {
+	if l.done {
+		return nil, io.EOF
+	}
+	for l.offset > 0 {
+		if _, err := l.in.Next(); err != nil {
+			return nil, err
+		}
+		l.offset--
+	}
+	if l.remaining <= 0 {
+		l.done = true
+		l.in.Close()
+		return nil, io.EOF
+	}
+	r, err := l.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.remaining--
+	return r, nil
+}
+
+func (l *limitIter) Close() error { return l.in.Close() }
+
+// ---- distinct ----
+
+type distinctIter struct {
+	in   source.RowIter
+	seen map[uint64][]types.Row
+}
+
+func (d *distinctIter) Next() (types.Row, error) {
+	for {
+		r, err := d.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		h := r.Hash()
+		dup := false
+		for _, prev := range d.seen[h] {
+			if prev.Equal(r) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], r)
+		return r, nil
+	}
+}
+
+func (d *distinctIter) Close() error { return d.in.Close() }
+
+// ---- union ----
+
+type unionIter struct {
+	ctx    context.Context
+	inputs []plan.Node
+	cur    source.RowIter
+	idx    int
+}
+
+func (u *unionIter) Next() (types.Row, error) {
+	for {
+		if u.cur == nil {
+			if u.idx >= len(u.inputs) {
+				return nil, io.EOF
+			}
+			it, err := Run(u.ctx, u.inputs[u.idx])
+			if err != nil {
+				return nil, err
+			}
+			u.cur = it
+			u.idx++
+		}
+		r, err := u.cur.Next()
+		if err == io.EOF {
+			u.cur.Close()
+			u.cur = nil
+			continue
+		}
+		return r, err
+	}
+}
+
+func (u *unionIter) Close() error {
+	if u.cur != nil {
+		return u.cur.Close()
+	}
+	return nil
+}
+
+// runParallelUnion fetches every input concurrently and merges rows as
+// they arrive (order across inputs is unspecified, as for UNION ALL).
+func runParallelUnion(ctx context.Context, u *plan.Union) (source.RowIter, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	ch := make(chan rowOrErr, 64)
+	var wg sync.WaitGroup
+	for _, in := range u.Inputs {
+		wg.Add(1)
+		go func(n plan.Node) {
+			defer wg.Done()
+			it, err := Run(cctx, n)
+			if err != nil {
+				select {
+				case ch <- rowOrErr{err: err}:
+				case <-cctx.Done():
+				}
+				return
+			}
+			defer it.Close()
+			for {
+				r, err := it.Next()
+				if err == io.EOF {
+					return
+				}
+				select {
+				case ch <- rowOrErr{row: r, err: err}:
+				case <-cctx.Done():
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return &chanIter{ch: ch, cancel: cancel}, nil
+}
+
+// rowOrErr carries one row (or a terminal error) through a parallel
+// union's merge channel.
+type rowOrErr struct {
+	row types.Row
+	err error
+}
+
+type chanIter struct {
+	ch     chan rowOrErr
+	cancel context.CancelFunc
+	failed bool
+}
+
+func (c *chanIter) Next() (types.Row, error) {
+	if c.failed {
+		return nil, io.EOF
+	}
+	it, ok := <-c.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	if it.err != nil {
+		c.failed = true
+		c.cancel()
+		return nil, it.err
+	}
+	return it.row, nil
+}
+
+func (c *chanIter) Close() error {
+	c.cancel()
+	return nil
+}
+
+// ---- sort ----
+
+func runSort(ctx context.Context, s *plan.Sort) (source.RowIter, error) {
+	rows, err := Collect(ctx, s.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute key tuples, then sort by them.
+	keys := make([]types.Row, len(rows))
+	for i, r := range rows {
+		k := make(types.Row, len(s.Keys))
+		for j, sk := range s.Keys {
+			v, err := sk.E.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			k[j] = v
+		}
+		keys[i] = k
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	less := func(a, b int) bool {
+		for j, sk := range s.Keys {
+			c := keys[a][j].Compare(keys[b][j])
+			if sk.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return a < b // stable tie-break
+	}
+	mergeSortIdx(idx, less)
+	out := make([]types.Row, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return source.SliceIter(out), nil
+}
+
+// mergeSortIdx sorts idx with a bottom-up merge sort (stable).
+func mergeSortIdx(idx []int, less func(a, b int) bool) {
+	n := len(idx)
+	buf := make([]int, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if less(idx[j], idx[i]) {
+					buf[k] = idx[j]
+					j++
+				} else {
+					buf[k] = idx[i]
+					i++
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = idx[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = idx[j]
+				j++
+				k++
+			}
+			copy(idx[lo:hi], buf[lo:hi])
+		}
+	}
+}
+
+// ---- aggregate ----
+
+func runAggregate(ctx context.Context, a *plan.Aggregate) (source.RowIter, error) {
+	in, err := Run(ctx, a.Input)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	type group struct {
+		key  types.Row
+		accs []expr.Accumulator
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		key := make(types.Row, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			v, err := g.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		h := key.Hash()
+		var grp *group
+		for _, g := range groups[h] {
+			if g.key.Equal(key) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &group{key: key, accs: make([]expr.Accumulator, len(a.Aggs))}
+			for i, ag := range a.Aggs {
+				grp.accs[i] = expr.NewAccumulator(ag.Kind, ag.Arg == nil, ag.Distinct)
+			}
+			groups[h] = append(groups[h], grp)
+			order = append(order, grp)
+		}
+		for i, ag := range a.Aggs {
+			v := types.NewInt(1)
+			if ag.Arg != nil {
+				v, err = ag.Arg.Eval(r)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := grp.accs[i].Add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(order) == 0 && len(a.GroupBy) == 0 {
+		row := make(types.Row, len(a.Aggs))
+		for i, ag := range a.Aggs {
+			row[i] = expr.NewAccumulator(ag.Kind, ag.Arg == nil, ag.Distinct).Result()
+		}
+		return source.SliceIter([]types.Row{row}), nil
+	}
+	out := make([]types.Row, 0, len(order))
+	for _, g := range order {
+		row := make(types.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	return source.SliceIter(out), nil
+}

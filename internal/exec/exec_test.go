@@ -1,0 +1,342 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gis/internal/expr"
+	"gis/internal/plan"
+	"gis/internal/types"
+)
+
+var ctx = context.Background()
+
+// valuesNode builds a Values plan node from literal int/string rows.
+func valuesNode(schema *types.Schema, rows ...[]any) *plan.Values {
+	out := &plan.Values{Out: schema}
+	for _, r := range rows {
+		exprs := make([]expr.Expr, len(r))
+		for i, v := range r {
+			switch x := v.(type) {
+			case int:
+				exprs[i] = expr.NewConst(types.NewInt(int64(x)))
+			case string:
+				exprs[i] = expr.NewConst(types.NewString(x))
+			case float64:
+				exprs[i] = expr.NewConst(types.NewFloat(x))
+			case nil:
+				exprs[i] = expr.NewConst(types.Null)
+			default:
+				panic(fmt.Sprintf("bad literal %T", v))
+			}
+		}
+		out.Rows = append(out.Rows, exprs)
+	}
+	return out
+}
+
+func intCol(name string) types.Column { return types.Column{Name: name, Type: types.KindInt} }
+func strCol(name string) types.Column { return types.Column{Name: name, Type: types.KindString} }
+
+func collect(t *testing.T, n plan.Node) []string {
+	t.Helper()
+	rows, err := Collect(ctx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func wantSet(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	sort.Strings(got)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}
+
+// joinFixture: L(id, tag) and R(id, val).
+func joinFixture() (plan.Node, plan.Node) {
+	l := valuesNode(types.NewSchema(intCol("id"), strCol("tag")),
+		[]any{1, "a"}, []any{2, "b"}, []any{3, "c"}, []any{nil, "n"})
+	r := valuesNode(types.NewSchema(intCol("id"), intCol("val")),
+		[]any{1, 10}, []any{1, 11}, []any{3, 30}, []any{4, 40}, []any{nil, 99})
+	return l, r
+}
+
+func equiJoin(kind plan.JoinKind, l, r plan.Node) *plan.Join {
+	cond := expr.NewBinary(expr.OpEq,
+		expr.NewBoundColRef(0, types.KindInt, "id"),
+		expr.NewBoundColRef(2, types.KindInt, "id"))
+	return &plan.Join{Kind: kind, Cond: cond, L: l, R: r, EquiL: []int{0}, EquiR: []int{0}}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	l, r := joinFixture()
+	got := collect(t, equiJoin(plan.JoinInner, l, r))
+	wantSet(t, got, "(1, a, 1, 10)", "(1, a, 1, 11)", "(3, c, 3, 30)")
+}
+
+func TestHashJoinLeft(t *testing.T) {
+	l, r := joinFixture()
+	got := collect(t, equiJoin(plan.JoinLeft, l, r))
+	wantSet(t, got,
+		"(1, a, 1, 10)", "(1, a, 1, 11)", "(3, c, 3, 30)",
+		"(2, b, NULL, NULL)", "(NULL, n, NULL, NULL)")
+}
+
+func TestHashJoinSemiAnti(t *testing.T) {
+	l, r := joinFixture()
+	got := collect(t, equiJoin(plan.JoinSemi, l, r))
+	wantSet(t, got, "(1, a)", "(3, c)")
+	l, r = joinFixture()
+	got = collect(t, equiJoin(plan.JoinAnti, l, r))
+	wantSet(t, got, "(2, b)", "(NULL, n)")
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	l, r := joinFixture()
+	got := collect(t, equiJoin(plan.JoinInner, l, r))
+	for _, row := range got {
+		if row == "(NULL, n, NULL, 99)" {
+			t.Error("NULL keys joined")
+		}
+	}
+}
+
+func TestHashJoinExtraCondition(t *testing.T) {
+	l, r := joinFixture()
+	j := equiJoin(plan.JoinInner, l, r)
+	// id = id AND val > 10
+	j.Cond = expr.NewBinary(expr.OpAnd, j.Cond,
+		expr.NewBinary(expr.OpGt, expr.NewBoundColRef(3, types.KindInt, "val"), expr.NewConst(types.NewInt(10))))
+	got := collect(t, j)
+	wantSet(t, got, "(1, a, 1, 11)", "(3, c, 3, 30)")
+}
+
+func TestNestedLoopNonEqui(t *testing.T) {
+	l := valuesNode(types.NewSchema(intCol("x")), []any{1}, []any{5})
+	r := valuesNode(types.NewSchema(intCol("y")), []any{3}, []any{4})
+	j := &plan.Join{
+		Kind: plan.JoinInner,
+		Cond: expr.NewBinary(expr.OpLt,
+			expr.NewBoundColRef(0, types.KindInt, "x"),
+			expr.NewBoundColRef(1, types.KindInt, "y")),
+		L: l, R: r,
+	}
+	got := collect(t, j)
+	wantSet(t, got, "(1, 3)", "(1, 4)")
+}
+
+func TestCrossJoin(t *testing.T) {
+	l := valuesNode(types.NewSchema(intCol("x")), []any{1}, []any{2})
+	r := valuesNode(types.NewSchema(strCol("y")), []any{"a"}, []any{"b"})
+	j := &plan.Join{Kind: plan.JoinCross, L: l, R: r}
+	got := collect(t, j)
+	wantSet(t, got, "(1, a)", "(1, b)", "(2, a)", "(2, b)")
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	v := valuesNode(types.NewSchema(intCol("x")),
+		[]any{1}, []any{2}, []any{3}, []any{4}, []any{5})
+	f := &plan.Filter{
+		Pred: expr.NewBinary(expr.OpGt,
+			expr.NewBoundColRef(0, types.KindInt, "x"), expr.NewConst(types.NewInt(1))),
+		Input: v,
+	}
+	p := &plan.Project{
+		Exprs: []expr.Expr{expr.NewBinary(expr.OpMul,
+			expr.NewBoundColRef(0, types.KindInt, "x"), expr.NewConst(types.NewInt(10)))},
+		Names: []string{"x10"},
+		Input: f,
+	}
+	lim := &plan.Limit{N: 2, Offset: 1, Input: p}
+	got := collect(t, lim)
+	wantSet(t, got, "(30)", "(40)")
+}
+
+func TestDistinctOperator(t *testing.T) {
+	v := valuesNode(types.NewSchema(intCol("x"), strCol("y")),
+		[]any{1, "a"}, []any{1, "a"}, []any{1, "b"}, []any{2, "a"})
+	got := collect(t, &plan.Distinct{Input: v})
+	wantSet(t, got, "(1, a)", "(1, b)", "(2, a)")
+}
+
+func TestSortOperatorStability(t *testing.T) {
+	v := valuesNode(types.NewSchema(intCol("x"), strCol("y")),
+		[]any{2, "b"}, []any{1, "z"}, []any{2, "a"}, []any{1, "y"})
+	s := &plan.Sort{
+		Keys:  []plan.SortKey{{E: expr.NewBoundColRef(0, types.KindInt, "x")}},
+		Input: v,
+	}
+	rows, err := Collect(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable: equal keys keep input order.
+	want := []string{"(1, z)", "(1, y)", "(2, b)", "(2, a)"}
+	for i, r := range rows {
+		if r.String() != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, r, want[i])
+		}
+	}
+}
+
+func TestSortDescAndMultiKey(t *testing.T) {
+	v := valuesNode(types.NewSchema(intCol("x"), intCol("y")),
+		[]any{1, 2}, []any{1, 1}, []any{2, 9})
+	s := &plan.Sort{
+		Keys: []plan.SortKey{
+			{E: expr.NewBoundColRef(0, types.KindInt, "x"), Desc: true},
+			{E: expr.NewBoundColRef(1, types.KindInt, "y")},
+		},
+		Input: v,
+	}
+	rows, _ := Collect(ctx, s)
+	want := []string{"(2, 9)", "(1, 1)", "(1, 2)"}
+	for i, r := range rows {
+		if r.String() != want[i] {
+			t.Fatalf("row %d = %s want %s", i, r, want[i])
+		}
+	}
+}
+
+func TestAggregateOperator(t *testing.T) {
+	v := valuesNode(types.NewSchema(strCol("g"), intCol("x")),
+		[]any{"a", 1}, []any{"a", 2}, []any{"b", 5}, []any{"a", nil})
+	a := &plan.Aggregate{
+		GroupBy: []expr.Expr{expr.NewBoundColRef(0, types.KindString, "g")},
+		Aggs: []plan.AggItem{
+			{Kind: expr.AggCount}, // COUNT(*)
+			{Kind: expr.AggSum, Arg: expr.NewBoundColRef(1, types.KindInt, "x")},
+			{Kind: expr.AggMin, Arg: expr.NewBoundColRef(1, types.KindInt, "x")},
+		},
+		Input: v,
+	}
+	got := collect(t, a)
+	wantSet(t, got, "(a, 3, 3, 1)", "(b, 1, 5, 5)")
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	v := valuesNode(types.NewSchema(intCol("x")))
+	a := &plan.Aggregate{
+		Aggs:  []plan.AggItem{{Kind: expr.AggCount}, {Kind: expr.AggSum, Arg: expr.NewBoundColRef(0, types.KindInt, "x")}},
+		Input: v,
+	}
+	got := collect(t, a)
+	wantSet(t, got, "(0, NULL)")
+}
+
+func TestUnionSequentialAndParallel(t *testing.T) {
+	mk := func() []plan.Node {
+		return []plan.Node{
+			valuesNode(types.NewSchema(intCol("x")), []any{1}, []any{2}),
+			valuesNode(types.NewSchema(intCol("x")), []any{3}),
+			valuesNode(types.NewSchema(intCol("x")), []any{4}, []any{5}),
+		}
+	}
+	got := collect(t, &plan.Union{Inputs: mk(), All: true})
+	wantSet(t, got, "(1)", "(2)", "(3)", "(4)", "(5)")
+	got = collect(t, &plan.Union{Inputs: mk(), All: true, Parallel: true})
+	wantSet(t, got, "(1)", "(2)", "(3)", "(4)", "(5)")
+}
+
+func TestParallelUnionErrorPropagates(t *testing.T) {
+	// A division by zero inside one branch must surface.
+	bad := &plan.Project{
+		Exprs: []expr.Expr{expr.NewBinary(expr.OpDiv,
+			expr.NewConst(types.NewInt(1)), expr.NewConst(types.NewInt(0)))},
+		Names: []string{"boom"},
+		Input: valuesNode(types.NewSchema(intCol("x")), []any{1}),
+	}
+	good := valuesNode(types.NewSchema(intCol("x")), []any{1})
+	u := &plan.Union{Inputs: []plan.Node{good, bad}, All: true, Parallel: true}
+	if _, err := Collect(ctx, u); err == nil {
+		t.Error("parallel union must propagate branch errors")
+	}
+}
+
+func TestGlobalScanRejected(t *testing.T) {
+	gs := &plan.GlobalScan{}
+	// Not decomposed: executor must refuse. Use a schema-less table to
+	// keep construction simple.
+	defer func() { recover() }()
+	if _, err := Run(ctx, gs); err == nil {
+		t.Error("undecomposed GlobalScan must error")
+	}
+}
+
+func TestContextCancelStopsOperators(t *testing.T) {
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	v := valuesNode(types.NewSchema(intCol("x")), []any{1})
+	f := &plan.Filter{
+		Pred:  expr.NewConst(types.NewBool(true)),
+		Input: v,
+	}
+	it, err := Run(cctx, f)
+	if err != nil {
+		return // fine: refused upfront
+	}
+	if _, err := it.Next(); err == nil {
+		t.Error("cancelled context must stop iteration")
+	}
+}
+
+// TestMergeJoinMatchesHashJoinProperty cross-checks the sort-merge
+// iterator against the hash join on random key distributions (duplicates
+// and NULLs included).
+func TestMergeJoinMatchesHashJoinProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		mkRows := func(n, keyRange int) [][]any {
+			rows := make([][]any, n)
+			for i := range rows {
+				var k any
+				if rng.Intn(10) == 0 {
+					k = nil // NULL keys never match
+				} else {
+					k = rng.Intn(keyRange)
+				}
+				rows[i] = []any{k, i}
+			}
+			// Merge join needs key-sorted inputs (NULLs first, as the
+			// sources deliver them).
+			sort.SliceStable(rows, func(a, b int) bool {
+				ka, kb := rows[a][0], rows[b][0]
+				if ka == nil {
+					return kb != nil
+				}
+				if kb == nil {
+					return false
+				}
+				return ka.(int) < kb.(int)
+			})
+			return rows
+		}
+		lRows := mkRows(rng.Intn(30), 8)
+		rRows := mkRows(rng.Intn(30), 8)
+		schema := types.NewSchema(intCol("k"), intCol("tag"))
+
+		mk := func(merge bool) *plan.Join {
+			j := equiJoin(plan.JoinInner, valuesNode(schema, lRows...), valuesNode(schema, rRows...))
+			j.Merge = merge
+			return j
+		}
+		hash := collect(t, mk(false))
+		merge := collect(t, mk(true))
+		sort.Strings(hash)
+		sort.Strings(merge)
+		if fmt.Sprint(hash) != fmt.Sprint(merge) {
+			t.Fatalf("trial %d: merge %v != hash %v\nL=%v\nR=%v", trial, merge, hash, lRows, rRows)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"gis/internal/expr"
+	"gis/internal/plan"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// runFragScan executes one fragment scan: ship the (possibly augmented)
+// query, compensate, translate, filter, project. extraRemoteFilter is an
+// additional predicate over the remote table schema injected by the
+// semijoin/bind strategies; it must satisfy the source's capabilities.
+func runFragScan(ctx context.Context, fs *plan.FragScan, extraRemoteFilter expr.Expr) (source.RowIter, error) {
+	q := fs.Query
+	if extraRemoteFilter != nil {
+		cp := *fs.Query
+		cp.Filter = expr.Conjoin([]expr.Expr{cp.Filter, extraRemoteFilter})
+		q = &cp
+	}
+	remote, err := fs.Src.Execute(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("exec: fragment %s.%s: %w", fs.Frag.Source, fs.Frag.RemoteTable, err)
+	}
+	if fs.Raw {
+		// Pushed aggregation: the remote output is already final.
+		return remote, nil
+	}
+
+	var it source.RowIter = remote
+	// Remote-space compensation. Filter and projection stream;
+	// aggregation/sort/limit need materialization (they never occur for
+	// fragment scans today — Split only produces them when the desired
+	// query aggregates, which the planner does not push — but handle
+	// them for robustness).
+	res := fs.Residual
+	if res != nil && !res.Empty() {
+		if len(res.Aggs) > 0 || len(res.OrderBy) > 0 {
+			rows, err := source.Drain(it)
+			if err != nil {
+				return nil, err
+			}
+			rows, err = source.ApplyResidual(rows, res)
+			if err != nil {
+				return nil, err
+			}
+			it = source.SliceIter(rows)
+		} else {
+			if res.Filter != nil {
+				it = &filterIter{ctx: ctx, in: it, pred: res.Filter}
+			}
+			if res.Project != nil {
+				it = &colProjectIter{in: it, cols: res.Project}
+			}
+			if res.Limit >= 0 {
+				it = &limitIter{in: it, remaining: res.Limit}
+			}
+		}
+	}
+
+	// Translate remote rows to the fetched global layout.
+	it = &translateIter{fs: fs, in: it}
+
+	if fs.GlobalResidual != nil {
+		it = &filterIter{ctx: ctx, in: it, pred: fs.GlobalResidual}
+	}
+
+	// Project the fetched layout down to the output columns unless it
+	// is already exact.
+	if !identityProjection(fs.Out, len(fs.Cols)) {
+		it = &colProjectIter{in: it, cols: fs.Out}
+	}
+	return it, nil
+}
+
+func identityProjection(out []int, width int) bool {
+	if len(out) != width {
+		return false
+	}
+	for i, c := range out {
+		if c != i {
+			return false
+		}
+	}
+	return true
+}
+
+// colProjectIter projects rows by column position.
+type colProjectIter struct {
+	in   source.RowIter
+	cols []int
+}
+
+func (p *colProjectIter) Next() (types.Row, error) {
+	r, err := p.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(types.Row, len(p.cols))
+	for i, c := range p.cols {
+		if c < 0 || c >= len(r) {
+			return nil, fmt.Errorf("exec: projection column %d out of range (row width %d)", c, len(r))
+		}
+		out[i] = r[c]
+	}
+	return out, nil
+}
+
+func (p *colProjectIter) Close() error { return p.in.Close() }
+
+// translateIter converts remote representation rows to the global one.
+type translateIter struct {
+	fs *plan.FragScan
+	in source.RowIter
+	// fast is set when no value translation is needed and the remote
+	// row already matches the fetched layout.
+	checked bool
+	fast    bool
+}
+
+func (t *translateIter) Next() (types.Row, error) {
+	r, err := t.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	if !t.checked {
+		t.checked = true
+		t.fast = !t.fs.Frag.NeedsTranslation(t.fs.Cols) && len(r) == len(t.fs.Cols)
+	}
+	if t.fast {
+		return r, nil
+	}
+	out, err := t.fs.Frag.TranslateRow(t.fs.GlobalSchema, t.fs.Cols, r)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (t *translateIter) Close() error { return t.in.Close() }
+
+// skipTranslation reports whether rows for these fetched columns need no
+// conversion (identity mappings only).
+var _ = io.EOF

@@ -1,0 +1,459 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"gis/internal/catalog"
+	"gis/internal/expr"
+	"gis/internal/plan"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// semiJoinKeyLimit chunks IN-lists shipped by the semijoin strategy so a
+// single remote query stays bounded.
+const semiJoinKeyLimit = 1000
+
+// bindBatchSize is how many distinct keys one bind-join probe carries.
+const bindBatchSize = 16
+
+// runJoin dispatches on the join's distributed strategy.
+func runJoin(ctx context.Context, j *plan.Join) (source.RowIter, error) {
+	if j.Merge {
+		return runMergeJoin(ctx, j)
+	}
+	switch j.Strategy {
+	case plan.StrategySemiJoin:
+		return runKeyShippedJoin(ctx, j, semiJoinKeyLimit)
+	case plan.StrategyBind:
+		return runKeyShippedJoin(ctx, j, bindBatchSize)
+	default:
+		return runLocalJoin(ctx, j, nil)
+	}
+}
+
+// runLocalJoin joins both inputs at the mediator. preFetchedRight, when
+// non-nil, replaces executing the right child (used by the key-shipping
+// strategies).
+func runLocalJoin(ctx context.Context, j *plan.Join, preFetchedRight []types.Row) (source.RowIter, error) {
+	var right []types.Row
+	if preFetchedRight != nil {
+		right = preFetchedRight
+	} else {
+		var err error
+		right, err = Collect(ctx, j.R)
+		if err != nil {
+			return nil, err
+		}
+	}
+	left, err := Run(ctx, j.L)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.EquiL) > 0 {
+		// Hash join: build on the right, probe with the left stream.
+		build := make(map[uint64][]types.Row)
+		for _, r := range right {
+			k := keyOf(r, j.EquiR)
+			build[k.Hash()] = append(build[k.Hash()], r)
+		}
+		return &hashJoinIter{
+			ctx: ctx, j: j, left: left, build: build,
+			leftWidth: j.L.Schema().Len(), rightWidth: widthOfRight(j, right),
+		}, nil
+	}
+	// Nested loops for non-equi / cross joins.
+	return &nlJoinIter{
+		ctx: ctx, j: j, left: left, right: right,
+		leftWidth: j.L.Schema().Len(), rightWidth: widthOfRight(j, right),
+	}, nil
+}
+
+func widthOfRight(j *plan.Join, right []types.Row) int {
+	if len(right) > 0 {
+		return len(right[0])
+	}
+	return j.R.Schema().Len()
+}
+
+func keyOf(r types.Row, cols []int) types.Row {
+	k := make(types.Row, len(cols))
+	for i, c := range cols {
+		k[i] = r[c]
+	}
+	return k
+}
+
+// keyHasNull reports whether any join key value is NULL (NULL never
+// matches in SQL join semantics).
+func keyHasNull(k types.Row) bool {
+	for _, v := range k {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// hashJoinIter streams left rows against a hash table of right rows.
+type hashJoinIter struct {
+	ctx        context.Context
+	j          *plan.Join
+	left       source.RowIter
+	build      map[uint64][]types.Row
+	leftWidth  int
+	rightWidth int
+
+	// Iteration state: matches pending for the current left row.
+	cur     types.Row
+	matches []types.Row
+	midx    int
+	matched bool
+	done    bool
+}
+
+func (h *hashJoinIter) Next() (types.Row, error) {
+	for {
+		if h.done {
+			return nil, io.EOF
+		}
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Emit pending matches of the current left row.
+		for h.midx < len(h.matches) {
+			r := h.matches[h.midx]
+			h.midx++
+			joined := h.cur.Concat(r)
+			ok, err := h.condHolds(joined)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			h.matched = true
+			switch h.j.Kind {
+			case plan.JoinSemi:
+				h.matches = nil // one match suffices
+				return h.cur, nil
+			case plan.JoinAnti:
+				h.matches = nil // disqualified
+			default:
+				return joined, nil
+			}
+		}
+		// Current left row exhausted: handle outer/anti fallout.
+		if h.cur != nil {
+			cur, matched := h.cur, h.matched
+			h.cur = nil
+			if !matched {
+				switch h.j.Kind {
+				case plan.JoinLeft:
+					nulls := make(types.Row, h.rightWidth)
+					return cur.Concat(nulls), nil
+				case plan.JoinAnti:
+					return cur, nil
+				}
+			}
+		}
+		// Advance to the next left row.
+		l, err := h.left.Next()
+		if err == io.EOF {
+			h.done = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.cur = l
+		h.matched = false
+		h.midx = 0
+		k := keyOf(l, h.j.EquiL)
+		if keyHasNull(k) {
+			h.matches = nil
+		} else {
+			h.matches = h.build[k.Hash()]
+			// Hash collisions: verify key equality during cond check —
+			// condHolds evaluates the full join condition which includes
+			// the equi predicates, so collisions are rejected there. For
+			// semi/anti with nil extra cond, check keys explicitly.
+			h.matches = h.filterKeyEqual(k, h.matches)
+		}
+	}
+}
+
+func (h *hashJoinIter) filterKeyEqual(k types.Row, candidates []types.Row) []types.Row {
+	out := candidates[:0:0]
+	for _, r := range candidates {
+		rk := keyOf(r, h.j.EquiR)
+		if k.Equal(rk) && !keyHasNull(rk) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// condHolds evaluates the join's full condition over a joined row.
+func (h *hashJoinIter) condHolds(joined types.Row) (bool, error) {
+	if h.j.Cond == nil {
+		return true, nil
+	}
+	return expr.EvalBool(h.j.Cond, joined)
+}
+
+func (h *hashJoinIter) Close() error { return h.left.Close() }
+
+// nlJoinIter is the nested-loops fallback for non-equi conditions.
+type nlJoinIter struct {
+	ctx        context.Context
+	j          *plan.Join
+	left       source.RowIter
+	right      []types.Row
+	leftWidth  int
+	rightWidth int
+
+	cur     types.Row
+	ridx    int
+	matched bool
+	done    bool
+}
+
+func (n *nlJoinIter) Next() (types.Row, error) {
+	for {
+		if n.done {
+			return nil, io.EOF
+		}
+		if err := n.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if n.cur == nil {
+			l, err := n.left.Next()
+			if err == io.EOF {
+				n.done = true
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			n.cur = l
+			n.ridx = 0
+			n.matched = false
+		}
+		for n.ridx < len(n.right) {
+			r := n.right[n.ridx]
+			n.ridx++
+			joined := n.cur.Concat(r)
+			ok := true
+			if n.j.Cond != nil {
+				var err error
+				ok, err = expr.EvalBool(n.j.Cond, joined)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				continue
+			}
+			n.matched = true
+			switch n.j.Kind {
+			case plan.JoinSemi:
+				n.ridx = len(n.right)
+				cur := n.cur
+				n.cur = nil
+				return cur, nil
+			case plan.JoinAnti:
+				n.ridx = len(n.right) // disqualified
+			default:
+				return joined, nil
+			}
+		}
+		cur, matched := n.cur, n.matched
+		n.cur = nil
+		if !matched {
+			switch n.j.Kind {
+			case plan.JoinLeft:
+				return cur.Concat(make(types.Row, n.rightWidth)), nil
+			case plan.JoinAnti:
+				return cur, nil
+			}
+		}
+	}
+}
+
+func (n *nlJoinIter) Close() error { return n.left.Close() }
+
+// runKeyShippedJoin implements the semijoin and bind-join strategies:
+// materialize the left input, ship its distinct join-key values to the
+// right side's fragment scans as IN predicates (chunked), and join the
+// reduced right side at the mediator.
+func runKeyShippedJoin(ctx context.Context, j *plan.Join, chunk int) (source.RowIter, error) {
+	leftRows, err := Collect(ctx, j.L)
+	if err != nil {
+		return nil, err
+	}
+	if len(leftRows) == 0 {
+		// Inner/semi joins produce nothing; left/anti keep left rows.
+		switch j.Kind {
+		case plan.JoinLeft, plan.JoinAnti:
+			return runLocalJoinMaterialized(ctx, j, leftRows, nil)
+		default:
+			return source.SliceIter(nil), nil
+		}
+	}
+	// Distinct join keys of the (first) equi column.
+	keyCol := j.EquiL[0]
+	seen := make(map[uint64][]types.Value)
+	var keys []types.Value
+	for _, r := range leftRows {
+		v := r[keyCol]
+		if v.IsNull() {
+			continue
+		}
+		h := v.Hash(0)
+		dup := false
+		for _, p := range seen[h] {
+			if p.Equal(v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], v)
+			keys = append(keys, v)
+		}
+	}
+	scans := rightScansOf(j.R)
+	if scans == nil {
+		return nil, fmt.Errorf("exec: %s strategy requires fragment scans on the right side", j.Strategy)
+	}
+	// Ship the keys to every fragment concurrently (each fetch is an
+	// independent round trip to a different source).
+	perScan := make([][]types.Row, len(scans))
+	errs := make([]error, len(scans))
+	var wg sync.WaitGroup
+	for si, fs := range scans {
+		remoteCol, ok := fs.CanBindOn(j.EquiR[0])
+		if !ok {
+			return nil, fmt.Errorf("exec: fragment %s.%s cannot accept join keys", fs.Frag.Source, fs.Frag.RemoteTable)
+		}
+		wg.Add(1)
+		go func(si int, fs *plan.FragScan, remoteCol int) {
+			defer wg.Done()
+			gcol := fs.Cols[fs.Out[j.EquiR[0]]]
+			mapping := &fs.Frag.Columns[gcol]
+			rtype := fs.Frag.Info().Schema.Columns[remoteCol].Type
+			for start := 0; start < len(keys); start += chunk {
+				end := start + chunk
+				if end > len(keys) {
+					end = len(keys)
+				}
+				pred, err := buildKeyPredicate(mapping, remoteCol, rtype, keys[start:end])
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				it, err := runFragScan(ctx, fs, pred)
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				rows, err := source.Drain(it)
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				perScan[si] = append(perScan[si], rows...)
+			}
+		}(si, fs, remoteCol)
+	}
+	wg.Wait()
+	var right []types.Row
+	for si := range scans {
+		if errs[si] != nil {
+			return nil, errs[si]
+		}
+		right = append(right, perScan[si]...)
+	}
+	return runLocalJoinMaterialized(ctx, j, leftRows, right)
+}
+
+// runLocalJoinMaterialized hash/NL-joins already-materialized inputs.
+func runLocalJoinMaterialized(ctx context.Context, j *plan.Join, left, right []types.Row) (source.RowIter, error) {
+	if len(j.EquiL) > 0 {
+		build := make(map[uint64][]types.Row)
+		for _, r := range right {
+			k := keyOf(r, j.EquiR)
+			build[k.Hash()] = append(build[k.Hash()], r)
+		}
+		return &hashJoinIter{
+			ctx: ctx, j: j, left: source.SliceIter(left), build: build,
+			leftWidth: j.L.Schema().Len(), rightWidth: widthOfRight(j, right),
+		}, nil
+	}
+	return &nlJoinIter{
+		ctx: ctx, j: j, left: source.SliceIter(left), right: right,
+		leftWidth: j.L.Schema().Len(), rightWidth: widthOfRight(j, right),
+	}, nil
+}
+
+// rightScansOf mirrors plan's strategy precondition: the right side must
+// be a FragScan or a union of them.
+func rightScansOf(n plan.Node) []*plan.FragScan {
+	switch t := n.(type) {
+	case *plan.FragScan:
+		return []*plan.FragScan{t}
+	case *plan.Union:
+		var out []*plan.FragScan
+		for _, in := range t.Inputs {
+			fs, ok := in.(*plan.FragScan)
+			if !ok {
+				return nil
+			}
+			out = append(out, fs)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// buildKeyPredicate translates global key values to the remote
+// representation and builds the IN (or =) predicate to ship.
+func buildKeyPredicate(m *catalog.ColumnMapping, remoteCol int, rtype types.Kind, keys []types.Value) (expr.Expr, error) {
+	ref := expr.NewBoundColRef(remoteCol, rtype, "")
+	if len(keys) == 1 {
+		rv, ok := m.ToRemote(keys[0])
+		if !ok {
+			return nil, fmt.Errorf("exec: join key %v is not translatable to the remote representation", keys[0])
+		}
+		rv, err := coerceKey(rv, rtype)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewBinary(expr.OpEq, ref, expr.NewConst(rv)), nil
+	}
+	list := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		rv, ok := m.ToRemote(k)
+		if !ok {
+			return nil, fmt.Errorf("exec: join key %v is not translatable to the remote representation", k)
+		}
+		rv, err := coerceKey(rv, rtype)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = expr.NewConst(rv)
+	}
+	return &expr.InList{E: ref, List: list}, nil
+}
+
+func coerceKey(v types.Value, k types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind() == k {
+		return v, nil
+	}
+	return v.Coerce(k)
+}

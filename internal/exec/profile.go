@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gis/internal/plan"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// Profile collects per-operator execution statistics when attached to
+// the context with WithProfile (EXPLAIN ANALYZE). Times are inclusive of
+// children (wall-clock inside the operator's Next).
+type Profile struct {
+	mu    sync.Mutex
+	stats map[plan.Node]*NodeStats
+}
+
+// NodeStats is one operator's measured behavior.
+type NodeStats struct {
+	Rows    int64
+	Elapsed time.Duration
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{stats: make(map[plan.Node]*NodeStats)}
+}
+
+// Stats returns the recorded statistics for a node (nil when the
+// operator never ran — e.g. a pruned branch).
+func (p *Profile) Stats(n plan.Node) *NodeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats[n]
+}
+
+// Annotate renders one node's measurements for EXPLAIN ANALYZE output.
+func (p *Profile) Annotate(n plan.Node) string {
+	s := p.Stats(n)
+	if s == nil {
+		return " (never executed)"
+	}
+	return fmt.Sprintf(" (rows=%d time=%s)", s.Rows, s.Elapsed.Round(time.Microsecond))
+}
+
+func (p *Profile) node(n plan.Node) *NodeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.stats[n]
+	if !ok {
+		st = &NodeStats{}
+		p.stats[n] = st
+	}
+	return st
+}
+
+type profileKey struct{}
+
+// WithProfile attaches a profile to the context: every operator started
+// under it records row counts and (inclusive) time.
+func WithProfile(ctx context.Context, p *Profile) context.Context {
+	return context.WithValue(ctx, profileKey{}, p)
+}
+
+func profileFrom(ctx context.Context) *Profile {
+	p, _ := ctx.Value(profileKey{}).(*Profile)
+	return p
+}
+
+// countIter instruments one operator's output stream.
+type countIter struct {
+	in source.RowIter
+	st *NodeStats
+	mu sync.Mutex // parallel unions may share a child iterator's stats
+}
+
+func (c *countIter) Next() (types.Row, error) {
+	start := time.Now()
+	r, err := c.in.Next()
+	d := time.Since(start)
+	c.mu.Lock()
+	c.st.Elapsed += d
+	if err == nil {
+		c.st.Rows++
+	}
+	c.mu.Unlock()
+	return r, err
+}
+
+func (c *countIter) Close() error { return c.in.Close() }

@@ -1,0 +1,563 @@
+// Package experiments implements the reconstructed evaluation of the
+// paper: one function per table/figure that builds its workload, runs
+// the sweep, and returns the rows the evaluation section reports. The
+// gisbench binary prints them; EXPERIMENTS.md records paper-vs-measured
+// shapes.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gis/internal/core"
+	"gis/internal/plan"
+	"gis/internal/types"
+	"gis/internal/workload"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "-- %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// median runs fn once untimed (warm-up: connections, code paths), then
+// `reps` times timed, and returns the median duration.
+func median(reps int, fn func() error) (time.Duration, error) {
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		d, err := workload.Timed(fn)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+// queryOnce drains one query.
+func queryOnce(e *core.Engine, q string) func() error {
+	return func() error {
+		_, err := e.Query(context.Background(), q)
+		return err
+	}
+}
+
+// Scale shrinks workload sizes for quick runs (tests use Scale < 1).
+type Scale struct {
+	Rows float64
+	Reps int
+	Link workload.Link
+}
+
+// DefaultScale is the full evaluation configuration.
+func DefaultScale() Scale {
+	return Scale{
+		Rows: 1.0,
+		Reps: 3,
+		Link: workload.Link{Latency: 2 * time.Millisecond, BytesPerSec: 50 << 20},
+	}
+}
+
+func (s Scale) n(base int) int {
+	n := int(float64(base) * s.Rows)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// T1Pushdown measures selection pushdown vs ship-everything across
+// selectivities (Table 1).
+func T1Pushdown(sc Scale) (*Table, error) {
+	rows := sc.n(20000)
+	f, err := workload.TwoTable(100, rows, true, sc.Link)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := &Table{
+		ID:     "T1",
+		Title:  "Selection pushdown vs. ship-everything (remote source)",
+		Header: []string{"selectivity", "pushdown_ms", "ship_all_ms", "speedup"},
+		Notes:  fmt.Sprintf("orders=%d rows, link=%v/%dMBps", rows, sc.Link.Latency, sc.Link.BytesPerSec>>20),
+	}
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5, 1.0} {
+		// amount is uniform on [0,1000). The query ships the matching
+		// rows (no aggregate, so the comparison isolates row shipping).
+		bound := sel * 1000
+		q := fmt.Sprintf("SELECT oid, amount FROM orders WHERE amount < %g", bound)
+		f.Engine.PlanOptions().PushFilters = true
+		push, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			return nil, err
+		}
+		f.Engine.PlanOptions().PushFilters = false
+		ship, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			return nil, err
+		}
+		f.Engine.PlanOptions().PushFilters = true
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.3f", sel), ms(push), ms(ship), ratio(ship, push),
+		})
+	}
+	return t, nil
+}
+
+// T2JoinStrategies compares ship-all, semijoin, and bind join at three
+// left-side sizes (Table 2).
+func T2JoinStrategies(sc Scale) (*Table, error) {
+	nCust := sc.n(2000)
+	nOrd := sc.n(20000)
+	f, err := workload.TwoTable(nCust, nOrd, true, sc.Link)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := &Table{
+		ID:     "T2",
+		Title:  "Distributed join strategies (customers ⋈ orders, remote)",
+		Header: []string{"left_rows", "ship_all_ms", "semijoin_ms", "bind_ms", "best"},
+		Notes:  fmt.Sprintf("customers=%d, orders=%d, link=%v", nCust, nOrd, sc.Link.Latency),
+	}
+	for _, leftFrac := range []float64{0.005, 0.05, 0.5} {
+		limit := int(float64(nCust) * leftFrac)
+		if limit < 1 {
+			limit = 1
+		}
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < %d`, limit)
+		times := map[plan.Strategy]time.Duration{}
+		for _, strat := range []plan.Strategy{plan.StrategyShipAll, plan.StrategySemiJoin, plan.StrategyBind} {
+			f.Engine.PlanOptions().ForceStrategy = strat
+			d, err := median(sc.Reps, queryOnce(f.Engine, q))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", strat, err)
+			}
+			times[strat] = d
+		}
+		f.Engine.PlanOptions().ForceStrategy = plan.StrategyAuto
+		best := "ship-all"
+		bestT := times[plan.StrategyShipAll]
+		if times[plan.StrategySemiJoin] < bestT {
+			best, bestT = "semijoin", times[plan.StrategySemiJoin]
+		}
+		if times[plan.StrategyBind] < bestT {
+			best = "bind"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", limit),
+			ms(times[plan.StrategyShipAll]),
+			ms(times[plan.StrategySemiJoin]),
+			ms(times[plan.StrategyBind]),
+			best,
+		})
+	}
+	return t, nil
+}
+
+// F3JoinOrder measures plan quality and optimization time of the three
+// join-order algorithms on star queries of growing size (Figure 3).
+func F3JoinOrder(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "F3",
+		Title:  "Join-order search: plan cost (C_out) and optimize time",
+		Header: []string{"relations", "dp_cost", "greedy_cost", "syntactic_cost", "dp_us", "greedy_us"},
+		Notes:  "star join graphs, hub 1e6 rows, satellites 10..1e5",
+	}
+	for n := 3; n <= 10; n++ {
+		rels := []plan.RelInfo{{Rows: 1e6}}
+		var preds []plan.PredInfo
+		for i := 1; i < n; i++ {
+			rows := float64(10)
+			for j := 0; j < i%5; j++ {
+				rows *= 10
+			}
+			rels = append(rels, plan.RelInfo{Rows: rows})
+			preds = append(preds, plan.PredInfo{A: 0, B: i, Sel: 1 / rows})
+		}
+		var dp, greedy plan.SearchResult
+		dpTime, _ := workload.Timed(func() error {
+			dp = plan.OrderSearch(rels, preds, plan.OrderDP)
+			return nil
+		})
+		greedyTime, _ := workload.Timed(func() error {
+			greedy = plan.OrderSearch(rels, preds, plan.OrderGreedy)
+			return nil
+		})
+		syn := plan.OrderSearch(rels, preds, plan.OrderSyntactic)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3g", dp.Cost),
+			fmt.Sprintf("%.3g", greedy.Cost),
+			fmt.Sprintf("%.3g", syn.Cost),
+			fmt.Sprintf("%d", dpTime.Microseconds()),
+			fmt.Sprintf("%d", greedyTime.Microseconds()),
+		})
+	}
+	return t, nil
+}
+
+// T4FanOut measures parallel vs sequential fragment fetch as the number
+// of partitions grows (Table 4).
+func T4FanOut(sc Scale) (*Table, error) {
+	total := sc.n(16000)
+	t := &Table{
+		ID:     "T4",
+		Title:  "Fan-out scalability: parallel vs sequential fragment fetch",
+		Header: []string{"partitions", "sequential_ms", "parallel_ms", "speedup"},
+		Notes:  fmt.Sprintf("%d total rows, link=%v", total, sc.Link.Latency),
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		f, err := workload.Partitioned(k, total/k, true, sc.Link)
+		if err != nil {
+			return nil, err
+		}
+		q := "SELECT SUM(amount) FROM events"
+		f.Engine.PlanOptions().ParallelFragments = false
+		seq, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Engine.PlanOptions().ParallelFragments = true
+		par, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k), ms(seq), ms(par), ratio(seq, par),
+		})
+	}
+	return t, nil
+}
+
+// F5Mediation measures the overhead of representation translation
+// (Figure 5): the same physical data queried through an identity mapping
+// vs a value-mapped/unit-converted/constant-extended mapping.
+func F5Mediation(sc Scale) (*Table, error) {
+	rows := sc.n(50000)
+	f, err := workload.Heterogeneous(rows, false, workload.Link{})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := &Table{
+		ID:     "F5",
+		Title:  "Mediation overhead: native vs translated representation (local)",
+		Header: []string{"query", "native_ms", "mediated_ms", "overhead"},
+		Notes:  fmt.Sprintf("%d rows; translation = value map + unit conversion + const column", rows),
+	}
+	cases := []struct {
+		name     string
+		native   string
+		mediated string
+	}{
+		{"scan+count", "SELECT COUNT(*) FROM orders_native", "SELECT COUNT(*) FROM orders_mediated"},
+		{"filter", "SELECT COUNT(*) FROM orders_native WHERE rg = 'N'", "SELECT COUNT(*) FROM orders_mediated WHERE region = 'north'"},
+		{"sum", "SELECT SUM(cents) FROM orders_native", "SELECT SUM(amount) FROM orders_mediated"},
+	}
+	for _, c := range cases {
+		nat, err := median(sc.Reps, queryOnce(f.Engine, c.native))
+		if err != nil {
+			return nil, err
+		}
+		med, err := median(sc.Reps, queryOnce(f.Engine, c.mediated))
+		if err != nil {
+			return nil, err
+		}
+		over := fmt.Sprintf("%.0f%%", (float64(med)/float64(nat)-1)*100)
+		t.Rows = append(t.Rows, []string{c.name, ms(nat), ms(med), over})
+	}
+	return t, nil
+}
+
+// T6Commit measures two-phase commit cost vs the unsafe one-round
+// baseline as participants grow (Table 6).
+func T6Commit(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "T6",
+		Title:  "Atomic commitment: 2PC vs uncoordinated per-source commits",
+		Header: []string{"participants", "two_pc_ms", "uncoordinated_ms", "penalty"},
+		Notes:  fmt.Sprintf("global UPDATE touching every participant, link=%v", sc.Link.Latency),
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		f, err := workload.TxnStores(n, 50, true, sc.Link)
+		if err != nil {
+			return nil, err
+		}
+		two, err := median(sc.Reps, func() error {
+			_, err := f.Engine.Exec(context.Background(), "UPDATE accounts SET balance = balance + 1")
+			return err
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Uncoordinated baseline: per-participant autocommit updates.
+		rowsPer := 50
+		uncoord, err := median(sc.Reps, func() error {
+			for p := 0; p < n; p++ {
+				lo, hi := p*rowsPer, (p+1)*rowsPer
+				q := fmt.Sprintf("UPDATE accounts SET balance = balance + 1 WHERE id >= %d AND id < %d", lo, hi)
+				if _, err := f.Engine.Exec(context.Background(), q); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), ms(two), ms(uncoord), ratio(two, uncoord),
+		})
+	}
+	return t, nil
+}
+
+// F7SemijoinCrossover sweeps the left-side fraction to locate where
+// ship-all overtakes semijoin (Figure 7).
+func F7SemijoinCrossover(sc Scale) (*Table, error) {
+	nCust := sc.n(5000)
+	nOrd := sc.n(20000)
+	f, err := workload.TwoTable(nCust, nOrd, true, sc.Link)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := &Table{
+		ID:     "F7",
+		Title:  "Semijoin benefit vs join selectivity (crossover)",
+		Header: []string{"left_frac", "semijoin_ms", "ship_all_ms", "winner"},
+		Notes:  fmt.Sprintf("customers=%d orders=%d link=%v", nCust, nOrd, sc.Link.Latency),
+	}
+	for _, frac := range []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0} {
+		limit := int(float64(nCust) * frac)
+		if limit < 1 {
+			limit = 1
+		}
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < %d`, limit)
+		f.Engine.PlanOptions().ForceStrategy = plan.StrategySemiJoin
+		semi, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			return nil, err
+		}
+		f.Engine.PlanOptions().ForceStrategy = plan.StrategyShipAll
+		ship, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			return nil, err
+		}
+		f.Engine.PlanOptions().ForceStrategy = plan.StrategyAuto
+		winner := "semijoin"
+		if ship < semi {
+			winner = "ship-all"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.3f", frac), ms(semi), ms(ship), winner,
+		})
+	}
+	return t, nil
+}
+
+// T8Capability runs the same query against wrappers of descending
+// capability and reports the latency of compensation (Table 8).
+func T8Capability(sc Scale) (*Table, error) {
+	rows := sc.n(20000)
+	f, err := workload.Capability(rows)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := &Table{
+		ID:     "T8",
+		Title:  "Capability-restricted sources: pushdown vs mediator compensation",
+		Header: []string{"wrapper", "capabilities", "filter_agg_ms", "point_ms"},
+		Notes:  fmt.Sprintf("%d rows per wrapper; filter_agg = non-key filter + aggregate; point = key equality", rows),
+	}
+	wrappers := []struct {
+		table string
+		caps  string
+	}{
+		{"orders_rel", "full SQL"},
+		{"orders_kv", "key range only"},
+		{"orders_doc", "filter+project"},
+		{"orders_file", "scan only"},
+	}
+	for _, w := range wrappers {
+		aggQ := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM %s WHERE region = 'north'", w.table)
+		agg, err := median(sc.Reps, queryOnce(f.Engine, aggQ))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.table, err)
+		}
+		pointQ := fmt.Sprintf("SELECT amount FROM %s WHERE oid = %d", w.table, rows/2)
+		point, err := median(sc.Reps, queryOnce(f.Engine, pointQ))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.table, err)
+		}
+		t.Rows = append(t.Rows, []string{w.table, w.caps, ms(agg), ms(point)})
+	}
+	return t, nil
+}
+
+// F9Ablation disables one optimizer rule at a time on a representative
+// federated query (Figure 9).
+func F9Ablation(sc Scale) (*Table, error) {
+	nCust := sc.n(2000)
+	nOrd := sc.n(20000)
+	f, err := workload.TwoTable(nCust, nOrd, true, sc.Link)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	q := `SELECT c.segment, COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id
+	      WHERE o.amount < 100 AND c.id < 500 GROUP BY c.segment`
+	t := &Table{
+		ID:     "F9",
+		Title:  "Optimizer ablation: disable one rule at a time",
+		Header: []string{"configuration", "latency_ms", "slowdown"},
+		Notes:  fmt.Sprintf("filter+join+agg over customers=%d orders=%d, link=%v", nCust, nOrd, sc.Link.Latency),
+	}
+	type mode struct {
+		name  string
+		tweak func(*plan.Options)
+	}
+	modes := []mode{
+		{"full optimizer", func(o *plan.Options) {}},
+		{"no filter pushdown", func(o *plan.Options) { o.PushFilters = false }},
+		{"no column pruning", func(o *plan.Options) { o.PruneColumns = false }},
+		{"no aggregate pushdown", func(o *plan.Options) { o.PushAggregates = false }},
+		{"no join strategy (ship-all)", func(o *plan.Options) { o.ForceStrategy = plan.StrategyShipAll }},
+		{"sequential fragments", func(o *plan.Options) { o.ParallelFragments = false }},
+		{"greedy join order", func(o *plan.Options) { o.JoinOrder = plan.OrderGreedy }},
+	}
+	var base time.Duration
+	for i, m := range modes {
+		opts := plan.DefaultOptions()
+		m.tweak(opts)
+		*f.Engine.PlanOptions() = *opts
+		d, err := median(sc.Reps, queryOnce(f.Engine, q))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+		if i == 0 {
+			base = d
+		}
+		t.Rows = append(t.Rows, []string{m.name, ms(d), ratio(d, base)})
+	}
+	return t, nil
+}
+
+// All runs every experiment at the given scale.
+func All(sc Scale) ([]*Table, error) {
+	type exp struct {
+		id string
+		fn func(Scale) (*Table, error)
+	}
+	exps := []exp{
+		{"T1", T1Pushdown},
+		{"T2", T2JoinStrategies},
+		{"F3", F3JoinOrder},
+		{"T4", T4FanOut},
+		{"F5", F5Mediation},
+		{"T6", T6Commit},
+		{"F7", F7SemijoinCrossover},
+		{"T8", T8Capability},
+		{"F9", F9Ablation},
+	}
+	var out []*Table
+	for _, e := range exps {
+		t, err := e.fn(sc)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment.
+func ByID(id string, sc Scale) (*Table, error) {
+	switch strings.ToUpper(id) {
+	case "T1":
+		return T1Pushdown(sc)
+	case "T2":
+		return T2JoinStrategies(sc)
+	case "F3":
+		return F3JoinOrder(sc)
+	case "T4":
+		return T4FanOut(sc)
+	case "F5":
+		return F5Mediation(sc)
+	case "T6":
+		return T6Commit(sc)
+	case "F7":
+		return F7SemijoinCrossover(sc)
+	case "T8":
+		return T8Capability(sc)
+	case "F9":
+		return F9Ablation(sc)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (T1,T2,F3,T4,F5,T6,F7,T8,F9)", id)
+	}
+}
+
+var _ = types.Null

@@ -1,0 +1,218 @@
+package expr
+
+import (
+	"fmt"
+
+	"gis/internal/types"
+)
+
+// Accumulator is the running state of one aggregate function over one
+// group. Accumulators are created per group by NewAccumulator and fed
+// with Add; Result finalizes the value.
+type Accumulator interface {
+	// Add folds one input value into the accumulator. For COUNT(*) the
+	// value is ignored (but still counted).
+	Add(v types.Value) error
+	// Result returns the aggregate value for the group.
+	Result() types.Value
+	// Merge folds another accumulator of the same aggregate into this
+	// one (used for partial aggregation / combining per-source results).
+	Merge(other Accumulator) error
+}
+
+// NewAccumulator creates an accumulator for the given aggregate call.
+// star indicates COUNT(*) (count every row including NULLs).
+func NewAccumulator(kind AggKind, star, distinct bool) Accumulator {
+	var inner Accumulator
+	switch kind {
+	case AggCount:
+		inner = &countAcc{star: star}
+	case AggSum:
+		inner = &sumAcc{}
+	case AggAvg:
+		inner = &avgAcc{}
+	case AggMin:
+		inner = &minmaxAcc{min: true}
+	case AggMax:
+		inner = &minmaxAcc{min: false}
+	default:
+		panic(fmt.Sprintf("unknown aggregate kind %d", kind))
+	}
+	if distinct {
+		return &distinctAcc{seen: make(map[uint64][]types.Value), inner: inner}
+	}
+	return inner
+}
+
+type countAcc struct {
+	star bool
+	n    int64
+}
+
+func (a *countAcc) Add(v types.Value) error {
+	if a.star || !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAcc) Result() types.Value { return types.NewInt(a.n) }
+
+func (a *countAcc) Merge(o Accumulator) error {
+	oa, ok := o.(*countAcc)
+	if !ok {
+		return fmt.Errorf("cannot merge %T into COUNT", o)
+	}
+	a.n += oa.n
+	return nil
+}
+
+type sumAcc struct {
+	sawAny   bool
+	isFloat  bool
+	intSum   int64
+	floatSum float64
+}
+
+func (a *sumAcc) Add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !v.Kind().Numeric() {
+		return fmt.Errorf("SUM over non-numeric value %s", v.Kind())
+	}
+	a.sawAny = true
+	if v.Kind() == types.KindFloat && !a.isFloat {
+		a.isFloat = true
+		a.floatSum = float64(a.intSum)
+	}
+	if a.isFloat {
+		a.floatSum += v.AsFloat()
+	} else {
+		a.intSum += v.Int()
+	}
+	return nil
+}
+
+func (a *sumAcc) Result() types.Value {
+	if !a.sawAny {
+		return types.Null
+	}
+	if a.isFloat {
+		return types.NewFloat(a.floatSum)
+	}
+	return types.NewInt(a.intSum)
+}
+
+func (a *sumAcc) Merge(o Accumulator) error {
+	oa, ok := o.(*sumAcc)
+	if !ok {
+		return fmt.Errorf("cannot merge %T into SUM", o)
+	}
+	if !oa.sawAny {
+		return nil
+	}
+	return a.Add(oa.Result())
+}
+
+type avgAcc struct {
+	n   int64
+	sum float64
+}
+
+func (a *avgAcc) Add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !v.Kind().Numeric() {
+		return fmt.Errorf("AVG over non-numeric value %s", v.Kind())
+	}
+	a.n++
+	a.sum += v.AsFloat()
+	return nil
+}
+
+func (a *avgAcc) Result() types.Value {
+	if a.n == 0 {
+		return types.Null
+	}
+	return types.NewFloat(a.sum / float64(a.n))
+}
+
+func (a *avgAcc) Merge(o Accumulator) error {
+	oa, ok := o.(*avgAcc)
+	if !ok {
+		return fmt.Errorf("cannot merge %T into AVG", o)
+	}
+	a.n += oa.n
+	a.sum += oa.sum
+	return nil
+}
+
+type minmaxAcc struct {
+	min bool
+	val types.Value // Null until the first non-null input
+}
+
+func (a *minmaxAcc) Add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if a.val.IsNull() {
+		a.val = v
+		return nil
+	}
+	c := v.Compare(a.val)
+	if (a.min && c < 0) || (!a.min && c > 0) {
+		a.val = v
+	}
+	return nil
+}
+
+func (a *minmaxAcc) Result() types.Value { return a.val }
+
+func (a *minmaxAcc) Merge(o Accumulator) error {
+	oa, ok := o.(*minmaxAcc)
+	if !ok {
+		return fmt.Errorf("cannot merge %T into MIN/MAX", o)
+	}
+	return a.Add(oa.val)
+}
+
+// distinctAcc deduplicates inputs before forwarding to the inner
+// accumulator. Hash collisions are resolved by exact comparison.
+type distinctAcc struct {
+	seen  map[uint64][]types.Value
+	inner Accumulator
+}
+
+func (a *distinctAcc) Add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	h := v.Hash(0)
+	for _, prev := range a.seen[h] {
+		if prev.Equal(v) {
+			return nil
+		}
+	}
+	a.seen[h] = append(a.seen[h], v)
+	return a.inner.Add(v)
+}
+
+func (a *distinctAcc) Result() types.Value { return a.inner.Result() }
+
+func (a *distinctAcc) Merge(o Accumulator) error {
+	oa, ok := o.(*distinctAcc)
+	if !ok {
+		return fmt.Errorf("cannot merge %T into DISTINCT aggregate", o)
+	}
+	for _, vals := range oa.seen {
+		for _, v := range vals {
+			if err := a.Add(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gis/internal/types"
+)
+
+func feed(t *testing.T, a Accumulator, vals ...types.Value) {
+	t.Helper()
+	for _, v := range vals {
+		if err := a.Add(v); err != nil {
+			t.Fatalf("Add(%v): %v", v, err)
+		}
+	}
+}
+
+func TestCountAccumulator(t *testing.T) {
+	a := NewAccumulator(AggCount, false, false)
+	feed(t, a, types.NewInt(1), types.Null, types.NewInt(3))
+	if got := a.Result().Int(); got != 2 {
+		t.Errorf("COUNT(col) = %d, want 2 (NULLs skipped)", got)
+	}
+	star := NewAccumulator(AggCount, true, false)
+	feed(t, star, types.NewInt(1), types.Null, types.NewInt(3))
+	if got := star.Result().Int(); got != 3 {
+		t.Errorf("COUNT(*) = %d, want 3", got)
+	}
+}
+
+func TestSumAccumulator(t *testing.T) {
+	a := NewAccumulator(AggSum, false, false)
+	if !a.Result().IsNull() {
+		t.Error("SUM of empty input must be NULL")
+	}
+	feed(t, a, types.NewInt(1), types.NewInt(2), types.Null)
+	if got := a.Result(); got.Kind() != types.KindInt || got.Int() != 3 {
+		t.Errorf("SUM = %v", got)
+	}
+	// Int→float promotion mid-stream.
+	feed(t, a, types.NewFloat(0.5))
+	if got := a.Result(); got.Kind() != types.KindFloat || got.Float() != 3.5 {
+		t.Errorf("SUM promoted = %v", got)
+	}
+	if err := a.Add(types.NewString("x")); err == nil {
+		t.Error("SUM over string must error")
+	}
+}
+
+func TestAvgAccumulator(t *testing.T) {
+	a := NewAccumulator(AggAvg, false, false)
+	if !a.Result().IsNull() {
+		t.Error("AVG of empty input must be NULL")
+	}
+	feed(t, a, types.NewInt(1), types.NewInt(2), types.Null, types.NewInt(3))
+	if got := a.Result().Float(); got != 2.0 {
+		t.Errorf("AVG = %v", got)
+	}
+}
+
+func TestMinMaxAccumulator(t *testing.T) {
+	mn := NewAccumulator(AggMin, false, false)
+	mx := NewAccumulator(AggMax, false, false)
+	for _, v := range []types.Value{types.NewInt(5), types.Null, types.NewInt(2), types.NewInt(8)} {
+		mn.Add(v)
+		mx.Add(v)
+	}
+	if mn.Result().Int() != 2 || mx.Result().Int() != 8 {
+		t.Errorf("MIN/MAX = %v/%v", mn.Result(), mx.Result())
+	}
+	s := NewAccumulator(AggMin, false, false)
+	feed(t, s, types.NewString("banana"), types.NewString("apple"))
+	if s.Result().Str() != "apple" {
+		t.Errorf("MIN strings = %v", s.Result())
+	}
+}
+
+func TestDistinctAccumulator(t *testing.T) {
+	a := NewAccumulator(AggCount, false, true)
+	feed(t, a, types.NewInt(1), types.NewInt(1), types.NewInt(2), types.Null, types.NewInt(2))
+	if got := a.Result().Int(); got != 2 {
+		t.Errorf("COUNT(DISTINCT) = %d, want 2", got)
+	}
+	s := NewAccumulator(AggSum, false, true)
+	feed(t, s, types.NewInt(3), types.NewInt(3), types.NewInt(4))
+	if got := s.Result().Int(); got != 7 {
+		t.Errorf("SUM(DISTINCT) = %d, want 7", got)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	a := NewAccumulator(AggSum, false, false)
+	b := NewAccumulator(AggSum, false, false)
+	feed(t, a, types.NewInt(1), types.NewInt(2))
+	feed(t, b, types.NewInt(10))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Result().Int() != 13 {
+		t.Errorf("merged SUM = %v", a.Result())
+	}
+	// Merging an empty accumulator is a no-op.
+	if err := a.Merge(NewAccumulator(AggSum, false, false)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Result().Int() != 13 {
+		t.Error("merge with empty changed result")
+	}
+	// Count.
+	c1 := NewAccumulator(AggCount, true, false)
+	c2 := NewAccumulator(AggCount, true, false)
+	feed(t, c1, types.NewInt(0), types.NewInt(0))
+	feed(t, c2, types.NewInt(0))
+	c1.Merge(c2)
+	if c1.Result().Int() != 3 {
+		t.Errorf("merged COUNT = %v", c1.Result())
+	}
+	// Avg merges by partial sums, not average-of-averages.
+	v1 := NewAccumulator(AggAvg, false, false)
+	v2 := NewAccumulator(AggAvg, false, false)
+	feed(t, v1, types.NewInt(1), types.NewInt(2), types.NewInt(3))
+	feed(t, v2, types.NewInt(10))
+	v1.Merge(v2)
+	if got := v1.Result().Float(); got != 4.0 {
+		t.Errorf("merged AVG = %v, want 4", got)
+	}
+	// Distinct merge dedups across accumulators.
+	d1 := NewAccumulator(AggCount, false, true)
+	d2 := NewAccumulator(AggCount, false, true)
+	feed(t, d1, types.NewInt(1), types.NewInt(2))
+	feed(t, d2, types.NewInt(2), types.NewInt(3))
+	d1.Merge(d2)
+	if d1.Result().Int() != 3 {
+		t.Errorf("merged COUNT DISTINCT = %v, want 3", d1.Result())
+	}
+	// Type mismatch errors.
+	if err := NewAccumulator(AggMin, false, false).Merge(NewAccumulator(AggSum, false, false)); err == nil {
+		t.Error("mismatched merge must error")
+	}
+}
+
+func TestAggKindFromName(t *testing.T) {
+	for name, want := range map[string]AggKind{
+		"count": AggCount, "SUM": AggSum, "Min": AggMin, "max": AggMax, "avg": AggAvg,
+	} {
+		got, ok := AggKindFromName(name)
+		if !ok || got != want {
+			t.Errorf("AggKindFromName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := AggKindFromName("median"); ok {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+func TestAggResultType(t *testing.T) {
+	cases := []struct {
+		k    AggKind
+		in   types.Kind
+		want types.Kind
+	}{
+		{AggCount, types.KindString, types.KindInt},
+		{AggAvg, types.KindInt, types.KindFloat},
+		{AggSum, types.KindInt, types.KindInt},
+		{AggSum, types.KindFloat, types.KindFloat},
+		{AggMin, types.KindString, types.KindString},
+		{AggMax, types.KindTime, types.KindTime},
+	}
+	for _, c := range cases {
+		if got := AggResultType(c.k, c.in); got != c.want {
+			t.Errorf("AggResultType(%s,%s) = %s, want %s", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+// Property: SUM over ints equals the Go sum; merging a split equals the
+// whole (partial-aggregation correctness).
+func TestSumSplitMergeProperty(t *testing.T) {
+	f := func(xs []int32, split uint8) bool {
+		whole := NewAccumulator(AggSum, false, false)
+		left := NewAccumulator(AggSum, false, false)
+		right := NewAccumulator(AggSum, false, false)
+		cut := 0
+		if len(xs) > 0 {
+			cut = int(split) % (len(xs) + 1)
+		}
+		var want int64
+		for i, x := range xs {
+			v := types.NewInt(int64(x))
+			want += int64(x)
+			whole.Add(v)
+			if i < cut {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		if err := left.Merge(right); err != nil {
+			return false
+		}
+		if len(xs) == 0 {
+			return whole.Result().IsNull() && left.Result().IsNull()
+		}
+		return whole.Result().Int() == want && left.Result().Int() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

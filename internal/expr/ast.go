@@ -1,0 +1,567 @@
+// Package expr implements the typed expression engine used by the SQL
+// front end, the optimizer, and the execution engine. Expressions are
+// built unbound (column references by name) by the parser, bound against
+// a schema (references resolved to positions, types inferred) by Bind,
+// and then evaluated row-at-a-time with SQL tri-state NULL semantics.
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"gis/internal/types"
+)
+
+// Expr is a node in an expression tree.
+//
+// ResultType is only meaningful after the expression has been bound; an
+// unbound expression reports KindNull. Eval must only be called on bound
+// expressions.
+type Expr interface {
+	// ResultType returns the inferred result kind of a bound expression.
+	ResultType() types.Kind
+	// Eval evaluates the expression against a row.
+	Eval(row types.Row) (types.Value, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+	// Children returns the direct sub-expressions.
+	Children() []Expr
+	// withChildren returns a copy of the node with the children replaced.
+	// len(kids) must equal len(Children()).
+	withChildren(kids []Expr) Expr
+}
+
+// ColRef is a reference to a column. The parser produces unbound refs
+// (Index == -1); Bind resolves Index and Type against a schema.
+type ColRef struct {
+	Table string
+	Name  string
+	Index int
+	Type  types.Kind
+}
+
+// NewColRef returns an unbound column reference.
+func NewColRef(table, name string) *ColRef {
+	return &ColRef{Table: table, Name: name, Index: -1}
+}
+
+// NewBoundColRef returns a column reference already resolved to a
+// position and type; used by the planner when synthesizing expressions.
+func NewBoundColRef(index int, typ types.Kind, name string) *ColRef {
+	return &ColRef{Name: name, Index: index, Type: typ}
+}
+
+// ResultType implements Expr.
+func (c *ColRef) ResultType() types.Kind { return c.Type }
+
+// Eval implements Expr.
+func (c *ColRef) Eval(row types.Row) (types.Value, error) {
+	if c.Index < 0 || c.Index >= len(row) {
+		return types.Null, fmt.Errorf("unbound or out-of-range column reference %s (index %d, row width %d)", c.String(), c.Index, len(row))
+	}
+	return row[c.Index], nil
+}
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Children implements Expr.
+func (c *ColRef) Children() []Expr { return nil }
+
+func (c *ColRef) withChildren(kids []Expr) Expr { cp := *c; return &cp }
+
+// Const is a literal value.
+type Const struct {
+	Val types.Value
+}
+
+// NewConst wraps a value as a constant expression.
+func NewConst(v types.Value) *Const { return &Const{Val: v} }
+
+// ResultType implements Expr.
+func (c *Const) ResultType() types.Kind { return c.Val.Kind() }
+
+// Eval implements Expr.
+func (c *Const) Eval(types.Row) (types.Value, error) { return c.Val, nil }
+
+// String implements Expr.
+func (c *Const) String() string { return c.Val.SQL() }
+
+// Children implements Expr.
+func (c *Const) Children() []Expr { return nil }
+
+func (c *Const) withChildren(kids []Expr) Expr { cp := *c; return &cp }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators, grouped by family.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpLike
+	OpConcat
+)
+
+// String returns the SQL spelling of the operator.
+func (o BinOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpLike:
+		return "LIKE"
+	case OpConcat:
+		return "||"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(o))
+	}
+}
+
+// Comparison reports whether the operator is a comparison (yields BOOL).
+func (o BinOp) Comparison() bool { return o >= OpEq && o <= OpGe }
+
+// Arithmetic reports whether the operator is numeric arithmetic.
+func (o BinOp) Arithmetic() bool { return o <= OpMod }
+
+// Logical reports whether the operator is AND/OR.
+func (o BinOp) Logical() bool { return o == OpAnd || o == OpOr }
+
+// Commutes returns (flipped operator, true) if a cmp b == b flip(cmp) a.
+func (o BinOp) Commutes() (BinOp, bool) {
+	switch o {
+	case OpEq, OpNe, OpAdd, OpMul, OpAnd, OpOr:
+		return o, true
+	case OpLt:
+		return OpGt, true
+	case OpLe:
+		return OpGe, true
+	case OpGt:
+		return OpLt, true
+	case OpGe:
+		return OpLe, true
+	default:
+		return o, false
+	}
+}
+
+// Binary is a binary operation node.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	typ  types.Kind
+}
+
+// NewBinary builds a binary operation.
+func NewBinary(op BinOp, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// ResultType implements Expr.
+func (b *Binary) ResultType() types.Kind { return b.typ }
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Children implements Expr.
+func (b *Binary) Children() []Expr { return []Expr{b.L, b.R} }
+
+func (b *Binary) withChildren(kids []Expr) Expr {
+	cp := *b
+	cp.L, cp.R = kids[0], kids[1]
+	return &cp
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // -x
+	OpNot             // NOT x
+)
+
+// String returns the SQL spelling of the operator.
+func (o UnOp) String() string {
+	if o == OpNeg {
+		return "-"
+	}
+	return "NOT "
+}
+
+// Unary is a unary operation node.
+type Unary struct {
+	Op  UnOp
+	E   Expr
+	typ types.Kind
+}
+
+// NewUnary builds a unary operation.
+func NewUnary(op UnOp, e Expr) *Unary { return &Unary{Op: op, E: e} }
+
+// ResultType implements Expr.
+func (u *Unary) ResultType() types.Kind { return u.typ }
+
+// String implements Expr.
+func (u *Unary) String() string { return fmt.Sprintf("(%s%s)", u.Op, u.E) }
+
+// Children implements Expr.
+func (u *Unary) Children() []Expr { return []Expr{u.E} }
+
+func (u *Unary) withChildren(kids []Expr) Expr {
+	cp := *u
+	cp.E = kids[0]
+	return &cp
+}
+
+// IsNull tests x IS [NOT] NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// ResultType implements Expr.
+func (n *IsNull) ResultType() types.Kind { return types.KindBool }
+
+// String implements Expr.
+func (n *IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// Children implements Expr.
+func (n *IsNull) Children() []Expr { return []Expr{n.E} }
+
+func (n *IsNull) withChildren(kids []Expr) Expr {
+	cp := *n
+	cp.E = kids[0]
+	return &cp
+}
+
+// InList tests x [NOT] IN (e1, e2, ...). When every list element is a
+// constant, membership is evaluated against a lazily-built hash set, so
+// large shipped key lists (semijoins) probe in O(1) per row.
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+
+	setOnce    sync.Once
+	set        map[uint64][]types.Value
+	setHasNull bool
+}
+
+// buildSet materializes the constant-list hash set; set stays nil when
+// any element is non-constant.
+func (n *InList) buildSet() {
+	if len(n.List) < 8 {
+		return // linear scan is faster for tiny lists
+	}
+	set := make(map[uint64][]types.Value, len(n.List))
+	for _, e := range n.List {
+		c, ok := e.(*Const)
+		if !ok {
+			return
+		}
+		if c.Val.IsNull() {
+			n.setHasNull = true
+			continue
+		}
+		h := c.Val.Hash(0)
+		set[h] = append(set[h], c.Val)
+	}
+	n.set = set
+}
+
+// ResultType implements Expr.
+func (n *InList) ResultType() types.Kind { return types.KindBool }
+
+// String implements Expr.
+func (n *InList) String() string {
+	parts := make([]string, len(n.List))
+	for i, e := range n.List {
+		parts[i] = e.String()
+	}
+	op := "IN"
+	if n.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", n.E, op, strings.Join(parts, ", "))
+}
+
+// Children implements Expr.
+func (n *InList) Children() []Expr {
+	kids := make([]Expr, 0, len(n.List)+1)
+	kids = append(kids, n.E)
+	kids = append(kids, n.List...)
+	return kids
+}
+
+func (n *InList) withChildren(kids []Expr) Expr {
+	// Build a fresh node: the cached membership set must not leak to a
+	// copy with a different list.
+	return &InList{E: kids[0], List: append([]Expr(nil), kids[1:]...), Negate: n.Negate}
+}
+
+// When is one WHEN...THEN arm of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END. When Operand
+// is nil the WHEN conditions are boolean predicates (searched CASE).
+type Case struct {
+	Operand Expr
+	Whens   []When
+	Else    Expr
+	typ     types.Kind
+}
+
+// ResultType implements Expr.
+func (c *Case) ResultType() types.Kind { return c.typ }
+
+// String implements Expr.
+func (c *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if c.Operand != nil {
+		fmt.Fprintf(&b, " %s", c.Operand)
+	}
+	for _, w := range c.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Children implements Expr.
+func (c *Case) Children() []Expr {
+	var kids []Expr
+	if c.Operand != nil {
+		kids = append(kids, c.Operand)
+	}
+	for _, w := range c.Whens {
+		kids = append(kids, w.Cond, w.Then)
+	}
+	if c.Else != nil {
+		kids = append(kids, c.Else)
+	}
+	return kids
+}
+
+func (c *Case) withChildren(kids []Expr) Expr {
+	cp := *c
+	i := 0
+	if cp.Operand != nil {
+		cp.Operand = kids[i]
+		i++
+	}
+	cp.Whens = make([]When, len(c.Whens))
+	for j := range c.Whens {
+		cp.Whens[j] = When{Cond: kids[i], Then: kids[i+1]}
+		i += 2
+	}
+	if cp.Else != nil {
+		cp.Else = kids[i]
+	}
+	return &cp
+}
+
+// Cast is CAST(e AS type).
+type Cast struct {
+	E  Expr
+	To types.Kind
+}
+
+// ResultType implements Expr.
+func (c *Cast) ResultType() types.Kind { return c.To }
+
+// String implements Expr.
+func (c *Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.To) }
+
+// Children implements Expr.
+func (c *Cast) Children() []Expr { return []Expr{c.E} }
+
+func (c *Cast) withChildren(kids []Expr) Expr {
+	cp := *c
+	cp.E = kids[0]
+	return &cp
+}
+
+// Call is a scalar function call. fn is resolved during Bind.
+type Call struct {
+	Name string
+	Args []Expr
+	fn   *builtin
+	typ  types.Kind
+}
+
+// NewCall builds an unbound scalar function call.
+func NewCall(name string, args ...Expr) *Call {
+	return &Call{Name: strings.ToUpper(name), Args: args}
+}
+
+// ResultType implements Expr.
+func (c *Call) ResultType() types.Kind { return c.typ }
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+// Children implements Expr.
+func (c *Call) Children() []Expr { return c.Args }
+
+func (c *Call) withChildren(kids []Expr) Expr {
+	cp := *c
+	cp.Args = append([]Expr(nil), kids...)
+	return &cp
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL name of the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(a))
+	}
+}
+
+// AggKindFromName resolves a function name to an aggregate kind.
+func AggKindFromName(name string) (AggKind, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	case "AVG":
+		return AggAvg, true
+	default:
+		return 0, false
+	}
+}
+
+// AggCall is an aggregate function call appearing in a SELECT or HAVING
+// expression. It cannot be evaluated row-at-a-time; the planner extracts
+// AggCalls into an aggregation operator and replaces them with column
+// references over the aggregate's output.
+type AggCall struct {
+	Kind     AggKind
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+	typ      types.Kind
+}
+
+// ResultType implements Expr.
+func (a *AggCall) ResultType() types.Kind { return a.typ }
+
+// Eval implements Expr; aggregate calls are not row-evaluable.
+func (a *AggCall) Eval(types.Row) (types.Value, error) {
+	return types.Null, fmt.Errorf("aggregate %s evaluated outside an aggregation context", a)
+}
+
+// String implements Expr.
+func (a *AggCall) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, arg)
+}
+
+// Children implements Expr.
+func (a *AggCall) Children() []Expr {
+	if a.Arg == nil {
+		return nil
+	}
+	return []Expr{a.Arg}
+}
+
+func (a *AggCall) withChildren(kids []Expr) Expr {
+	cp := *a
+	if len(kids) > 0 {
+		cp.Arg = kids[0]
+	}
+	return &cp
+}

@@ -1,0 +1,220 @@
+// Package filestore implements the weakest component system in the
+// federation: delimited text files (CSV/TSV) exposed as scan-only tables.
+// The wrapper can skip columns while parsing (projection pushdown) but
+// evaluates no predicates — the mediator compensates for everything else.
+// It models the flat-file systems an early global information system had
+// to integrate.
+package filestore
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// Store exposes registered delimited files as tables.
+type Store struct {
+	name string
+
+	mu     sync.RWMutex
+	tables map[string]*fileTable
+}
+
+type fileTable struct {
+	schema *types.Schema
+	// path is read per query when set; otherwise data holds the raw
+	// file contents (in-memory registration, used heavily by tests and
+	// workload generators).
+	path      string
+	data      string
+	comma     rune
+	hasHeader bool
+	rowCount  int64 // -1 until first full scan
+}
+
+// Option configures a registered file.
+type Option func(*fileTable)
+
+// WithDelimiter sets the field delimiter (default ',').
+func WithDelimiter(r rune) Option { return func(t *fileTable) { t.comma = r } }
+
+// WithHeader marks the first record as a header line to skip.
+func WithHeader() Option { return func(t *fileTable) { t.hasHeader = true } }
+
+// New returns an empty file store.
+func New(name string) *Store {
+	return &Store{name: name, tables: make(map[string]*fileTable)}
+}
+
+// RegisterFile exposes the delimited file at path as table name.
+func (s *Store) RegisterFile(name, path string, schema *types.Schema, opts ...Option) error {
+	return s.register(name, &fileTable{schema: schema.Clone(), path: path}, opts)
+}
+
+// RegisterData exposes in-memory delimited text as table name.
+func (s *Store) RegisterData(name, data string, schema *types.Schema, opts ...Option) error {
+	return s.register(name, &fileTable{schema: schema.Clone(), data: data}, opts)
+}
+
+func (s *Store) register(name string, t *fileTable, opts []Option) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("filestore %s: table %q already exists", s.name, name)
+	}
+	t.comma = ','
+	t.rowCount = -1
+	for _, o := range opts {
+		o(t)
+	}
+	s.tables[name] = t
+	return nil
+}
+
+// Name implements source.Source.
+func (s *Store) Name() string { return s.name }
+
+// Tables implements source.Source.
+func (s *Store) Tables(context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// TableInfo implements source.Source.
+func (s *Store) TableInfo(_ context.Context, name string) (*source.TableInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("filestore %s: unknown table %q", s.name, name)
+	}
+	return &source.TableInfo{Schema: t.schema.Clone(), RowCount: t.rowCount}, nil
+}
+
+// Capabilities implements source.Source: scan-only with projection.
+func (s *Store) Capabilities() source.Capabilities {
+	return source.Capabilities{Filter: source.FilterNone, Project: true}
+}
+
+// Execute implements source.Source, streaming rows as the file parses.
+func (s *Store) Execute(ctx context.Context, q *source.Query) (source.RowIter, error) {
+	s.mu.RLock()
+	t, ok := s.tables[q.Table]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("filestore %s: unknown table %q", s.name, q.Table)
+	}
+	if q.Filter != nil || q.HasAggregation() || len(q.OrderBy) > 0 || q.Limit >= 0 {
+		return nil, fmt.Errorf("filestore %s: query shape exceeds capabilities: %s", s.name, q)
+	}
+	for _, c := range q.Columns {
+		if c < 0 || c >= t.schema.Len() {
+			return nil, fmt.Errorf("filestore %s: projected column %d out of range", s.name, c)
+		}
+	}
+	var rc io.ReadCloser
+	if t.path != "" {
+		f, err := os.Open(t.path)
+		if err != nil {
+			return nil, fmt.Errorf("filestore %s: %w", s.name, err)
+		}
+		rc = f
+	} else {
+		rc = io.NopCloser(strings.NewReader(t.data))
+	}
+	r := csv.NewReader(rc)
+	r.Comma = t.comma
+	r.ReuseRecord = true
+	it := &csvIter{ctx: ctx, store: s.name, t: t, r: r, c: rc, cols: q.Columns}
+	if t.hasHeader {
+		if _, err := r.Read(); err != nil && err != io.EOF {
+			rc.Close()
+			return nil, fmt.Errorf("filestore %s: header: %w", s.name, err)
+		}
+	}
+	return it, nil
+}
+
+type csvIter struct {
+	ctx   context.Context
+	store string
+	t     *fileTable
+	r     *csv.Reader
+	c     io.Closer
+	cols  []int
+	count int64
+	done  bool
+}
+
+// Next implements source.RowIter.
+func (it *csvIter) Next() (types.Row, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	if err := it.ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec, err := it.r.Read()
+	if err == io.EOF {
+		it.done = true
+		it.t.rowCount = it.count
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("filestore %s: %w", it.store, err)
+	}
+	it.count++
+	schema := it.t.schema
+	if len(rec) != schema.Len() {
+		return nil, fmt.Errorf("filestore %s: record %d has %d fields, want %d", it.store, it.count, len(rec), schema.Len())
+	}
+	parseField := func(col int) (types.Value, error) {
+		field := rec[col]
+		if field == "" {
+			return types.Null, nil
+		}
+		v, err := types.NewString(field).Coerce(schema.Columns[col].Type)
+		if err != nil {
+			return types.Null, fmt.Errorf("filestore %s: record %d column %s: %w", it.store, it.count, schema.Columns[col].Name, err)
+		}
+		return v, nil
+	}
+	if it.cols != nil {
+		row := make(types.Row, len(it.cols))
+		for i, c := range it.cols {
+			v, err := parseField(c)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	}
+	row := make(types.Row, schema.Len())
+	for c := range row {
+		v, err := parseField(c)
+		if err != nil {
+			return nil, err
+		}
+		row[c] = v
+	}
+	return row, nil
+}
+
+// Close implements source.RowIter.
+func (it *csvIter) Close() error {
+	it.done = true
+	return it.c.Close()
+}

@@ -1,0 +1,153 @@
+package filestore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+var ctx = context.Background()
+
+var fileSchema = types.NewSchema(
+	types.Column{Name: "sku", Type: types.KindInt},
+	types.Column{Name: "desc", Type: types.KindString},
+	types.Column{Name: "price", Type: types.KindFloat},
+)
+
+const csvData = "1,widget,9.99\n2,gadget,19.5\n3,sprocket,0.25\n"
+
+func TestFileScanInMemory(t *testing.T) {
+	s := New("files1")
+	if err := s.RegisterData("products", csvData, fileSchema); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Execute(ctx, source.NewScan("products"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := source.Drain(it)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("scan = %d rows, %v", len(rows), err)
+	}
+	if rows[0][0].Int() != 1 || rows[0][1].Str() != "widget" || rows[0][2].Float() != 9.99 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	// Row count learned after the scan.
+	info, _ := s.TableInfo(ctx, "products")
+	if info.RowCount != 3 {
+		t.Errorf("RowCount = %d", info.RowCount)
+	}
+}
+
+func TestFileScanFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.csv")
+	if err := os.WriteFile(path, []byte("sku\tdesc\tprice\n7\tseven\t7.7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New("files2")
+	if err := s.RegisterFile("p", path, fileSchema, WithDelimiter('\t'), WithHeader()); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Execute(ctx, source.NewScan("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := source.Drain(it)
+	if err != nil || len(rows) != 1 || rows[0][0].Int() != 7 {
+		t.Fatalf("disk scan = %v, %v", rows, err)
+	}
+}
+
+func TestFileProjection(t *testing.T) {
+	s := New("files3")
+	s.RegisterData("products", csvData, fileSchema)
+	q := source.NewScan("products")
+	q.Columns = []int{2, 0}
+	it, err := s.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := source.Drain(it)
+	if len(rows[0]) != 2 || rows[0][0].Float() != 9.99 || rows[0][1].Int() != 1 {
+		t.Errorf("projection = %v", rows[0])
+	}
+	q.Columns = []int{5}
+	if _, err := s.Execute(ctx, q); err == nil {
+		t.Error("bad projection column must error")
+	}
+}
+
+func TestFileEmptyFieldIsNull(t *testing.T) {
+	s := New("files4")
+	s.RegisterData("p", "1,,2.5\n", fileSchema)
+	it, _ := s.Execute(ctx, source.NewScan("p"))
+	rows, err := source.Drain(it)
+	if err != nil || !rows[0][1].IsNull() {
+		t.Errorf("empty field = %v, %v", rows[0], err)
+	}
+}
+
+func TestFileRejectsUnsupportedShapes(t *testing.T) {
+	s := New("files5")
+	s.RegisterData("p", csvData, fileSchema)
+	q := source.NewScan("p")
+	q.Limit = 1
+	if _, err := s.Execute(ctx, q); err == nil {
+		t.Error("limit must be rejected")
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	s := New("files6")
+	if err := s.RegisterData("p", csvData, fileSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterData("p", csvData, fileSchema); err == nil {
+		t.Error("duplicate table must error")
+	}
+	if _, err := s.Execute(ctx, source.NewScan("ghost")); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, err := s.TableInfo(ctx, "ghost"); err == nil {
+		t.Error("unknown table info must error")
+	}
+	// Bad field count.
+	s.RegisterData("bad", "1,2\n", fileSchema)
+	it, err := s.Execute(ctx, source.NewScan("bad"))
+	if err == nil {
+		if _, err = source.Drain(it); err == nil {
+			t.Error("short record must error")
+		}
+	}
+	// Uncoercible field.
+	s.RegisterData("bad2", "xyz,a,1.0\n", fileSchema)
+	it, err = s.Execute(ctx, source.NewScan("bad2"))
+	if err == nil {
+		if _, err = source.Drain(it); err == nil {
+			t.Error("uncoercible field must error")
+		}
+	}
+	// Missing file surfaces at Execute.
+	if err := s.RegisterFile("nofile", "/nonexistent/file.csv", fileSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(ctx, source.NewScan("nofile")); err == nil {
+		t.Error("missing file must error")
+	}
+	names, _ := s.Tables(ctx)
+	if len(names) != 4 {
+		t.Errorf("Tables = %v", names)
+	}
+}
+
+func TestFileCapabilities(t *testing.T) {
+	c := New("f").Capabilities()
+	if c.Filter != source.FilterNone || !c.Project || c.Write {
+		t.Errorf("caps = %v", c)
+	}
+}

@@ -1,0 +1,313 @@
+// Package kvstore implements an ordered key-value component system: a
+// from-scratch in-memory B-tree keyed by values of the global type
+// system, wrapped as a weak source that supports only keyed access
+// (equality and range predicates on the key column). It models the
+// keyed-record stores (IMS/VSAM-era systems) the paper's component
+// inventory includes.
+package kvstore
+
+import (
+	"gis/internal/types"
+)
+
+// degree is the minimum branching factor of the B-tree: every node other
+// than the root holds between degree-1 and 2*degree-1 items.
+const degree = 16
+
+type item struct {
+	key types.Value
+	val types.Row
+}
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of the first item with key >= k and whether the
+// item at that index equals k.
+func (n *node) find(k types.Value) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].key.Compare(k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && n.items[lo].key.Compare(k) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// BTree is an ordered map from types.Value keys to rows. Duplicate keys
+// are not allowed; Put replaces. The zero value is not usable — call
+// NewBTree.
+type BTree struct {
+	root *node
+	size int
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &node{}} }
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// Get returns the row stored under k.
+func (t *BTree) Get(k types.Value) (types.Row, bool) {
+	n := t.root
+	for {
+		i, eq := n.find(k)
+		if eq {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Put inserts or replaces the entry for k. It reports whether a new key
+// was inserted (false means replaced).
+func (t *BTree) Put(k types.Value, v types.Row) bool {
+	if len(t.root.items) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	inserted := t.root.insert(k, v)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child at index i, lifting its median item.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	median := child.items[mid]
+	right := &node{
+		items: append([]item(nil), child.items[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insert(k types.Value, v types.Row) bool {
+	i, eq := n.find(k)
+	if eq {
+		n.items[i].val = v
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: k, val: v}
+		return true
+	}
+	if len(n.children[i].items) == 2*degree-1 {
+		n.splitChild(i)
+		switch c := k.Compare(n.items[i].key); {
+		case c == 0:
+			n.items[i].val = v
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insert(k, v)
+}
+
+// Delete removes the entry for k and reports whether it existed.
+func (t *BTree) Delete(k types.Value) bool {
+	if t.size == 0 {
+		return false
+	}
+	deleted := t.root.delete(k)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (n *node) delete(k types.Value) bool {
+	i, eq := n.find(k)
+	if n.leaf() {
+		if !eq {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with predecessor from the left child, then delete it.
+		left := n.children[i]
+		if len(left.items) >= degree {
+			pred := left.maxItem()
+			n.items[i] = pred
+			return left.delete(pred.key)
+		}
+		right := n.children[i+1]
+		if len(right.items) >= degree {
+			succ := right.minItem()
+			n.items[i] = succ
+			return right.delete(succ.key)
+		}
+		// Merge left + median + right, then recurse.
+		n.mergeChildren(i)
+		return n.children[i].delete(k)
+	}
+	child := n.children[i]
+	if len(child.items) < degree {
+		n.fill(i)
+		// fill may have merged child i with a sibling; recompute.
+		i, _ = n.find(k)
+		if i > len(n.children)-1 {
+			i = len(n.children) - 1
+		}
+		child = n.children[i]
+	}
+	return child.delete(k)
+}
+
+func (n *node) maxItem() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *node) minItem() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// fill ensures child i has at least degree items by borrowing from a
+// sibling or merging.
+func (n *node) fill(i int) {
+	if i > 0 && len(n.children[i-1].items) >= degree {
+		// Borrow from left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append([]item{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append([]*node{moved}, child.children...)
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= degree {
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if !right.leaf() {
+			moved := right.children[0]
+			right.children = right.children[1:]
+			child.children = append(child.children, moved)
+		}
+		return
+	}
+	if i < len(n.children)-1 {
+		n.mergeChildren(i)
+	} else {
+		n.mergeChildren(i - 1)
+	}
+}
+
+// mergeChildren merges child i, separator i, and child i+1.
+func (n *node) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Bound is one end of a range scan.
+type Bound struct {
+	Value types.Value
+	// Inclusive includes the bound value itself.
+	Inclusive bool
+	// Unbounded ignores Value (open end).
+	Unbounded bool
+}
+
+// Ascend visits entries with lo <= key <= hi (per bound flags) in key
+// order. fn returning false stops the scan.
+func (t *BTree) Ascend(lo, hi Bound, fn func(k types.Value, v types.Row) bool) {
+	t.root.ascend(lo, hi, fn)
+}
+
+// ascend performs an in-order traversal starting at the subtree that can
+// contain lo, stopping as soon as a key exceeds hi. Returning false means
+// "stop the whole scan".
+func (n *node) ascend(lo, hi Bound, fn func(types.Value, types.Row) bool) bool {
+	start := 0
+	if !lo.Unbounded {
+		// First item >= lo; the child at the same index may also hold
+		// in-range keys (those between items[start-1] and items[start]).
+		start, _ = n.find(lo.Value)
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		it := n.items[i]
+		if !lo.Unbounded {
+			c := it.key.Compare(lo.Value)
+			if c < 0 || (c == 0 && !lo.Inclusive) {
+				continue
+			}
+		}
+		if !hi.Unbounded {
+			c := it.key.Compare(hi.Value)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				return false
+			}
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unbounded is the open bound.
+var Unbounded = Bound{Unbounded: true}
+
+// Incl returns an inclusive bound at v.
+func Incl(v types.Value) Bound { return Bound{Value: v, Inclusive: true} }
+
+// Excl returns an exclusive bound at v.
+func Excl(v types.Value) Bound { return Bound{Value: v} }

@@ -1,0 +1,306 @@
+package plan
+
+import (
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// pushAggregates sinks aggregation into fragment scans where the source
+// supports it:
+//
+//   - a single-fragment scan evaluates the whole aggregation remotely
+//     (exact pushdown);
+//   - a multi-fragment union evaluates a *partial* aggregation per
+//     fragment and the mediator combines the partials (two-phase
+//     aggregation: COUNT→SUM, SUM→SUM, MIN→MIN, MAX→MAX, and AVG is
+//     decomposed into SUM+COUNT with a final division).
+//
+// The rewrite requires: group keys and aggregate arguments are bare
+// columns, every referenced column is identity-mapped, the scan has no
+// residual work, and the source advertises aggregate capability.
+// DISTINCT aggregates never push (distinctness is global).
+func pushAggregates(n Node) Node {
+	rewriteChildren(n, pushAggregates)
+	agg, ok := n.(*Aggregate)
+	if !ok {
+		return n
+	}
+	switch input := agg.Input.(type) {
+	case *FragScan:
+		if out := pushWholeAggregate(agg, input); out != nil {
+			return out
+		}
+	case *Union:
+		if out := pushPartialAggregate(agg, input); out != nil {
+			return out
+		}
+	}
+	return n
+}
+
+// aggPushable checks the shared preconditions and resolves the remote
+// columns of the group keys and aggregate arguments.
+func aggPushable(agg *Aggregate, fs *FragScan) (groupRemote []int, argRemote []int, ok bool) {
+	if fs.Raw || fs.Query.HasAggregation() {
+		return nil, nil, false
+	}
+	if !fs.Residual.Empty() || fs.GlobalResidual != nil {
+		return nil, nil, false
+	}
+	caps := fs.Src.Capabilities()
+	if !caps.Aggregate {
+		return nil, nil, false
+	}
+	// Resolve one FragScan output column to its remote column, demanding
+	// an identity mapping.
+	remoteOf := func(outCol int) (int, bool) {
+		if outCol < 0 || outCol >= len(fs.Out) {
+			return -1, false
+		}
+		gcol := fs.Cols[fs.Out[outCol]]
+		m := fs.Frag.Columns[gcol]
+		if !m.Identity() {
+			return -1, false
+		}
+		return m.RemoteCol, true
+	}
+	for _, g := range agg.GroupBy {
+		ref, isCol := g.(*expr.ColRef)
+		if !isCol {
+			return nil, nil, false
+		}
+		rc, ok := remoteOf(ref.Index)
+		if !ok {
+			return nil, nil, false
+		}
+		groupRemote = append(groupRemote, rc)
+	}
+	for _, a := range agg.Aggs {
+		if a.Distinct {
+			return nil, nil, false
+		}
+		if a.Arg == nil {
+			argRemote = append(argRemote, -1)
+			continue
+		}
+		ref, isCol := a.Arg.(*expr.ColRef)
+		if !isCol {
+			return nil, nil, false
+		}
+		rc, ok := remoteOf(ref.Index)
+		if !ok {
+			return nil, nil, false
+		}
+		argRemote = append(argRemote, rc)
+	}
+	return groupRemote, argRemote, true
+}
+
+// pushWholeAggregate rewrites Aggregate(FragScan) into a raw scan whose
+// remote query aggregates; nil when not applicable.
+func pushWholeAggregate(agg *Aggregate, fs *FragScan) Node {
+	groupRemote, argRemote, ok := aggPushable(agg, fs)
+	if !ok {
+		return nil
+	}
+	q := *fs.Query
+	q.Columns = nil
+	q.GroupBy = groupRemote
+	q.Aggs = make([]source.AggSpec, len(agg.Aggs))
+	for i, a := range agg.Aggs {
+		q.Aggs[i] = source.AggSpec{Kind: a.Kind, Col: argRemote[i], Star: a.Arg == nil}
+	}
+	return &FragScan{
+		Src: fs.Src, Frag: fs.Frag, Query: &q,
+		Residual:     &source.Residual{Limit: -1},
+		GlobalSchema: fs.GlobalSchema,
+		OutSchema:    agg.Schema(),
+		Raw:          true,
+	}
+}
+
+// partialSpec describes how one final aggregate decomposes into partial
+// remote aggregates and a combining function.
+type partialSpec struct {
+	// cols are the positions of this aggregate's partials in the
+	// per-fragment output (after the group keys).
+	sumCol, cntCol int
+	kind           expr.AggKind
+}
+
+// pushPartialAggregate rewrites Aggregate(Union{FragScans}) into
+// Project(FinalAggregate(Union{partial FragScans})); nil when any
+// fragment cannot participate.
+func pushPartialAggregate(agg *Aggregate, u *Union) Node {
+	if !u.All || len(agg.Aggs) == 0 {
+		return nil
+	}
+	type fragPush struct {
+		fs          *FragScan
+		groupRemote []int
+		argRemote   []int
+	}
+	var pushes []fragPush
+	for _, in := range u.Inputs {
+		fs, isScan := in.(*FragScan)
+		if !isScan {
+			return nil
+		}
+		g, a, ok := aggPushable(agg, fs)
+		if !ok {
+			return nil
+		}
+		pushes = append(pushes, fragPush{fs, g, a})
+	}
+
+	// Build the partial aggregate list: AVG becomes SUM+COUNT; every
+	// other aggregate maps to itself.
+	nGroup := len(agg.GroupBy)
+	var specs []partialSpec
+	var partialAggs []struct {
+		kind expr.AggKind
+		argI int // index into argRemote
+		star bool
+	}
+	for i, a := range agg.Aggs {
+		switch a.Kind {
+		case expr.AggAvg:
+			specs = append(specs, partialSpec{
+				sumCol: nGroup + len(partialAggs),
+				cntCol: nGroup + len(partialAggs) + 1,
+				kind:   expr.AggAvg,
+			})
+			partialAggs = append(partialAggs,
+				struct {
+					kind expr.AggKind
+					argI int
+					star bool
+				}{expr.AggSum, i, false},
+				struct {
+					kind expr.AggKind
+					argI int
+					star bool
+				}{expr.AggCount, i, false})
+		default:
+			specs = append(specs, partialSpec{
+				sumCol: nGroup + len(partialAggs),
+				cntCol: -1,
+				kind:   a.Kind,
+			})
+			partialAggs = append(partialAggs, struct {
+				kind expr.AggKind
+				argI int
+				star bool
+			}{a.Kind, i, a.Arg == nil})
+		}
+	}
+
+	// Per-fragment raw scans with the partial aggregation pushed.
+	newInputs := make([]Node, len(pushes))
+	var partialSchema *types.Schema
+	for pi, p := range pushes {
+		q := *p.fs.Query
+		q.Columns = nil
+		q.GroupBy = p.groupRemote
+		q.Aggs = make([]source.AggSpec, len(partialAggs))
+		for i, pa := range partialAggs {
+			col := -1
+			if !pa.star {
+				col = p.argRemote[pa.argI]
+			}
+			q.Aggs[i] = source.AggSpec{Kind: pa.kind, Col: col, Star: pa.star}
+		}
+		sch, err := q.OutputSchema(p.fs.Frag.Info().Schema)
+		if err != nil {
+			return nil
+		}
+		if partialSchema == nil {
+			partialSchema = sch
+		}
+		newInputs[pi] = &FragScan{
+			Src: p.fs.Src, Frag: p.fs.Frag, Query: &q,
+			Residual:     &source.Residual{Limit: -1},
+			GlobalSchema: p.fs.GlobalSchema,
+			OutSchema:    sch,
+			Raw:          true,
+		}
+	}
+	partialUnion := &Union{Inputs: newInputs, All: true, Parallel: u.Parallel}
+
+	// Final aggregation combines the partials, grouped by the keys.
+	final := &Aggregate{Input: partialUnion}
+	for i := 0; i < nGroup; i++ {
+		c := partialSchema.Columns[i]
+		final.GroupBy = append(final.GroupBy, expr.NewBoundColRef(i, c.Type, c.Name))
+	}
+	for i, pa := range partialAggs {
+		col := nGroup + i
+		c := partialSchema.Columns[col]
+		var kind expr.AggKind
+		switch pa.kind {
+		case expr.AggCount, expr.AggSum:
+			kind = expr.AggSum
+		case expr.AggMin:
+			kind = expr.AggMin
+		case expr.AggMax:
+			kind = expr.AggMax
+		default:
+			return nil
+		}
+		final.Aggs = append(final.Aggs, AggItem{
+			Kind: kind,
+			Arg:  expr.NewBoundColRef(col, c.Type, c.Name),
+			Name: c.Name,
+		})
+	}
+
+	// Final projection restores the requested output: group keys, then
+	// each aggregate (AVG = sum/count). COUNT's SUM-of-partials can be
+	// NULL when a group appears in no fragment output (impossible) — but
+	// the SUM of counts over at least one partial is never NULL.
+	finalSchema := final.Schema()
+	outSchema := agg.Schema()
+	proj := &Project{Input: final}
+	for i := 0; i < nGroup; i++ {
+		c := finalSchema.Columns[i]
+		ref := expr.NewBoundColRef(i, c.Type, outSchema.Columns[i].Name)
+		proj.Exprs = append(proj.Exprs, ref)
+		proj.Names = append(proj.Names, outSchema.Columns[i].Name)
+	}
+	for i, sp := range specs {
+		name := outSchema.Columns[nGroup+i].Name
+		switch sp.kind {
+		case expr.AggAvg:
+			// AVG = SUM(partial sums) / NULLIF(SUM(partial counts), 0);
+			// NULLIF keeps all-NULL groups NULL instead of dividing by
+			// zero.
+			sum := expr.NewBoundColRef(sp.sumCol, finalSchema.Columns[sp.sumCol].Type, "")
+			cnt := expr.NewBoundColRef(sp.cntCol, finalSchema.Columns[sp.cntCol].Type, "")
+			nullif := expr.NewCall("NULLIF", cnt, expr.NewConst(types.NewInt(0)))
+			div := expr.NewBinary(expr.OpDiv,
+				&expr.Cast{E: sum, To: types.KindFloat},
+				&expr.Cast{E: nullif, To: types.KindFloat})
+			bound, err := expr.Bind(div, finalSchema)
+			if err != nil {
+				return nil
+			}
+			proj.Exprs = append(proj.Exprs, bound)
+		case expr.AggCount:
+			// SUM of partial counts is typed INT already, but guard the
+			// empty-global-group case: COALESCE(sum, 0).
+			ref := expr.NewBoundColRef(sp.sumCol, finalSchema.Columns[sp.sumCol].Type, "")
+			co := expr.NewCall("COALESCE", ref, expr.NewConst(types.NewInt(0)))
+			bound, err := expr.Bind(co, finalSchema)
+			if err != nil {
+				return nil
+			}
+			proj.Exprs = append(proj.Exprs, bound)
+		default:
+			ref := expr.NewBoundColRef(sp.sumCol, finalSchema.Columns[sp.sumCol].Type, name)
+			proj.Exprs = append(proj.Exprs, ref)
+		}
+		proj.Names = append(proj.Names, name)
+	}
+	return proj
+}

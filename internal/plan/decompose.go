@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"fmt"
+
+	"gis/internal/catalog"
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// decompose replaces every GlobalScan with per-fragment FragScans
+// (unioned when the table has several fragments), translating and
+// splitting the scan's filter per fragment capability, and pruning
+// fragments whose partition predicate contradicts the filter.
+func decompose(n Node, cat *catalog.Catalog, parallel bool) (Node, error) {
+	if gs, ok := n.(*GlobalScan); ok {
+		return decomposeScan(gs, cat, parallel)
+	}
+	var err error
+	switch t := n.(type) {
+	case *Filter:
+		t.Input, err = decompose(t.Input, cat, parallel)
+	case *Project:
+		t.Input, err = decompose(t.Input, cat, parallel)
+	case *Aggregate:
+		t.Input, err = decompose(t.Input, cat, parallel)
+	case *Sort:
+		t.Input, err = decompose(t.Input, cat, parallel)
+	case *Limit:
+		t.Input, err = decompose(t.Input, cat, parallel)
+	case *Distinct:
+		t.Input, err = decompose(t.Input, cat, parallel)
+	case *Union:
+		for i := range t.Inputs {
+			t.Inputs[i], err = decompose(t.Inputs[i], cat, parallel)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case *Join:
+		t.L, err = decompose(t.L, cat, parallel)
+		if err != nil {
+			return nil, err
+		}
+		t.R, err = decompose(t.R, cat, parallel)
+	}
+	return n, err
+}
+
+// decomposeScan builds the fragment plan for one global scan.
+func decomposeScan(gs *GlobalScan, cat *catalog.Catalog, parallel bool) (Node, error) {
+	tab := gs.Table
+	if len(tab.Fragments) == 0 {
+		return nil, fmt.Errorf("plan: global table %q has no fragments mapped", tab.Name)
+	}
+	// Requested output columns over the full global schema.
+	requested := gs.Cols
+	if requested == nil {
+		requested = make([]int, tab.Schema.Len())
+		for i := range requested {
+			requested[i] = i
+		}
+	}
+	outSchema := gs.Schema()
+
+	var scans []Node
+	for _, frag := range tab.Fragments {
+		if frag.PruneByPartition(gs.Filter) {
+			continue
+		}
+		fs, err := buildFragScan(cat, tab, frag, requested, gs.Filter, outSchema)
+		if err != nil {
+			return nil, err
+		}
+		scans = append(scans, fs)
+	}
+	if len(scans) == 0 {
+		// Every fragment pruned: an empty relation of the right shape.
+		return &Values{Out: outSchema}, nil
+	}
+	if len(scans) == 1 {
+		return scans[0], nil
+	}
+	return &Union{Inputs: scans, All: true, Parallel: parallel}, nil
+}
+
+// buildFragScan constructs one fragment's scan: filter translation,
+// capability split, and the fetch/output column bookkeeping.
+func buildFragScan(cat *catalog.Catalog, tab *catalog.GlobalTable, frag *catalog.Fragment,
+	requested []int, filter expr.Expr, outSchema *types.Schema) (*FragScan, error) {
+
+	src, err := cat.Source(frag.Source)
+	if err != nil {
+		return nil, err
+	}
+	info := frag.Info()
+
+	// Split the filter into a remote-translated part and a global-side
+	// residual.
+	remoteFilter, globalResidual := frag.SplitFilter(filter)
+
+	// Fetched columns: requested plus whatever the residual needs.
+	fetchSet := map[int]struct{}{}
+	for _, c := range requested {
+		fetchSet[c] = struct{}{}
+	}
+	for c := range expr.ColumnSet(globalResidual) {
+		fetchSet[c] = struct{}{}
+	}
+	fetch := make([]int, 0, len(fetchSet))
+	for c := range fetchSet {
+		fetch = append(fetch, c)
+	}
+	sortInts(fetch)
+
+	// Remote projection: the remote columns backing the fetched set.
+	remoteCols, _ := frag.RemoteCols(fetch)
+
+	desired := &source.Query{
+		Table:   frag.RemoteTable,
+		Columns: remoteCols,
+		Filter:  remoteFilter,
+		Limit:   -1,
+	}
+	pushed, residual := source.Split(desired, src.Capabilities(), info)
+
+	// Remap the global residual onto the fetched layout.
+	remap := make(map[int]int, len(fetch))
+	for i, c := range fetch {
+		remap[c] = i
+	}
+	gres := expr.Remap(globalResidual, remap)
+
+	// Output projection within the fetched layout.
+	out := make([]int, len(requested))
+	for i, c := range requested {
+		out[i] = remap[c]
+	}
+
+	return &FragScan{
+		Src:            src,
+		Frag:           frag,
+		Query:          pushed,
+		Residual:       residual,
+		Cols:           fetch,
+		GlobalResidual: gres,
+		Out:            out,
+		GlobalSchema:   tab.Schema,
+		OutSchema:      outSchema,
+	}, nil
+}
+
+// chooseStrategies assigns a distributed execution strategy to every
+// auto-strategy join whose right side is remote. forced overrides the
+// cost decision when not StrategyAuto.
+func chooseStrategies(n Node, forced Strategy, bindThreshold float64) Node {
+	rewriteChildren(n, func(c Node) Node { return chooseStrategies(c, forced, bindThreshold) })
+	j, ok := n.(*Join)
+	if !ok || j.Strategy != StrategyAuto {
+		return n
+	}
+	if len(j.EquiL) == 0 {
+		j.Strategy = StrategyShipAll
+		return j
+	}
+	rights := rightFragScans(j.R)
+	if len(rights) == 0 {
+		j.Strategy = StrategyShipAll
+		return j
+	}
+	// The right side must accept the join key remotely on every
+	// fragment for semijoin/bind to be legal.
+	for _, fs := range rights {
+		if _, ok := fs.CanBindOn(j.EquiR[0]); !ok {
+			j.Strategy = StrategyShipAll
+			return j
+		}
+	}
+	if forced != StrategyAuto {
+		j.Strategy = forced
+		return j
+	}
+	estL, estR := EstimateRows(j.L), EstimateRows(j.R)
+	estJoin := EstimateRows(j)
+	matchedR := estJoin
+	if matchedR > estR {
+		matchedR = estR
+	}
+	switch {
+	case estL <= bindThreshold:
+		j.Strategy = StrategyBind
+	case estL+matchedR < 0.8*(estL+estR):
+		j.Strategy = StrategySemiJoin
+	default:
+		j.Strategy = StrategyShipAll
+	}
+	return j
+}
+
+// rightFragScans returns the FragScans making up a join's right side
+// when it is shaped for semijoin/bind (a bare FragScan or a union of
+// them); nil otherwise.
+func rightFragScans(n Node) []*FragScan {
+	switch t := n.(type) {
+	case *FragScan:
+		return []*FragScan{t}
+	case *Union:
+		var out []*FragScan
+		for _, in := range t.Inputs {
+			fs, ok := in.(*FragScan)
+			if !ok {
+				return nil
+			}
+			out = append(out, fs)
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,714 @@
+// Package plan implements the mediator's query planner: logical plan
+// construction from the SQL AST, rewrite rules (constant folding,
+// predicate pushdown, projection pruning), cost-based join ordering,
+// distributed join strategy selection (ship-all / semijoin / bind join),
+// and capability-based decomposition of global table scans into
+// per-fragment remote queries with mediator-side compensation.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"gis/internal/catalog"
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/stats"
+	"gis/internal/types"
+)
+
+// Node is a logical (and, after decomposition, physical) plan operator.
+type Node interface {
+	// Schema describes the rows the node produces.
+	Schema() *types.Schema
+	// Children returns input operators.
+	Children() []Node
+	// Describe renders one line for EXPLAIN output.
+	Describe() string
+}
+
+// GlobalScan reads a global table; the optimizer pushes filters and
+// projections into it, and decomposition replaces it with fragment scans.
+type GlobalScan struct {
+	Table *catalog.GlobalTable
+	// Cols are the global column positions to produce (nil = all).
+	Cols []int
+	// Filter is a bound predicate over the *full* global schema that
+	// the scan must apply before projecting to Cols.
+	Filter expr.Expr
+	// schema caches the output shape.
+	schema *types.Schema
+	// Alias qualifies output columns (FROM t AS x).
+	Alias string
+}
+
+// NewGlobalScan builds a scan of every column of table.
+func NewGlobalScan(t *catalog.GlobalTable, alias string) *GlobalScan {
+	return &GlobalScan{Table: t, Alias: alias}
+}
+
+// Schema implements Node.
+func (s *GlobalScan) Schema() *types.Schema {
+	if s.schema == nil {
+		base := s.Table.Schema
+		var cols []types.Column
+		if s.Cols == nil {
+			cols = append(cols, base.Columns...)
+		} else {
+			for _, c := range s.Cols {
+				cols = append(cols, base.Columns[c])
+			}
+		}
+		sc := &types.Schema{Columns: cols}
+		if s.Alias != "" {
+			sc = sc.WithQualifier(s.Alias)
+		}
+		s.schema = sc
+	}
+	return s.schema
+}
+
+// Children implements Node.
+func (s *GlobalScan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (s *GlobalScan) Describe() string {
+	out := "GlobalScan " + s.Table.Name
+	if s.Alias != "" && s.Alias != s.Table.Name {
+		out += " AS " + s.Alias
+	}
+	if s.Filter != nil {
+		out += " filter=" + s.Filter.String()
+	}
+	if s.Cols != nil {
+		out += fmt.Sprintf(" cols=%v", s.Cols)
+	}
+	return out
+}
+
+// invalidate clears the cached schema after mutation.
+func (s *GlobalScan) invalidate() { s.schema = nil }
+
+// FragScan executes one fragment's share of a global scan. The pipeline
+// is: ship Query to the fragment's source; apply the remote-space
+// Residual at the mediator; translate rows to the global representation
+// of the fetched columns (Cols); apply GlobalResidual; project to Out.
+// Decomposition produces these.
+type FragScan struct {
+	Src      source.Source
+	Frag     *catalog.Fragment
+	Query    *source.Query
+	Residual *source.Residual
+	// Cols are the fetched global columns, in translation order (they
+	// may include columns needed only by GlobalResidual).
+	Cols []int
+	// GlobalResidual is a predicate bound over the fetched layout.
+	GlobalResidual expr.Expr
+	// Out projects the fetched layout to the node's output (positions
+	// into Cols).
+	Out []int
+	// GlobalSchema is the full global table schema (for translation).
+	GlobalSchema *types.Schema
+	// OutSchema is the produced schema.
+	OutSchema *types.Schema
+	// Raw emits the remote rows unchanged (no translation, residuals,
+	// or projection) — set when aggregation was pushed into Query, whose
+	// output is already in its final shape.
+	Raw bool
+}
+
+// CanBindOn reports whether the scan's source can evaluate an IN-list
+// predicate on the given output column, and returns the remote column it
+// maps to. Used by the semijoin/bind strategy chooser.
+func (s *FragScan) CanBindOn(outCol int) (int, bool) {
+	if outCol < 0 || outCol >= len(s.Out) {
+		return -1, false
+	}
+	gcol := s.Cols[s.Out[outCol]]
+	m := s.Frag.Columns[gcol]
+	if m.RemoteCol < 0 || !m.Invertible() {
+		return -1, false
+	}
+	caps := s.Src.Capabilities()
+	switch caps.Filter {
+	case source.FilterFull:
+		return m.RemoteCol, true
+	case source.FilterKey:
+		for _, k := range s.Frag.Info().KeyColumns {
+			if k == m.RemoteCol {
+				return m.RemoteCol, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// Schema implements Node.
+func (s *FragScan) Schema() *types.Schema { return s.OutSchema }
+
+// Children implements Node.
+func (s *FragScan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (s *FragScan) Describe() string {
+	out := fmt.Sprintf("FragScan %s.%s [%s]", s.Frag.Source, s.Frag.RemoteTable, s.Query)
+	if !s.Residual.Empty() {
+		out += " +compensate"
+	}
+	if s.GlobalResidual != nil {
+		out += " globalFilter=" + s.GlobalResidual.String()
+	}
+	return out
+}
+
+// Filter keeps rows satisfying Pred.
+type Filter struct {
+	Pred  expr.Expr
+	Input Node
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() *types.Schema { return f.Input.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Input} }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return "Filter " + f.Pred.String() }
+
+// Project computes expressions over input rows.
+type Project struct {
+	Exprs []expr.Expr
+	Names []string
+	Input Node
+
+	schema *types.Schema
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *types.Schema {
+	if p.schema == nil {
+		cols := make([]types.Column, len(p.Exprs))
+		for i, e := range p.Exprs {
+			name := p.Names[i]
+			table := ""
+			if c, ok := e.(*expr.ColRef); ok {
+				if name == "" {
+					name = c.Name
+				}
+				table = c.Table
+				if table == "" && c.Index >= 0 && c.Index < p.Input.Schema().Len() {
+					table = p.Input.Schema().Columns[c.Index].Table
+				}
+			}
+			if name == "" {
+				name = e.String()
+			}
+			cols[i] = types.Column{Table: table, Name: name, Type: e.ResultType(), Nullable: true}
+		}
+		p.schema = &types.Schema{Columns: cols}
+	}
+	return p.schema
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// Describe implements Node.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// JoinKind enumerates logical join types.
+type JoinKind uint8
+
+// Logical join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+	JoinSemi // EXISTS / IN decorrelation
+	JoinAnti // NOT EXISTS / NOT IN
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "inner"
+	case JoinLeft:
+		return "left"
+	case JoinCross:
+		return "cross"
+	case JoinSemi:
+		return "semi"
+	case JoinAnti:
+		return "anti"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", uint8(k))
+	}
+}
+
+// Strategy selects the distributed execution tactic for a join.
+type Strategy uint8
+
+// Join strategies.
+const (
+	// StrategyAuto lets the optimizer cost the options.
+	StrategyAuto Strategy = iota
+	// StrategyShipAll fetches both inputs wholesale and hash-joins at
+	// the mediator.
+	StrategyShipAll
+	// StrategySemiJoin fetches the left side, ships its distinct join
+	// keys to the right source as an IN filter, then joins.
+	StrategySemiJoin
+	// StrategyBind re-executes the right side per batch of left rows
+	// with the join keys bound (point queries against keyed sources).
+	StrategyBind
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyShipAll:
+		return "ship-all"
+	case StrategySemiJoin:
+		return "semijoin"
+	case StrategyBind:
+		return "bind"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Join combines two inputs. Cond is bound over the concatenated schema
+// (left columns first). For semi/anti joins the output schema is the
+// left schema.
+type Join struct {
+	Kind     JoinKind
+	Cond     expr.Expr
+	L, R     Node
+	Strategy Strategy
+
+	// EquiL/EquiR list the column positions of equi-join keys extracted
+	// from Cond (left positions in L's schema, right in R's), set by the
+	// optimizer; empty means no hash join possible.
+	EquiL, EquiR []int
+	// Merge executes the join with a streaming sort-merge: the optimizer
+	// sets it only after arranging both inputs to arrive sorted on the
+	// first equi key.
+	Merge bool
+
+	schema *types.Schema
+}
+
+// Schema implements Node.
+func (j *Join) Schema() *types.Schema {
+	if j.schema == nil {
+		switch j.Kind {
+		case JoinSemi, JoinAnti:
+			j.schema = j.L.Schema()
+		case JoinLeft:
+			s := j.L.Schema().Concat(j.R.Schema())
+			// Right side becomes nullable.
+			for i := j.L.Schema().Len(); i < s.Len(); i++ {
+				s.Columns[i].Nullable = true
+			}
+			j.schema = s
+		default:
+			j.schema = j.L.Schema().Concat(j.R.Schema())
+		}
+	}
+	return j.schema
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+
+// Describe implements Node.
+func (j *Join) Describe() string {
+	out := fmt.Sprintf("Join %s", j.Kind)
+	if j.Strategy != StrategyAuto {
+		out += " strategy=" + j.Strategy.String()
+	}
+	if j.Merge {
+		out += " merge"
+	}
+	if j.Cond != nil {
+		out += " on " + j.Cond.String()
+	}
+	return out
+}
+
+// AggItem is one aggregate computed by an Aggregate node.
+type AggItem struct {
+	Kind     expr.AggKind
+	Arg      expr.Expr // nil for COUNT(*)
+	Distinct bool
+	Name     string
+}
+
+// Aggregate groups input rows by GroupBy expressions and computes Aggs.
+// Output schema: group columns (in order) then aggregate results.
+type Aggregate struct {
+	GroupBy []expr.Expr
+	Aggs    []AggItem
+	Input   Node
+
+	schema *types.Schema
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *types.Schema {
+	if a.schema == nil {
+		cols := make([]types.Column, 0, len(a.GroupBy)+len(a.Aggs))
+		for _, g := range a.GroupBy {
+			name := g.String()
+			table := ""
+			if c, ok := g.(*expr.ColRef); ok {
+				name = c.Name
+				table = c.Table
+				if table == "" && c.Index >= 0 && c.Index < a.Input.Schema().Len() {
+					table = a.Input.Schema().Columns[c.Index].Table
+				}
+			}
+			cols = append(cols, types.Column{Table: table, Name: name, Type: g.ResultType(), Nullable: true})
+		}
+		for _, ag := range a.Aggs {
+			in := types.KindInt
+			if ag.Arg != nil {
+				in = ag.Arg.ResultType()
+			}
+			name := ag.Name
+			if name == "" {
+				name = strings.ToLower(ag.Kind.String())
+			}
+			cols = append(cols, types.Column{Name: name, Type: expr.AggResultType(ag.Kind, in), Nullable: ag.Kind != expr.AggCount})
+		}
+		a.schema = &types.Schema{Columns: cols}
+	}
+	return a.schema
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// Describe implements Node.
+func (a *Aggregate) Describe() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	var aggs []string
+	for _, ag := range a.Aggs {
+		arg := "*"
+		if ag.Arg != nil {
+			arg = ag.Arg.String()
+		}
+		aggs = append(aggs, fmt.Sprintf("%s(%s)", ag.Kind, arg))
+	}
+	return fmt.Sprintf("Aggregate group=[%s] aggs=[%s]", strings.Join(parts, ", "), strings.Join(aggs, ", "))
+}
+
+// SortKey is one ORDER BY key bound over the input schema.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// Sort orders input rows.
+type Sort struct {
+	Keys  []SortKey
+	Input Node
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() *types.Schema { return s.Input.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+// Describe implements Node.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.E.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+// Limit truncates input after Offset+N rows, skipping Offset.
+type Limit struct {
+	N      int64
+	Offset int64
+	Input  Node
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() *types.Schema { return l.Input.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// Describe implements Node.
+func (l *Limit) Describe() string {
+	if l.Offset > 0 {
+		return fmt.Sprintf("Limit %d offset %d", l.N, l.Offset)
+	}
+	return fmt.Sprintf("Limit %d", l.N)
+}
+
+// Union concatenates the outputs of its inputs (schemas must be
+// union-compatible). All=false deduplicates.
+type Union struct {
+	Inputs []Node
+	All    bool
+	// Parallel fetches inputs concurrently (set by the optimizer for
+	// fragment unions; the F4 ablation toggles it).
+	Parallel bool
+}
+
+// Schema implements Node.
+func (u *Union) Schema() *types.Schema { return u.Inputs[0].Schema() }
+
+// Children implements Node.
+func (u *Union) Children() []Node { return u.Inputs }
+
+// Describe implements Node.
+func (u *Union) Describe() string {
+	out := "Union"
+	if u.All {
+		out += " all"
+	}
+	if u.Parallel {
+		out += " parallel"
+	}
+	return out
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Input Node
+}
+
+// Schema implements Node.
+func (d *Distinct) Schema() *types.Schema { return d.Input.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Input} }
+
+// Describe implements Node.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Values produces literal rows (SELECT without FROM, VALUES lists).
+type Values struct {
+	Rows [][]expr.Expr
+	Out  *types.Schema
+}
+
+// Schema implements Node.
+func (v *Values) Schema() *types.Schema { return v.Out }
+
+// Children implements Node.
+func (v *Values) Children() []Node { return nil }
+
+// Describe implements Node.
+func (v *Values) Describe() string { return fmt.Sprintf("Values %d row(s)", len(v.Rows)) }
+
+// Explain renders a plan tree as indented text.
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.Describe())
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		explain(b, c, depth+1)
+	}
+}
+
+// EstimateRows estimates the node's output cardinality.
+func EstimateRows(n Node) float64 {
+	switch t := n.(type) {
+	case *GlobalScan:
+		ts := t.Table.Stats()
+		base := 1000.0
+		if ts != nil && ts.RowCount > 0 {
+			base = float64(ts.RowCount)
+		}
+		return base * stats.Selectivity(t.Filter, ts)
+	case *FragScan:
+		fs := t.Frag.Stats()
+		base := 1000.0
+		if fs != nil && fs.RowCount > 0 {
+			base = float64(fs.RowCount)
+		} else if t.Frag.Info() != nil && t.Frag.Info().RowCount > 0 {
+			base = float64(t.Frag.Info().RowCount)
+		}
+		sel := 1.0
+		if t.Query.Filter != nil {
+			sel *= stats.Selectivity(t.Query.Filter, fs)
+		}
+		if t.Residual != nil && t.Residual.Filter != nil {
+			sel *= stats.DefaultSel
+		}
+		if t.GlobalResidual != nil {
+			sel *= stats.DefaultSel
+		}
+		return base * sel
+	case *Filter:
+		return EstimateRows(t.Input) * stats.DefaultSel
+	case *Project:
+		return EstimateRows(t.Input)
+	case *Join:
+		l, r := EstimateRows(t.L), EstimateRows(t.R)
+		switch t.Kind {
+		case JoinCross:
+			return l * r
+		case JoinSemi, JoinAnti:
+			return l * 0.5
+		default:
+			if len(t.EquiL) > 0 {
+				// Equi-join: containment estimate via child stats when
+				// available, else sqrt damping.
+				return joinCardinality(t, l, r)
+			}
+			return l * r * stats.DefaultSel
+		}
+	case *Aggregate:
+		in := EstimateRows(t.Input)
+		if len(t.GroupBy) == 0 {
+			return 1
+		}
+		g := in / 10
+		if g < 1 {
+			g = 1
+		}
+		return g
+	case *Sort:
+		return EstimateRows(t.Input)
+	case *Limit:
+		in := EstimateRows(t.Input)
+		if float64(t.N) < in {
+			return float64(t.N)
+		}
+		return in
+	case *Union:
+		var sum float64
+		for _, c := range t.Inputs {
+			sum += EstimateRows(c)
+		}
+		return sum
+	case *Distinct:
+		return EstimateRows(t.Input) / 2
+	case *Values:
+		return float64(len(t.Rows))
+	default:
+		return 1000
+	}
+}
+
+func joinCardinality(j *Join, l, r float64) float64 {
+	lNDV := childColumnNDV(j.L, j.EquiL[0])
+	rNDV := childColumnNDV(j.R, j.EquiR[0])
+	ndv := lNDV
+	if rNDV > ndv {
+		ndv = rNDV
+	}
+	if ndv < 1 {
+		// Unknown: assume keys on the larger side.
+		ndv = l
+		if r > l {
+			ndv = r
+		}
+		if ndv < 1 {
+			ndv = 1
+		}
+	}
+	return l * r / ndv
+}
+
+// childColumnNDV digs the NDV of a column out of scan statistics; 0 when
+// unknown.
+func childColumnNDV(n Node, col int) float64 {
+	switch t := n.(type) {
+	case *GlobalScan:
+		ts := t.Table.Stats()
+		actual := col
+		if t.Cols != nil {
+			if col >= len(t.Cols) {
+				return 0
+			}
+			actual = t.Cols[col]
+		}
+		if ts != nil && actual < len(ts.Columns) && ts.Columns[actual].NDV > 0 {
+			return float64(ts.Columns[actual].NDV)
+		}
+	case *FragScan:
+		// Output col → fetched global col → remote col → remote-space
+		// fragment statistics.
+		if col < 0 || col >= len(t.Out) {
+			return 0
+		}
+		gcol := t.Cols[t.Out[col]]
+		m := t.Frag.Columns[gcol]
+		fs := t.Frag.Stats()
+		if m.RemoteCol >= 0 && fs != nil && m.RemoteCol < len(fs.Columns) && fs.Columns[m.RemoteCol].NDV > 0 {
+			return float64(fs.Columns[m.RemoteCol].NDV)
+		}
+	case *Union:
+		// Fragments of one table: distinct values may overlap; the max
+		// is a safe lower bound.
+		var best float64
+		for _, in := range t.Inputs {
+			if v := childColumnNDV(in, col); v > best {
+				best = v
+			}
+		}
+		return best
+	case *Filter:
+		return childColumnNDV(t.Input, col)
+	case *Project:
+		if col < len(t.Exprs) {
+			if c, ok := t.Exprs[col].(*expr.ColRef); ok {
+				return childColumnNDV(t.Input, c.Index)
+			}
+		}
+	}
+	return 0
+}
+
+// ExplainFunc renders the plan with a per-node annotation (used by
+// EXPLAIN ANALYZE to attach measured rows/time).
+func ExplainFunc(n Node, annotate func(Node) string) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(n.Describe())
+		if annotate != nil {
+			b.WriteString(annotate(n))
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"gis/internal/catalog"
+)
+
+// Options control the optimizer. The zero value is NOT usable; call
+// DefaultOptions. Every switch exists so the evaluation harness can
+// ablate one rule at a time (experiment F9).
+type Options struct {
+	// FoldConstants simplifies constant sub-expressions.
+	FoldConstants bool
+	// PushFilters sinks predicates toward (and into) the scans.
+	PushFilters bool
+	// PruneColumns trims unused columns so sources ship less data.
+	PruneColumns bool
+	// JoinOrder selects the join-order search algorithm.
+	JoinOrder JoinOrderAlgo
+	// ReorderJoins enables the join-order search at all.
+	ReorderJoins bool
+	// ForceStrategy overrides the per-join distributed strategy
+	// decision (StrategyAuto = cost-based).
+	ForceStrategy Strategy
+	// BindThreshold is the left-cardinality below which a bind join is
+	// chosen over a semijoin.
+	BindThreshold float64
+	// ParallelFragments fetches fragment unions concurrently.
+	ParallelFragments bool
+	// PushAggregates sinks aggregation into capable sources (exact for
+	// single fragments, two-phase partial aggregation across unions).
+	PushAggregates bool
+	// PushTopK sinks ORDER BY / LIMIT into capable sources (per-fragment
+	// top-k for unions).
+	PushTopK bool
+	// PreferMergeJoin converts eligible ship-all joins into streaming
+	// sort-merge joins (sources sort; the mediator needs no hash table).
+	// Off by default: it trades remote sorting for mediator memory.
+	PreferMergeJoin bool
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() *Options {
+	return &Options{
+		FoldConstants:     true,
+		PushFilters:       true,
+		PruneColumns:      true,
+		JoinOrder:         OrderDP,
+		ReorderJoins:      true,
+		ForceStrategy:     StrategyAuto,
+		BindThreshold:     64,
+		ParallelFragments: true,
+		PushAggregates:    true,
+		PushTopK:          true,
+	}
+}
+
+// Optimize runs the rewrite pipeline and decomposes the plan against the
+// catalog, producing an executable plan.
+func Optimize(n Node, cat *catalog.Catalog, opts *Options) (Node, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	if opts.FoldConstants {
+		n = foldConstants(n)
+	}
+	if opts.PushFilters {
+		n = pushDownFilters(n)
+	}
+	if opts.ReorderJoins {
+		n = chooseJoinOrder(n, opts.JoinOrder)
+		if opts.PushFilters {
+			// Reordering re-attaches predicates at joins; push the
+			// single-sided ones back into the scans.
+			n = pushDownFilters(n)
+		}
+	}
+	if opts.PruneColumns {
+		n = pruneColumns(n)
+	}
+	n = extractEquiKeys(n)
+	n, err := decompose(n, cat, opts.ParallelFragments)
+	if err != nil {
+		return nil, err
+	}
+	n = chooseStrategies(n, opts.ForceStrategy, opts.BindThreshold)
+	if opts.PushAggregates {
+		n = pushAggregates(n)
+	}
+	if opts.PreferMergeJoin {
+		n = chooseMergeJoin(n)
+	}
+	if opts.PushTopK {
+		n = pushTopK(n)
+	}
+	return n, nil
+}

@@ -1,0 +1,259 @@
+package plan
+
+import (
+	"gis/internal/expr"
+)
+
+// pruneColumns trims unused columns from the plan so fragment scans ship
+// only what the query needs. It runs a required-columns pass top-down;
+// each recursive call returns the rewritten node together with a mapping
+// from the node's previous output positions to its new ones (entries are
+// present only for surviving columns).
+func pruneColumns(n Node) Node {
+	width := n.Schema().Len()
+	all := make([]bool, width)
+	for i := range all {
+		all[i] = true
+	}
+	out, _ := prune(n, all)
+	return out
+}
+
+// prune rewrites n so it produces (at least) the required columns.
+// mapping[old] = new position.
+func prune(n Node, required []bool) (Node, map[int]int) {
+	identity := func(width int) map[int]int {
+		m := make(map[int]int, width)
+		for i := 0; i < width; i++ {
+			m[i] = i
+		}
+		return m
+	}
+	switch t := n.(type) {
+	case *Project:
+		// Keep only required expressions.
+		var keptExprs []expr.Expr
+		var keptNames []string
+		mapping := make(map[int]int)
+		needIn := make([]bool, t.Input.Schema().Len())
+		for i, e := range t.Exprs {
+			if i < len(required) && !required[i] {
+				continue
+			}
+			mapping[i] = len(keptExprs)
+			keptExprs = append(keptExprs, e)
+			keptNames = append(keptNames, t.Names[i])
+			for c := range expr.ColumnSet(e) {
+				if c < len(needIn) {
+					needIn[c] = true
+				}
+			}
+		}
+		if len(keptExprs) == 0 && len(t.Exprs) > 0 {
+			// Keep one column to preserve row counts.
+			mapping[0] = 0
+			keptExprs = append(keptExprs, t.Exprs[0])
+			keptNames = append(keptNames, t.Names[0])
+			for c := range expr.ColumnSet(t.Exprs[0]) {
+				needIn[c] = true
+			}
+		}
+		input, inMap := prune(t.Input, needIn)
+		for i := range keptExprs {
+			keptExprs[i] = expr.Remap(keptExprs[i], inMap)
+		}
+		return &Project{Exprs: keptExprs, Names: keptNames, Input: input}, mapping
+
+	case *Filter:
+		need := append([]bool(nil), required...)
+		for c := range expr.ColumnSet(t.Pred) {
+			for len(need) <= c {
+				need = append(need, false)
+			}
+			need[c] = true
+		}
+		input, inMap := prune(t.Input, need)
+		t.Input = input
+		t.Pred = expr.Remap(t.Pred, inMap)
+		return t, inMap
+
+	case *GlobalScan:
+		// Translate required output positions into full-schema columns.
+		var cols []int
+		mapping := make(map[int]int)
+		for i, r := range required {
+			if !r {
+				continue
+			}
+			full := i
+			if t.Cols != nil {
+				full = t.Cols[i]
+			}
+			mapping[i] = len(cols)
+			cols = append(cols, full)
+		}
+		if len(cols) == 0 {
+			// Keep one column so the scan still yields rows.
+			full := 0
+			if t.Cols != nil {
+				full = t.Cols[0]
+			}
+			cols = []int{full}
+			mapping[0] = 0
+		}
+		t.Cols = cols
+		t.invalidate()
+		return t, mapping
+
+	case *Join:
+		lw := t.L.Schema().Len()
+		rw := t.R.Schema().Len()
+		needL := make([]bool, lw)
+		needR := make([]bool, rw)
+		mark := func(idx int) {
+			if idx < lw {
+				needL[idx] = true
+			} else if idx-lw < rw {
+				needR[idx-lw] = true
+			}
+		}
+		semi := t.Kind == JoinSemi || t.Kind == JoinAnti
+		for i, r := range required {
+			if !r {
+				continue
+			}
+			if semi {
+				// Output is the left schema only.
+				if i < lw {
+					needL[i] = true
+				}
+			} else {
+				mark(i)
+			}
+		}
+		for c := range expr.ColumnSet(t.Cond) {
+			mark(c)
+		}
+		l, lMap := prune(t.L, needL)
+		r, rMap := prune(t.R, needR)
+		newLW := l.Schema().Len()
+		// Rebuild the condition over the pruned concatenated schema.
+		condMap := make(map[int]int)
+		for old, nw := range lMap {
+			condMap[old] = nw
+		}
+		for old, nw := range rMap {
+			condMap[old+lw] = nw + newLW
+		}
+		t.Cond = expr.Remap(t.Cond, condMap)
+		t.L, t.R = l, r
+		t.EquiL, t.EquiR = nil, nil // re-extracted later
+		t.schema = nil
+		// Output mapping for the parent.
+		outMap := make(map[int]int)
+		if semi {
+			for old, nw := range lMap {
+				outMap[old] = nw
+			}
+		} else {
+			for old, nw := range lMap {
+				outMap[old] = nw
+			}
+			for old, nw := range rMap {
+				outMap[old+lw] = nw + newLW
+			}
+		}
+		return t, outMap
+
+	case *Aggregate:
+		// Group keys always survive; unused aggregates are dropped.
+		nGroup := len(t.GroupBy)
+		var keptAggs []AggItem
+		mapping := make(map[int]int)
+		for i := 0; i < nGroup; i++ {
+			mapping[i] = i
+		}
+		for i, a := range t.Aggs {
+			pos := nGroup + i
+			if pos < len(required) && !required[pos] && len(t.Aggs) > 1 {
+				continue
+			}
+			mapping[pos] = nGroup + len(keptAggs)
+			keptAggs = append(keptAggs, a)
+		}
+		t.Aggs = keptAggs
+		needIn := make([]bool, t.Input.Schema().Len())
+		for _, g := range t.GroupBy {
+			for c := range expr.ColumnSet(g) {
+				needIn[c] = true
+			}
+		}
+		for _, a := range t.Aggs {
+			if a.Arg != nil {
+				for c := range expr.ColumnSet(a.Arg) {
+					needIn[c] = true
+				}
+			}
+		}
+		input, inMap := prune(t.Input, needIn)
+		t.Input = input
+		for i := range t.GroupBy {
+			t.GroupBy[i] = expr.Remap(t.GroupBy[i], inMap)
+		}
+		for i := range t.Aggs {
+			if t.Aggs[i].Arg != nil {
+				t.Aggs[i].Arg = expr.Remap(t.Aggs[i].Arg, inMap)
+			}
+		}
+		t.schema = nil
+		return t, mapping
+
+	case *Sort:
+		need := append([]bool(nil), required...)
+		for _, k := range t.Keys {
+			for c := range expr.ColumnSet(k.E) {
+				for len(need) <= c {
+					need = append(need, false)
+				}
+				need[c] = true
+			}
+		}
+		input, inMap := prune(t.Input, need)
+		t.Input = input
+		for i := range t.Keys {
+			t.Keys[i].E = expr.Remap(t.Keys[i].E, inMap)
+		}
+		return t, inMap
+
+	case *Limit:
+		input, inMap := prune(t.Input, required)
+		t.Input = input
+		return t, inMap
+
+	case *Distinct:
+		// Every input column participates in duplicate elimination.
+		w := t.Input.Schema().Len()
+		all := make([]bool, w)
+		for i := range all {
+			all[i] = true
+		}
+		input, inMap := prune(t.Input, all)
+		t.Input = input
+		return t, inMap
+
+	case *Union:
+		// Arms must stay position-compatible; require everything.
+		for i := range t.Inputs {
+			w := t.Inputs[i].Schema().Len()
+			all := make([]bool, w)
+			for j := range all {
+				all[j] = true
+			}
+			t.Inputs[i], _ = prune(t.Inputs[i], all)
+		}
+		return t, identity(t.Schema().Len())
+
+	default:
+		return n, identity(n.Schema().Len())
+	}
+}

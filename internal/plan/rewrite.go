@@ -1,0 +1,350 @@
+package plan
+
+import (
+	"gis/internal/expr"
+	"gis/internal/types"
+)
+
+// foldConstants folds constant sub-expressions throughout the plan.
+func foldConstants(n Node) Node {
+	switch t := n.(type) {
+	case *Filter:
+		t.Input = foldConstants(t.Input)
+		t.Pred = expr.FoldConstants(t.Pred)
+		// A filter reduced to TRUE disappears.
+		if c, ok := t.Pred.(*expr.Const); ok && c.Val.Kind() == types.KindBool && c.Val.Bool() {
+			return t.Input
+		}
+		return t
+	case *Project:
+		t.Input = foldConstants(t.Input)
+		for i := range t.Exprs {
+			t.Exprs[i] = expr.FoldConstants(t.Exprs[i])
+		}
+		return t
+	case *Join:
+		t.L = foldConstants(t.L)
+		t.R = foldConstants(t.R)
+		if t.Cond != nil {
+			t.Cond = expr.FoldConstants(t.Cond)
+		}
+		return t
+	case *Aggregate:
+		t.Input = foldConstants(t.Input)
+		for i := range t.GroupBy {
+			t.GroupBy[i] = expr.FoldConstants(t.GroupBy[i])
+		}
+		for i := range t.Aggs {
+			if t.Aggs[i].Arg != nil {
+				t.Aggs[i].Arg = expr.FoldConstants(t.Aggs[i].Arg)
+			}
+		}
+		return t
+	case *Sort:
+		t.Input = foldConstants(t.Input)
+		return t
+	case *Limit:
+		t.Input = foldConstants(t.Input)
+		return t
+	case *Distinct:
+		t.Input = foldConstants(t.Input)
+		return t
+	case *Union:
+		for i := range t.Inputs {
+			t.Inputs[i] = foldConstants(t.Inputs[i])
+		}
+		return t
+	default:
+		return n
+	}
+}
+
+// pushDownFilters moves filter predicates as close to the scans as
+// possible: through projections (by substituting the projected
+// expressions), into both sides of joins, below sorts and distincts,
+// into union arms, below aggregations (for group-key predicates), and
+// finally into GlobalScan.Filter.
+func pushDownFilters(n Node) Node {
+	switch t := n.(type) {
+	case *Filter:
+		t.Input = pushDownFilters(t.Input)
+		remaining := pushPred(t.Pred, &t.Input)
+		if remaining == nil {
+			return t.Input
+		}
+		t.Pred = remaining
+		return t
+	case *Join:
+		t.L = pushDownFilters(t.L)
+		t.R = pushDownFilters(t.R)
+		// Inner-join ON conditions can push into the inputs too.
+		if t.Kind == JoinInner && t.Cond != nil {
+			t.Cond = pushJoinCond(t)
+		}
+		return t
+	case *Project:
+		t.Input = pushDownFilters(t.Input)
+		return t
+	case *Aggregate:
+		t.Input = pushDownFilters(t.Input)
+		return t
+	case *Sort:
+		t.Input = pushDownFilters(t.Input)
+		return t
+	case *Limit:
+		t.Input = pushDownFilters(t.Input)
+		return t
+	case *Distinct:
+		t.Input = pushDownFilters(t.Input)
+		return t
+	case *Union:
+		for i := range t.Inputs {
+			t.Inputs[i] = pushDownFilters(t.Inputs[i])
+		}
+		return t
+	default:
+		return n
+	}
+}
+
+// pushPred pushes the conjuncts of pred into *input, rewriting *input in
+// place, and returns the conjunction that could not be pushed (nil when
+// everything sank).
+func pushPred(pred expr.Expr, input *Node) expr.Expr {
+	var kept []expr.Expr
+	for _, c := range expr.Conjuncts(pred) {
+		if !pushConjunct(c, input) {
+			kept = append(kept, c)
+		}
+	}
+	return expr.Conjoin(kept)
+}
+
+// pushConjunct attempts to sink one conjunct into node; it reports
+// success. The conjunct's column references are bound over node's output
+// schema.
+func pushConjunct(c expr.Expr, node *Node) bool {
+	if expr.HasSubquery(c) || expr.HasAggregate(c) {
+		return false
+	}
+	switch t := (*node).(type) {
+	case *GlobalScan:
+		// References are over the scan's output (post-Cols); rewrite to
+		// full-schema positions.
+		remapped := c
+		if t.Cols != nil {
+			m := make(map[int]int, len(t.Cols))
+			for out, full := range t.Cols {
+				m[out] = full
+			}
+			remapped = expr.Remap(c, m)
+		}
+		t.Filter = expr.Conjoin([]expr.Expr{t.Filter, remapped})
+		return true
+
+	case *Filter:
+		if pushConjunct(c, &t.Input) {
+			return true
+		}
+		t.Pred = expr.Conjoin([]expr.Expr{t.Pred, c})
+		return true
+
+	case *Project:
+		// Substitute projected expressions for references; only safe
+		// when every referenced projection is deterministic (all our
+		// expressions are pure).
+		subst := expr.Transform(c, func(n expr.Expr) expr.Expr {
+			if ref, ok := n.(*expr.ColRef); ok && ref.Index >= 0 && ref.Index < len(t.Exprs) {
+				return t.Exprs[ref.Index]
+			}
+			return n
+		})
+		if !pushConjunct(subst, &t.Input) {
+			// Wrap the input in a filter below the projection.
+			t.Input = &Filter{Pred: subst, Input: t.Input}
+		}
+		return true
+
+	case *Join:
+		lw := t.L.Schema().Len()
+		side := sideOf(c, lw)
+		switch {
+		case side < 0 && t.Kind != JoinLeft: // left side only
+			if !pushConjunct(c, &t.L) {
+				t.L = &Filter{Pred: c, Input: t.L}
+			}
+			return true
+		case side < 0 && t.Kind == JoinLeft:
+			// Predicates on the preserved side still push.
+			if !pushConjunct(c, &t.L) {
+				t.L = &Filter{Pred: c, Input: t.L}
+			}
+			return true
+		case side > 0 && t.Kind == JoinInner || side > 0 && t.Kind == JoinCross:
+			shifted := expr.Shift(c, -lw)
+			if !pushConjunct(shifted, &t.R) {
+				t.R = &Filter{Pred: shifted, Input: t.R}
+			}
+			return true
+		default:
+			// References both sides (or right side of a left join,
+			// which must stay above to preserve NULL-extension).
+			return false
+		}
+
+	case *Sort:
+		return pushConjunct(c, &t.Input)
+
+	case *Distinct:
+		return pushConjunct(c, &t.Input)
+
+	case *Union:
+		// Push a copy into every arm (schemas are position-compatible).
+		for i := range t.Inputs {
+			if !pushConjunct(c, &t.Inputs[i]) {
+				t.Inputs[i] = &Filter{Pred: c, Input: t.Inputs[i]}
+			}
+		}
+		return true
+
+	case *Aggregate:
+		// Only predicates over pure group-by columns commute with
+		// grouping.
+		ok := true
+		for idx := range expr.ColumnSet(c) {
+			if idx >= len(t.GroupBy) {
+				ok = false
+				break
+			}
+			if _, isCol := t.GroupBy[idx].(*expr.ColRef); !isCol {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		m := make(map[int]int)
+		for i, g := range t.GroupBy {
+			if ref, isCol := g.(*expr.ColRef); isCol {
+				m[i] = ref.Index
+			}
+		}
+		remapped := expr.Remap(c, m)
+		if !pushConjunct(remapped, &t.Input) {
+			t.Input = &Filter{Pred: remapped, Input: t.Input}
+		}
+		return true
+
+	default:
+		// Limit, FragScan, Values: a filter cannot pass.
+		return false
+	}
+}
+
+// sideOf classifies a predicate over a join's concatenated schema:
+// -1 = left only, +1 = right only, 0 = both (or neither).
+func sideOf(c expr.Expr, leftWidth int) int {
+	hasL, hasR := false, false
+	for idx := range expr.ColumnSet(c) {
+		if idx < leftWidth {
+			hasL = true
+		} else {
+			hasR = true
+		}
+	}
+	switch {
+	case hasL && !hasR:
+		return -1
+	case hasR && !hasL:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// pushJoinCond sinks single-sided conjuncts of an inner join's ON
+// condition into the inputs, returning the remaining condition.
+func pushJoinCond(j *Join) expr.Expr {
+	lw := j.L.Schema().Len()
+	var kept []expr.Expr
+	for _, c := range expr.Conjuncts(j.Cond) {
+		switch sideOf(c, lw) {
+		case -1:
+			if !pushConjunct(c, &j.L) {
+				j.L = &Filter{Pred: c, Input: j.L}
+			}
+		case 1:
+			shifted := expr.Shift(c, -lw)
+			if !pushConjunct(shifted, &j.R) {
+				j.R = &Filter{Pred: shifted, Input: j.R}
+			}
+		default:
+			kept = append(kept, c)
+		}
+	}
+	return expr.Conjoin(kept)
+}
+
+// extractEquiKeys finds equality conjuncts across each inner join and
+// records the key column positions for hash-join execution and for the
+// distributed strategy chooser.
+func extractEquiKeys(n Node) Node {
+	switch t := n.(type) {
+	case *Join:
+		t.L = extractEquiKeys(t.L)
+		t.R = extractEquiKeys(t.R)
+		t.EquiL, t.EquiR = nil, nil
+		if t.Kind == JoinInner || t.Kind == JoinSemi || t.Kind == JoinAnti || t.Kind == JoinLeft {
+			lw := t.L.Schema().Len()
+			for _, c := range expr.Conjuncts(t.Cond) {
+				b, ok := c.(*expr.Binary)
+				if !ok || b.Op != expr.OpEq {
+					continue
+				}
+				lc, lok := b.L.(*expr.ColRef)
+				rc, rok := b.R.(*expr.ColRef)
+				if !lok || !rok {
+					continue
+				}
+				switch {
+				case lc.Index < lw && rc.Index >= lw:
+					t.EquiL = append(t.EquiL, lc.Index)
+					t.EquiR = append(t.EquiR, rc.Index-lw)
+				case rc.Index < lw && lc.Index >= lw:
+					t.EquiL = append(t.EquiL, rc.Index)
+					t.EquiR = append(t.EquiR, lc.Index-lw)
+				}
+			}
+		}
+		return t
+	default:
+		rewriteChildren(n, extractEquiKeys)
+		return n
+	}
+}
+
+// rewriteChildren applies fn to each child of n in place.
+func rewriteChildren(n Node, fn func(Node) Node) {
+	switch t := n.(type) {
+	case *Filter:
+		t.Input = fn(t.Input)
+	case *Project:
+		t.Input = fn(t.Input)
+	case *Aggregate:
+		t.Input = fn(t.Input)
+	case *Sort:
+		t.Input = fn(t.Input)
+	case *Limit:
+		t.Input = fn(t.Input)
+	case *Distinct:
+		t.Input = fn(t.Input)
+	case *Union:
+		for i := range t.Inputs {
+			t.Inputs[i] = fn(t.Inputs[i])
+		}
+	case *Join:
+		t.L = fn(t.L)
+		t.R = fn(t.R)
+	}
+}

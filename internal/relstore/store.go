@@ -1,0 +1,279 @@
+// Package relstore implements an embedded relational store: the
+// strongest component system in the federation. It supports full
+// predicate/projection/aggregation/sort/limit pushdown, hash indexes,
+// transactional writes with an undo log, and two-phase-commit
+// participation, all guarded by a store-level lock (strict two-phase
+// locking at store granularity).
+package relstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/stats"
+	"gis/internal/types"
+)
+
+// Store is an in-memory relational database exposed as a source.Source.
+type Store struct {
+	name string
+
+	mu     sync.RWMutex
+	tables map[string]*table
+
+	// fail injects two-phase-commit failures for recovery tests.
+	fail FailPolicy
+}
+
+// FailPolicy injects failures into the transaction protocol.
+type FailPolicy struct {
+	// FailPrepare makes every Prepare vote abort.
+	FailPrepare bool
+	// FailCommitOnce makes the next Commit return an error once (the
+	// commit is still applied — simulating a lost ack, which 2PC must
+	// tolerate by retry/idempotence).
+	FailCommitOnce bool
+}
+
+type table struct {
+	schema *types.Schema
+	// key columns (for TableInfo and fast point access).
+	key []int
+	// rows holds the committed data; nil rows are tombstones left by
+	// deletes and skipped by scans (compacted opportunistically).
+	rows []types.Row
+	live int
+	// hashIdx maps indexed column → value hash → row positions.
+	hashIdx map[int]map[uint64][]int
+	// statsCache is invalidated by writes.
+	statsCache *stats.TableStats
+}
+
+// New returns an empty store named name.
+func New(name string) *Store {
+	return &Store{name: name, tables: make(map[string]*table)}
+}
+
+// SetFailPolicy configures failure injection (tests only).
+func (s *Store) SetFailPolicy(p FailPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fail = p
+}
+
+// CreateTable registers a table. keyCols lists primary-key column
+// positions (indexed automatically).
+func (s *Store) CreateTable(name string, schema *types.Schema, keyCols ...int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("relstore %s: table %q already exists", s.name, name)
+	}
+	for _, k := range keyCols {
+		if k < 0 || k >= schema.Len() {
+			return fmt.Errorf("relstore %s: key column %d out of range for %q", s.name, k, name)
+		}
+	}
+	t := &table{
+		schema:  schema.Clone(),
+		key:     append([]int(nil), keyCols...),
+		hashIdx: make(map[int]map[uint64][]int),
+	}
+	for _, k := range keyCols {
+		t.hashIdx[k] = make(map[uint64][]int)
+	}
+	s.tables[name] = t
+	return nil
+}
+
+// CreateIndex adds a hash index on column col of table name.
+func (s *Store) CreateIndex(name string, col int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.tableLocked(name)
+	if err != nil {
+		return err
+	}
+	if col < 0 || col >= t.schema.Len() {
+		return fmt.Errorf("relstore %s: index column %d out of range", s.name, col)
+	}
+	if _, dup := t.hashIdx[col]; dup {
+		return nil
+	}
+	idx := make(map[uint64][]int)
+	for pos, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		h := r[col].Hash(0)
+		idx[h] = append(idx[h], pos)
+	}
+	t.hashIdx[col] = idx
+	return nil
+}
+
+func (s *Store) tableLocked(name string) (*table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relstore %s: unknown table %q", s.name, name)
+	}
+	return t, nil
+}
+
+// Name implements source.Source.
+func (s *Store) Name() string { return s.name }
+
+// Tables implements source.Source.
+func (s *Store) Tables(context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// TableInfo implements source.Source.
+func (s *Store) TableInfo(_ context.Context, name string) (*source.TableInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.tableLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	return &source.TableInfo{
+		Schema:     t.schema.Clone(),
+		KeyColumns: append([]int(nil), t.key...),
+		RowCount:   int64(t.live),
+	}, nil
+}
+
+// Capabilities implements source.Source: the relational store pushes
+// everything down and participates in transactions.
+func (s *Store) Capabilities() source.Capabilities {
+	return source.Capabilities{
+		Filter:    source.FilterFull,
+		Project:   true,
+		Aggregate: true,
+		Sort:      true,
+		Limit:     true,
+		Write:     true,
+		Txn:       true,
+	}
+}
+
+// Stats computes (and caches) optimizer statistics for a table.
+func (s *Store) Stats(name string) (*stats.TableStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.tableLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	if t.statsCache == nil {
+		live := make([]types.Row, 0, t.live)
+		for _, r := range t.rows {
+			if r != nil {
+				live = append(live, r)
+			}
+		}
+		t.statsCache = stats.Collect(live, t.schema.Len())
+	}
+	return t.statsCache.Clone(), nil
+}
+
+// Insert implements source.Writer (autocommit).
+func (s *Store) Insert(ctx context.Context, tbl string, rows []types.Row) (int64, error) {
+	tx, err := s.BeginTx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n, err := tx.Insert(ctx, tbl, rows)
+	if err != nil {
+		tx.Abort(ctx)
+		return 0, err
+	}
+	return n, tx.Commit(ctx)
+}
+
+// Update implements source.Writer (autocommit).
+func (s *Store) Update(ctx context.Context, tbl string, filter expr.Expr, set []source.SetClause) (int64, error) {
+	tx, err := s.BeginTx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n, err := tx.Update(ctx, tbl, filter, set)
+	if err != nil {
+		tx.Abort(ctx)
+		return 0, err
+	}
+	return n, tx.Commit(ctx)
+}
+
+// Delete implements source.Writer (autocommit).
+func (s *Store) Delete(ctx context.Context, tbl string, filter expr.Expr) (int64, error) {
+	tx, err := s.BeginTx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n, err := tx.Delete(ctx, tbl, filter)
+	if err != nil {
+		tx.Abort(ctx)
+		return 0, err
+	}
+	return n, tx.Commit(ctx)
+}
+
+// insertLocked appends a row and maintains indexes. Caller holds mu.
+func (t *table) insertLocked(r types.Row) int {
+	pos := len(t.rows)
+	t.rows = append(t.rows, r)
+	t.live++
+	for col, idx := range t.hashIdx {
+		h := r[col].Hash(0)
+		idx[h] = append(idx[h], pos)
+	}
+	t.statsCache = nil
+	return pos
+}
+
+// deleteLocked tombstones row pos. Index entries are left in place (they
+// point at a nil row, which probes skip); compaction rebuilds them.
+func (t *table) deleteLocked(pos int) types.Row {
+	old := t.rows[pos]
+	if old == nil {
+		return nil
+	}
+	t.rows[pos] = nil
+	t.live--
+	t.statsCache = nil
+	return old
+}
+
+// replaceLocked overwrites row pos with r, keeping indexes consistent.
+func (t *table) replaceLocked(pos int, r types.Row) types.Row {
+	old := t.rows[pos]
+	t.rows[pos] = r
+	for col, idx := range t.hashIdx {
+		oh := old[col].Hash(0)
+		nh := r[col].Hash(0)
+		if oh == nh {
+			continue
+		}
+		bucket := idx[oh]
+		for i, p := range bucket {
+			if p == pos {
+				bucket[i] = bucket[len(bucket)-1]
+				idx[oh] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		idx[nh] = append(idx[nh], pos)
+	}
+	t.statsCache = nil
+	return old
+}

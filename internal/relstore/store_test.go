@@ -1,0 +1,480 @@
+package relstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+var ctx = context.Background()
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := New("db1")
+	schema := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "cat", Type: types.KindString},
+		types.Column{Name: "val", Type: types.KindFloat},
+	)
+	if err := s.CreateTable("items", schema, 0); err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	cats := []string{"a", "b", "c"}
+	for i := 0; i < 30; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(cats[i%3]),
+			types.NewFloat(float64(i) * 0.5),
+		})
+	}
+	if _, err := s.Insert(ctx, "items", rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func itemsPred(t *testing.T, s *Store, e expr.Expr) expr.Expr {
+	t.Helper()
+	info, err := s.TableInfo(ctx, "items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := expr.Bind(e, info.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runQuery(t *testing.T, s *Store, q *source.Query) []types.Row {
+	t.Helper()
+	it, err := s.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := source.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	s := New("x")
+	sc := types.NewSchema(types.Column{Name: "a", Type: types.KindInt})
+	if err := s.CreateTable("t", sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("t", sc); err == nil {
+		t.Error("duplicate table must error")
+	}
+	if err := s.CreateTable("u", sc, 5); err == nil {
+		t.Error("bad key column must error")
+	}
+	if _, err := s.TableInfo(ctx, "ghost"); err == nil {
+		t.Error("unknown table must error")
+	}
+}
+
+func TestScanAndFilter(t *testing.T) {
+	s := newTestStore(t)
+	rows := runQuery(t, s, source.NewScan("items"))
+	if len(rows) != 30 {
+		t.Fatalf("scan = %d rows", len(rows))
+	}
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpEq,
+		expr.NewColRef("", "cat"), expr.NewConst(types.NewString("a"))))
+	rows = runQuery(t, s, q)
+	if len(rows) != 10 {
+		t.Errorf("filtered = %d rows, want 10", len(rows))
+	}
+}
+
+func TestIndexedPointLookup(t *testing.T) {
+	s := newTestStore(t)
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpEq,
+		expr.NewColRef("", "id"), expr.NewConst(types.NewInt(7))))
+	rows := runQuery(t, s, q)
+	if len(rows) != 1 || rows[0][0].Int() != 7 {
+		t.Errorf("point lookup = %v", rows)
+	}
+	// Equality + residual conjunct still narrows through the index.
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpAnd,
+		expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(7))),
+		expr.NewBinary(expr.OpEq, expr.NewColRef("", "cat"), expr.NewConst(types.NewString("zzz")))))
+	if rows := runQuery(t, s, q); len(rows) != 0 {
+		t.Errorf("conjunct lookup = %v", rows)
+	}
+}
+
+func TestProjectionSortLimit(t *testing.T) {
+	s := newTestStore(t)
+	q := source.NewScan("items")
+	q.Columns = []int{2, 0}
+	q.OrderBy = []source.OrderSpec{{Col: 1, Desc: true}}
+	q.Limit = 3
+	rows := runQuery(t, s, q)
+	if len(rows) != 3 {
+		t.Fatalf("limit = %d rows", len(rows))
+	}
+	if rows[0][1].Int() != 29 || rows[2][1].Int() != 27 {
+		t.Errorf("order/proj = %v", rows)
+	}
+	if len(rows[0]) != 2 {
+		t.Errorf("projection width = %d", len(rows[0]))
+	}
+}
+
+func TestAggregationPushdown(t *testing.T) {
+	s := newTestStore(t)
+	q := source.NewScan("items")
+	q.GroupBy = []int{1}
+	q.Aggs = []source.AggSpec{
+		{Kind: expr.AggCount, Star: true},
+		{Kind: expr.AggSum, Col: 0},
+	}
+	q.OrderBy = []source.OrderSpec{{Col: 0}}
+	rows := runQuery(t, s, q)
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// cat "a": ids 0,3,...,27 → count 10, sum 135.
+	if rows[0][0].Str() != "a" || rows[0][1].Int() != 10 || rows[0][2].Int() != 135 {
+		t.Errorf("group a = %v", rows[0])
+	}
+	// Global aggregate over empty filter result.
+	q2 := source.NewScan("items")
+	q2.Filter = itemsPred(t, s, expr.NewBinary(expr.OpGt,
+		expr.NewColRef("", "id"), expr.NewConst(types.NewInt(1000))))
+	q2.Aggs = []source.AggSpec{{Kind: expr.AggCount, Star: true}}
+	rows = runQuery(t, s, q2)
+	if len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Errorf("empty global agg = %v", rows)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s := newTestStore(t)
+	// Wrong arity.
+	if _, err := s.Insert(ctx, "items", []types.Row{{types.NewInt(1)}}); err == nil {
+		t.Error("short row must error")
+	}
+	// Coercible value is accepted.
+	if _, err := s.Insert(ctx, "items", []types.Row{
+		{types.NewInt(100), types.NewString("z"), types.NewInt(7)}, // int → float
+	}); err != nil {
+		t.Errorf("coercible insert: %v", err)
+	}
+	// Duplicate primary key.
+	if _, err := s.Insert(ctx, "items", []types.Row{
+		{types.NewInt(100), types.NewString("w"), types.NewFloat(1)},
+	}); err == nil {
+		t.Error("duplicate key must error")
+	}
+	// Un-coercible value.
+	if _, err := s.Insert(ctx, "items", []types.Row{
+		{types.NewString("junk"), types.NewString("w"), types.NewFloat(1)},
+	}); err == nil {
+		t.Error("uncoercible insert must error")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	s := newTestStore(t)
+	info, _ := s.TableInfo(ctx, "items")
+	setVal, err := expr.Bind(
+		expr.NewBinary(expr.OpMul, expr.NewColRef("", "val"), expr.NewConst(types.NewFloat(2))),
+		info.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Update(ctx, "items",
+		itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "cat"), expr.NewConst(types.NewString("a")))),
+		[]source.SetClause{{Col: 2, Value: setVal}})
+	if err != nil || n != 10 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(3))))
+	rows := runQuery(t, s, q)
+	if rows[0][2].Float() != 3.0 { // was 1.5, doubled
+		t.Errorf("updated val = %v", rows[0][2])
+	}
+	n, err = s.Delete(ctx, "items",
+		itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "cat"), expr.NewConst(types.NewString("b")))))
+	if err != nil || n != 10 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	if rows := runQuery(t, s, source.NewScan("items")); len(rows) != 20 {
+		t.Errorf("after delete = %d rows", len(rows))
+	}
+	info, _ = s.TableInfo(ctx, "items")
+	if info.RowCount != 20 {
+		t.Errorf("RowCount = %d", info.RowCount)
+	}
+}
+
+func TestTxCommitAbort(t *testing.T) {
+	s := newTestStore(t)
+	// Bind predicates up front: the store lock is held for the duration
+	// of a writing transaction, so TableInfo would self-deadlock below.
+	delPred := itemsPred(t, s, expr.NewBinary(expr.OpLt, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(5))))
+	tx, err := s.BeginTx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(ctx, "items", []types.Row{
+		{types.NewInt(500), types.NewString("x"), types.NewFloat(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Delete(ctx, "items", delPred); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows := runQuery(t, s, source.NewScan("items"))
+	if len(rows) != 30 {
+		t.Errorf("after abort = %d rows, want 30 (rollback)", len(rows))
+	}
+	// Aborting twice is fine; committing after abort is not.
+	if err := tx.Abort(ctx); err != nil {
+		t.Error("second abort must be idempotent")
+	}
+	if err := tx.Commit(ctx); err == nil {
+		t.Error("commit after abort must error")
+	}
+
+	tx2, _ := s.BeginTx(ctx)
+	tx2.Insert(ctx, "items", []types.Row{{types.NewInt(501), types.NewString("x"), types.NewFloat(1)}})
+	if err := tx2.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rows := runQuery(t, s, source.NewScan("items")); len(rows) != 31 {
+		t.Errorf("after commit = %d rows", len(rows))
+	}
+}
+
+func TestTxUpdateRollback(t *testing.T) {
+	s := newTestStore(t)
+	info, _ := s.TableInfo(ctx, "items")
+	one, _ := expr.Bind(expr.NewConst(types.NewFloat(999)), info.Schema)
+	tx, _ := s.BeginTx(ctx)
+	if _, err := tx.Update(ctx, "items", nil, []source.SetClause{{Col: 2, Value: one}}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort(ctx)
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "val"), expr.NewConst(types.NewFloat(999))))
+	if rows := runQuery(t, s, q); len(rows) != 0 {
+		t.Errorf("update not rolled back: %d rows", len(rows))
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	s := newTestStore(t)
+	s.SetFailPolicy(FailPolicy{FailPrepare: true})
+	tx, _ := s.BeginTx(ctx)
+	tx.Insert(ctx, "items", []types.Row{{types.NewInt(600), types.NewString("x"), types.NewFloat(1)}})
+	if err := tx.Prepare(ctx); err == nil {
+		t.Error("injected prepare failure missing")
+	}
+	tx.Abort(ctx)
+	s.SetFailPolicy(FailPolicy{FailCommitOnce: true})
+	tx2, _ := s.BeginTx(ctx)
+	tx2.Insert(ctx, "items", []types.Row{{types.NewInt(601), types.NewString("x"), types.NewFloat(1)}})
+	if err := tx2.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(ctx); err == nil {
+		t.Error("injected commit ack loss missing")
+	}
+	// Retry succeeds (idempotent commit) and the write is applied.
+	if err := tx2.Commit(ctx); err != nil {
+		t.Errorf("commit retry: %v", err)
+	}
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(601))))
+	if rows := runQuery(t, s, q); len(rows) != 1 {
+		t.Error("commit with lost ack must still apply")
+	}
+}
+
+func TestStatsCollectionAndInvalidation(t *testing.T) {
+	s := newTestStore(t)
+	st, err := s.Stats("items")
+	if err != nil || st.RowCount != 30 {
+		t.Fatalf("stats = %v, %v", st, err)
+	}
+	if st.Columns[1].NDV != 3 {
+		t.Errorf("cat NDV = %d", st.Columns[1].NDV)
+	}
+	s.Delete(ctx, "items", itemsPred(t, s, expr.NewBinary(expr.OpLt, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(10)))))
+	st, _ = s.Stats("items")
+	if st.RowCount != 20 {
+		t.Errorf("stats not invalidated: %d", st.RowCount)
+	}
+}
+
+func TestCreateIndexBackfillAndMaintenance(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreateIndex("items", 1); err != nil {
+		t.Fatal(err)
+	}
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "cat"), expr.NewConst(types.NewString("b"))))
+	if rows := runQuery(t, s, q); len(rows) != 10 {
+		t.Errorf("indexed cat scan = %d", len(rows))
+	}
+	// Update moves a row across index buckets.
+	info, _ := s.TableInfo(ctx, "items")
+	newCat, _ := expr.Bind(expr.NewConst(types.NewString("b")), info.Schema)
+	s.Update(ctx, "items",
+		itemsPred(t, s, expr.NewBinary(expr.OpEq, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(0)))),
+		[]source.SetClause{{Col: 1, Value: newCat}})
+	if rows := runQuery(t, s, q); len(rows) != 11 {
+		t.Errorf("after cross-bucket update = %d, want 11", len(rows))
+	}
+	// Idempotent index creation.
+	if err := s.CreateIndex("items", 1); err != nil {
+		t.Error(err)
+	}
+	if err := s.CreateIndex("items", 9); err == nil {
+		t.Error("bad index column must error")
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	s := newTestStore(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if g%2 == 0 {
+					it, err := s.Execute(ctx, source.NewScan("items"))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := source.Drain(it); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					id := int64(1000 + g*100 + i)
+					if _, err := s.Insert(ctx, "items", []types.Row{
+						{types.NewInt(id), types.NewString("p"), types.NewFloat(0)},
+					}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	info, _ := s.TableInfo(ctx, "items")
+	if info.RowCount != 30+4*20 {
+		t.Errorf("final rows = %d", info.RowCount)
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	s := New("x")
+	c := s.Capabilities()
+	if c.Filter != source.FilterFull || !c.Aggregate || !c.Txn || !c.Write {
+		t.Errorf("caps = %v", c)
+	}
+}
+
+func TestExecuteUnknownTable(t *testing.T) {
+	s := New("x")
+	if _, err := s.Execute(ctx, source.NewScan("nope")); err == nil {
+		t.Error("unknown table must error")
+	}
+}
+
+func TestTablesList(t *testing.T) {
+	s := newTestStore(t)
+	names, err := s.Tables(ctx)
+	if err != nil || len(names) != 1 || names[0] != "items" {
+		t.Errorf("Tables = %v, %v", names, err)
+	}
+}
+
+func TestSnapshotIterationDuringWrite(t *testing.T) {
+	// Execute materializes under RLock; rows fetched before a write keep
+	// their values.
+	s := newTestStore(t)
+	it, err := s.Execute(ctx, source.NewScan("items"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(ctx, "items", nil)
+	rows, err := source.Drain(it)
+	if err != nil || len(rows) != 30 {
+		t.Errorf("snapshot broken: %d rows, %v", len(rows), err)
+	}
+}
+
+func ExampleStore() {
+	s := New("demo")
+	s.CreateTable("kv", types.NewSchema(
+		types.Column{Name: "k", Type: types.KindInt},
+		types.Column{Name: "v", Type: types.KindString},
+	), 0)
+	s.Insert(context.Background(), "kv", []types.Row{
+		{types.NewInt(1), types.NewString("one")},
+	})
+	it, _ := s.Execute(context.Background(), source.NewScan("kv"))
+	rows, _ := source.Drain(it)
+	fmt.Println(rows[0])
+	// Output: (1, one)
+}
+
+func TestInListIndexProbe(t *testing.T) {
+	s := newTestStore(t)
+	q := source.NewScan("items")
+	q.Filter = itemsPred(t, s, &expr.InList{
+		E: expr.NewColRef("", "id"),
+		List: []expr.Expr{
+			expr.NewConst(types.NewInt(3)),
+			expr.NewConst(types.NewInt(7)),
+			expr.NewConst(types.NewInt(7)),    // duplicate must not dup rows
+			expr.NewConst(types.NewInt(9999)), // miss
+		},
+	})
+	rows := runQuery(t, s, q)
+	if len(rows) != 2 {
+		t.Fatalf("IN probe = %d rows, want 2: %v", len(rows), rows)
+	}
+	// NOT IN must not use the probe (it would be wrong).
+	q.Filter = itemsPred(t, s, &expr.InList{
+		E:      expr.NewColRef("", "id"),
+		List:   []expr.Expr{expr.NewConst(types.NewInt(3))},
+		Negate: true,
+	})
+	rows = runQuery(t, s, q)
+	if len(rows) != 29 {
+		t.Fatalf("NOT IN = %d rows, want 29", len(rows))
+	}
+}

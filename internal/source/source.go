@@ -1,0 +1,301 @@
+// Package source defines the component-system wrapper framework: the
+// Source interface every store adapter implements, the sub-query IR the
+// mediator ships to sources, per-source capability descriptions, and the
+// capability-based splitting ("compensation") used when a source cannot
+// evaluate part of a query.
+//
+// This is the paper's wrapper layer: each autonomous component
+// information system is adapted to the common model by a Source, and
+// advertises what it can compute so the mediator can decompose global
+// queries correctly.
+package source
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"gis/internal/expr"
+	"gis/internal/types"
+)
+
+// FilterCap grades a source's predicate pushdown ability.
+type FilterCap uint8
+
+// Filter capability levels.
+const (
+	// FilterNone: the source can only scan whole tables.
+	FilterNone FilterCap = iota
+	// FilterKey: the source supports equality and range predicates on
+	// its key columns only (a keyed record store).
+	FilterKey
+	// FilterFull: the source evaluates arbitrary row predicates.
+	FilterFull
+)
+
+func (f FilterCap) String() string {
+	switch f {
+	case FilterNone:
+		return "none"
+	case FilterKey:
+		return "key"
+	case FilterFull:
+		return "full"
+	default:
+		return fmt.Sprintf("FilterCap(%d)", uint8(f))
+	}
+}
+
+// Capabilities describes what query fragments a source can execute
+// itself. The mediator compensates for everything a source cannot do.
+type Capabilities struct {
+	Filter    FilterCap
+	Project   bool
+	Aggregate bool
+	Sort      bool
+	Limit     bool
+	// Write enables INSERT/UPDATE/DELETE through the wrapper.
+	Write bool
+	// Txn enables two-phase commit participation.
+	Txn bool
+}
+
+// String renders the capability vector compactly for EXPLAIN output.
+func (c Capabilities) String() string {
+	s := "filter=" + c.Filter.String()
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{c.Project, "project"}, {c.Aggregate, "aggregate"},
+		{c.Sort, "sort"}, {c.Limit, "limit"}, {c.Write, "write"}, {c.Txn, "txn"},
+	} {
+		if f.on {
+			s += "+" + f.name
+		}
+	}
+	return s
+}
+
+// TableInfo describes one table as exposed by a source.
+type TableInfo struct {
+	Schema *types.Schema
+	// KeyColumns are the positions usable for keyed access when the
+	// source's filter capability is FilterKey.
+	KeyColumns []int
+	// RowCount is the source's row-count estimate, -1 when unknown.
+	RowCount int64
+}
+
+// AggSpec is one aggregate in a pushed-down query.
+type AggSpec struct {
+	Kind expr.AggKind
+	// Col is the input column position; -1 with Star for COUNT(*).
+	Col      int
+	Star     bool
+	Distinct bool
+}
+
+func (a AggSpec) String() string {
+	arg := "*"
+	if !a.Star {
+		arg = fmt.Sprintf("$%d", a.Col)
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, arg)
+}
+
+// OrderSpec is one sort key over a query's output columns.
+type OrderSpec struct {
+	Col  int
+	Desc bool
+}
+
+// Query is the sub-query IR shipped to a source. Semantically it is
+//
+//	SELECT <Columns | GroupBy+Aggs> FROM Table
+//	WHERE Filter GROUP BY GroupBy ORDER BY OrderBy LIMIT Limit
+//
+// Filter is bound against the table's schema (column references are
+// positions in TableInfo.Schema). When len(Aggs) > 0 the output schema is
+// the GroupBy columns followed by the aggregate results; otherwise it is
+// the projected Columns (nil Columns means all, in table order).
+// OrderSpec columns index the *output* schema.
+type Query struct {
+	Table   string
+	Columns []int
+	Filter  expr.Expr
+	GroupBy []int
+	Aggs    []AggSpec
+	OrderBy []OrderSpec
+	Limit   int64 // -1: no limit
+}
+
+// NewScan returns the trivial full-scan query for a table.
+func NewScan(table string) *Query { return &Query{Table: table, Limit: -1} }
+
+// HasAggregation reports whether the query groups/aggregates.
+func (q *Query) HasAggregation() bool { return len(q.Aggs) > 0 }
+
+// OutputSchema computes the schema of the query's result given the
+// table's schema.
+func (q *Query) OutputSchema(table *types.Schema) (*types.Schema, error) {
+	if q.HasAggregation() {
+		cols := make([]types.Column, 0, len(q.GroupBy)+len(q.Aggs))
+		for _, g := range q.GroupBy {
+			if g < 0 || g >= table.Len() {
+				return nil, fmt.Errorf("group-by column %d out of range", g)
+			}
+			cols = append(cols, table.Columns[g])
+		}
+		for _, a := range q.Aggs {
+			in := types.KindInt
+			if !a.Star {
+				if a.Col < 0 || a.Col >= table.Len() {
+					return nil, fmt.Errorf("aggregate column %d out of range", a.Col)
+				}
+				in = table.Columns[a.Col].Type
+			}
+			cols = append(cols, types.Column{
+				Name:     a.String(),
+				Type:     expr.AggResultType(a.Kind, in),
+				Nullable: a.Kind != expr.AggCount,
+			})
+		}
+		return &types.Schema{Columns: cols}, nil
+	}
+	if q.Columns == nil {
+		return table.Clone(), nil
+	}
+	cols := make([]types.Column, len(q.Columns))
+	for i, c := range q.Columns {
+		if c < 0 || c >= table.Len() {
+			return nil, fmt.Errorf("projected column %d out of range", c)
+		}
+		cols[i] = table.Columns[c]
+	}
+	return &types.Schema{Columns: cols}, nil
+}
+
+// String renders the query IR for EXPLAIN output.
+func (q *Query) String() string {
+	s := "scan " + q.Table
+	if q.Filter != nil {
+		s += fmt.Sprintf(" where %s", q.Filter)
+	}
+	if q.HasAggregation() {
+		s += fmt.Sprintf(" group%v aggs%v", q.GroupBy, q.Aggs)
+	} else if q.Columns != nil {
+		s += fmt.Sprintf(" cols%v", q.Columns)
+	}
+	if len(q.OrderBy) > 0 {
+		s += fmt.Sprintf(" order%v", q.OrderBy)
+	}
+	if q.Limit >= 0 {
+		s += fmt.Sprintf(" limit %d", q.Limit)
+	}
+	return s
+}
+
+// RowIter streams query results. Next returns io.EOF after the last row.
+// Close releases resources and is safe to call more than once.
+type RowIter interface {
+	Next() (types.Row, error)
+	Close() error
+}
+
+// Source adapts one component information system to the common model.
+// Implementations must be safe for concurrent use.
+type Source interface {
+	// Name identifies the source in the catalog and in EXPLAIN output.
+	Name() string
+	// Tables lists the tables the source exposes.
+	Tables(ctx context.Context) ([]string, error)
+	// TableInfo describes one table.
+	TableInfo(ctx context.Context, table string) (*TableInfo, error)
+	// Capabilities reports what the source can push down.
+	Capabilities() Capabilities
+	// Execute runs a sub-query. The query must respect the source's
+	// capabilities (the mediator guarantees this via Split).
+	Execute(ctx context.Context, q *Query) (RowIter, error)
+}
+
+// SetClause assigns Value (bound over the table schema) to column Col.
+type SetClause struct {
+	Col   int
+	Value expr.Expr
+}
+
+// Writer is implemented by sources that accept updates.
+type Writer interface {
+	Insert(ctx context.Context, table string, rows []types.Row) (int64, error)
+	Update(ctx context.Context, table string, filter expr.Expr, set []SetClause) (int64, error)
+	Delete(ctx context.Context, table string, filter expr.Expr) (int64, error)
+}
+
+// Tx is a transaction on one participant, driven through two-phase
+// commit by the mediator's coordinator.
+type Tx interface {
+	Writer
+	// Prepare votes on commit: after a successful Prepare the
+	// participant guarantees Commit will succeed.
+	Prepare(ctx context.Context) error
+	// Commit makes the transaction's writes durable and visible.
+	Commit(ctx context.Context) error
+	// Abort rolls the transaction back. Abort after Prepare is allowed
+	// (coordinator decided abort).
+	Abort(ctx context.Context) error
+}
+
+// Transactional is implemented by sources that support transactions.
+type Transactional interface {
+	BeginTx(ctx context.Context) (Tx, error)
+}
+
+// ---- iterator helpers ----
+
+// SliceIter returns a RowIter over an in-memory slice. The slice is not
+// copied; callers must not mutate it while iterating.
+func SliceIter(rows []types.Row) RowIter { return &sliceIter{rows: rows} }
+
+type sliceIter struct {
+	rows []types.Row
+	pos  int
+}
+
+func (s *sliceIter) Next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// Drain reads every row from an iterator and closes it.
+func Drain(it RowIter) ([]types.Row, error) {
+	defer it.Close()
+	var out []types.Row
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// ErrIter returns an iterator that fails immediately with err.
+func ErrIter(err error) RowIter { return &errIter{err: err} }
+
+type errIter struct{ err error }
+
+func (e *errIter) Next() (types.Row, error) { return nil, e.err }
+func (e *errIter) Close() error             { return nil }

@@ -1,0 +1,292 @@
+// Package sql implements the global query language front end: a lexer, a
+// recursive-descent parser, and the statement AST consumed by the planner.
+//
+// The dialect is a pragmatic subset of SQL-92: SELECT with joins,
+// grouping, HAVING, ORDER BY, LIMIT/OFFSET, UNION [ALL], uncorrelated
+// subqueries (EXISTS / IN / scalar), INSERT, UPDATE, DELETE, and EXPLAIN.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokOp    // operators: = <> != < <= > >= + - * / % || . , ( )
+	TokParam // ? positional parameter
+)
+
+// Token is one lexical unit with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the reserved-word set of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"IS": true, "NULL": true, "LIKE": true, "BETWEEN": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "UNION": true, "ALL": true, "DISTINCT": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "EXPLAIN": true, "ANALYZE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "EXISTS": true, "ASC": true,
+	"DESC": true, "TRUE": true, "FALSE": true,
+}
+
+// Lexer scans SQL text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// errorf builds a positioned lexical error.
+func (l *Lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("lex error at line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line, col := l.pos, l.line, l.col
+	tok := func(k TokenKind, text string) Token {
+		return Token{Kind: k, Text: text, Pos: start, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return tok(TokEOF, ""), nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if up := strings.ToUpper(word); keywords[up] {
+			return tok(TokKeyword, up), nil
+		}
+		return tok(TokIdent, word), nil
+
+	case c == '"': // quoted identifier
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated quoted identifier")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				if l.peek() == '"' { // escaped quote
+					l.advance()
+					b.WriteByte('"')
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return tok(TokIdent, b.String()), nil
+
+	case c >= '0' && c <= '9':
+		return l.lexNumber(tok)
+
+	case c == '.' && l.peek2() >= '0' && l.peek2() <= '9':
+		return l.lexNumber(tok)
+
+	case c == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				if l.peek() == '\'' { // doubled quote escape
+					l.advance()
+					b.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return tok(TokString, b.String()), nil
+
+	case c == '?':
+		l.advance()
+		return tok(TokParam, "?"), nil
+
+	default:
+		return l.lexOperator(tok)
+	}
+}
+
+func (l *Lexer) lexNumber(tok func(TokenKind, string) Token) (Token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c >= '0' && c <= '9':
+			l.advance()
+		case c == '.' && !isFloat:
+			isFloat = true
+			l.advance()
+		case (c == 'e' || c == 'E') && l.pos > start:
+			isFloat = true
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if isFloat {
+		return tok(TokFloat, text), nil
+	}
+	return tok(TokInt, text), nil
+}
+
+func (l *Lexer) lexOperator(tok func(TokenKind, string) Token) (Token, error) {
+	c := l.advance()
+	two := string(c) + string(l.peek())
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.advance()
+		if two == "!=" {
+			two = "<>"
+		}
+		return tok(TokOp, two), nil
+	}
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+		return tok(TokOp, string(c)), nil
+	}
+	if unicode.IsPrint(rune(c)) {
+		return Token{}, l.errorf("unexpected character %q", string(c))
+	}
+	return Token{}, l.errorf("unexpected byte 0x%02x", c)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// Tokenize scans the whole input, returning every token before EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,147 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks, err := Tokenize("SELECT a, b FROM t WHERE x >= 1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT a , b FROM t WHERE x >= 1.5"
+	if got := texts(toks); got != want {
+		t.Errorf("texts = %q, want %q", got, want)
+	}
+	if toks[0].Kind != TokKeyword || toks[1].Kind != TokIdent || toks[9].Kind != TokFloat {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestTokenizeKeywordCase(t *testing.T) {
+	toks, err := Tokenize("select From WHERE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if texts(toks) != "SELECT FROM WHERE" {
+		t.Errorf("keywords must be upper-cased: %q", texts(toks))
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, err := Tokenize("'hello' 'it''s' ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "hello" || toks[1].Text != "it's" || toks[2].Text != "" {
+		t.Errorf("strings = %v", toks)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("unterminated string must error")
+	}
+}
+
+func TestTokenizeQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`"Order Table" "x""y"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "Order Table" {
+		t.Errorf("quoted ident = %v", toks[0])
+	}
+	if toks[1].Text != `x"y` {
+		t.Errorf("escaped quote = %q", toks[1].Text)
+	}
+	if _, err := Tokenize(`"unterminated`); err == nil {
+		t.Error("unterminated quoted identifier must error")
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks, err := Tokenize("1 42 3.14 .5 1e3 2.5E-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokenKind{TokInt, TokInt, TokFloat, TokFloat, TokFloat, TokFloat}
+	got := kinds(toks)
+	for i, w := range wantKinds {
+		if got[i] != w {
+			t.Errorf("token %d (%q) kind = %v, want %v", i, toks[i].Text, got[i], w)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("= <> != < <= > >= + - * / % || ( ) , . ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// != normalizes to <>.
+	if toks[2].Text != "<>" {
+		t.Errorf("!= should normalize to <>, got %q", toks[2].Text)
+	}
+	for _, tok := range toks {
+		if tok.Kind != TokOp {
+			t.Errorf("%q should be TokOp", tok.Text)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n a /* block\ncomment */ FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if texts(toks) != "SELECT a FROM t" {
+		t.Errorf("comments not skipped: %q", texts(toks))
+	}
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Error("unterminated block comment must error")
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("SELECT\n  a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("token 0 at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("token 1 at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestTokenizeParam(t *testing.T) {
+	toks, err := Tokenize("WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != TokParam {
+		t.Errorf("? not lexed as param: %v", toks[3])
+	}
+}
+
+func TestTokenizeBadByte(t *testing.T) {
+	if _, err := Tokenize("SELECT @"); err == nil {
+		t.Error("bad character must error")
+	}
+}

@@ -1,0 +1,273 @@
+// Package txn implements the mediator's atomic commitment protocol:
+// presumed-abort two-phase commit across autonomous participants, with a
+// decision log, bounded commit retries (participants must make Commit
+// idempotent), and a one-phase "unsafe" mode used as the experimental
+// baseline. Global updates in a federation need exactly this — the
+// component systems are autonomous, so the mediator can only coordinate,
+// never overrule.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gis/internal/source"
+)
+
+// State is the lifecycle of a global transaction.
+type State uint8
+
+// Global transaction states.
+const (
+	StateActive State = iota
+	StatePreparing
+	StateCommitted
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StatePreparing:
+		return "preparing"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Decision is a logged coordinator decision.
+type Decision struct {
+	TxID         string
+	Commit       bool
+	Participants []string
+	At           time.Time
+}
+
+// Log records coordinator decisions. This in-memory implementation
+// stands in for the stable log a production coordinator would force to
+// disk before the commit phase; the interface boundary is what matters
+// for the protocol.
+type Log struct {
+	mu        sync.Mutex
+	decisions []Decision
+}
+
+// Append records a decision.
+func (l *Log) Append(d Decision) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d.At = time.Now()
+	l.decisions = append(l.decisions, d)
+}
+
+// Decisions returns a copy of the log.
+func (l *Log) Decisions() []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Decision(nil), l.decisions...)
+}
+
+// Coordinator creates and drives global transactions.
+type Coordinator struct {
+	log *Log
+
+	mu     sync.Mutex
+	nextID uint64
+
+	// CommitRetries bounds the retry loop for participants whose Commit
+	// acknowledgement is lost. Default 3.
+	CommitRetries int
+	// Parallel drives prepare/commit rounds concurrently (the default);
+	// sequential mode exists for the T6 ablation.
+	Parallel bool
+}
+
+// NewCoordinator returns a coordinator with an empty decision log.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{log: &Log{}, CommitRetries: 3, Parallel: true}
+}
+
+// Log exposes the decision log (read-mostly; used by recovery tooling
+// and tests).
+func (c *Coordinator) Log() *Log { return c.log }
+
+// Begin starts a new global transaction.
+func (c *Coordinator) Begin() *GlobalTx {
+	c.mu.Lock()
+	c.nextID++
+	id := fmt.Sprintf("gtx-%d", c.nextID)
+	c.mu.Unlock()
+	return &GlobalTx{coord: c, id: id, state: StateActive}
+}
+
+// GlobalTx is one distributed transaction spanning multiple participants.
+// It is not safe for concurrent use.
+type GlobalTx struct {
+	coord *Coordinator
+	id    string
+	state State
+
+	names []string
+	txs   []source.Tx
+}
+
+// ID returns the transaction id.
+func (g *GlobalTx) ID() string { return g.id }
+
+// State returns the current lifecycle state.
+func (g *GlobalTx) State() State { return g.state }
+
+// Enlist adds a participant. name identifies the participant in the
+// decision log. Enlisting after Commit/Abort is an error.
+func (g *GlobalTx) Enlist(name string, tx source.Tx) error {
+	if g.state != StateActive {
+		return fmt.Errorf("txn %s: enlist in state %s", g.id, g.state)
+	}
+	g.names = append(g.names, name)
+	g.txs = append(g.txs, tx)
+	return nil
+}
+
+// Participant returns the enlisted transaction for name, if any (used by
+// the mediator to route writes).
+func (g *GlobalTx) Participant(name string) (source.Tx, bool) {
+	for i, n := range g.names {
+		if n == name {
+			return g.txs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Participants returns the enlisted participant names.
+func (g *GlobalTx) Participants() []string { return append([]string(nil), g.names...) }
+
+// fanOut runs fn over every participant, concurrently when the
+// coordinator is parallel, and collects the first error per participant.
+func (g *GlobalTx) fanOut(ctx context.Context, fn func(i int) error) []error {
+	errs := make([]error, len(g.txs))
+	if !g.coord.Parallel {
+		for i := range g.txs {
+			errs[i] = fn(i)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i := range g.txs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Commit drives two-phase commit. On any prepare failure every
+// participant is aborted and the error is returned (presumed abort — no
+// decision needs logging for the abort path). After the commit decision
+// is logged, commit is retried per participant up to CommitRetries; a
+// participant that still fails leaves the transaction in-doubt on that
+// participant and the error reports it (the decision log resolves it).
+func (g *GlobalTx) Commit(ctx context.Context) error {
+	if g.state != StateActive {
+		return fmt.Errorf("txn %s: commit in state %s", g.id, g.state)
+	}
+	if len(g.txs) == 0 {
+		g.state = StateCommitted
+		return nil
+	}
+	g.state = StatePreparing
+
+	// Phase 1: prepare (vote collection).
+	prepErrs := g.fanOut(ctx, func(i int) error { return g.txs[i].Prepare(ctx) })
+	var voteErr error
+	for i, err := range prepErrs {
+		if err != nil {
+			voteErr = fmt.Errorf("participant %s voted abort: %w", g.names[i], err)
+			break
+		}
+	}
+	if voteErr != nil {
+		g.fanOut(ctx, func(i int) error { return g.txs[i].Abort(ctx) })
+		g.state = StateAborted
+		return voteErr
+	}
+
+	// Decision point: log commit, then it is irrevocable.
+	g.coord.log.Append(Decision{TxID: g.id, Commit: true, Participants: g.Participants()})
+	g.state = StateCommitted
+
+	// Phase 2: commit with bounded retry (Commit must be idempotent).
+	commitErrs := g.fanOut(ctx, func(i int) error {
+		var err error
+		for attempt := 0; attempt <= g.coord.CommitRetries; attempt++ {
+			if err = g.txs[i].Commit(ctx); err == nil {
+				return nil
+			}
+		}
+		return err
+	})
+	var inDoubt []string
+	var firstErr error
+	for i, err := range commitErrs {
+		if err != nil {
+			inDoubt = append(inDoubt, g.names[i])
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if len(inDoubt) > 0 {
+		return fmt.Errorf("txn %s committed but participants %v did not acknowledge: %w", g.id, inDoubt, firstErr)
+	}
+	return nil
+}
+
+// Abort rolls every participant back.
+func (g *GlobalTx) Abort(ctx context.Context) error {
+	switch g.state {
+	case StateAborted:
+		return nil
+	case StateCommitted:
+		return fmt.Errorf("txn %s: abort after commit", g.id)
+	}
+	errs := g.fanOut(ctx, func(i int) error { return g.txs[i].Abort(ctx) })
+	g.state = StateAborted
+	return errors.Join(errs...)
+}
+
+// CommitOnePhase is the unsafe baseline: no prepare round, no decision
+// log — every participant commits directly. A failure partway leaves the
+// federation inconsistent; the returned error reports which participants
+// committed. This exists to quantify what 2PC costs (experiment T6).
+func (g *GlobalTx) CommitOnePhase(ctx context.Context) error {
+	if g.state != StateActive {
+		return fmt.Errorf("txn %s: commit in state %s", g.id, g.state)
+	}
+	errs := g.fanOut(ctx, func(i int) error { return g.txs[i].Commit(ctx) })
+	g.state = StateCommitted
+	var failed []string
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, g.names[i])
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("txn %s: one-phase commit failed on %v (federation may be inconsistent): %w", g.id, failed, firstErr)
+	}
+	return nil
+}

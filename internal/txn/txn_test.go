@@ -1,0 +1,293 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gis/internal/expr"
+	"gis/internal/relstore"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+var ctx = context.Background()
+
+func newStore(t *testing.T, name string) *relstore.Store {
+	t.Helper()
+	s := relstore.New(name)
+	schema := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "v", Type: types.KindInt},
+	)
+	if err := s.CreateTable("acct", schema, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(ctx, "acct", []types.Row{
+		{types.NewInt(1), types.NewInt(100)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rowCount(t *testing.T, s *relstore.Store) int64 {
+	t.Helper()
+	info, err := s.TableInfo(ctx, "acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.RowCount
+}
+
+// enlistWithWrite begins a participant tx on s and stages one insert.
+func enlistWithWrite(t *testing.T, g *GlobalTx, s *relstore.Store, id int64) {
+	t.Helper()
+	tx, err := s.BeginTx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(ctx, "acct", []types.Row{
+		{types.NewInt(id), types.NewInt(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enlist(s.Name(), tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPhaseCommitSuccess(t *testing.T) {
+	a, b := newStore(t, "A"), newStore(t, "B")
+	c := NewCoordinator()
+	g := c.Begin()
+	enlistWithWrite(t, g, a, 10)
+	enlistWithWrite(t, g, b, 10)
+	if err := g.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != StateCommitted {
+		t.Errorf("state = %s", g.State())
+	}
+	if rowCount(t, a) != 2 || rowCount(t, b) != 2 {
+		t.Error("writes not applied on both participants")
+	}
+	log := c.Log().Decisions()
+	if len(log) != 1 || !log[0].Commit || len(log[0].Participants) != 2 {
+		t.Errorf("decision log = %+v", log)
+	}
+}
+
+func TestTwoPhaseCommitAbortOnVoteNo(t *testing.T) {
+	a, b := newStore(t, "A"), newStore(t, "B")
+	b.SetFailPolicy(relstore.FailPolicy{FailPrepare: true})
+	c := NewCoordinator()
+	g := c.Begin()
+	enlistWithWrite(t, g, a, 10)
+	enlistWithWrite(t, g, b, 10)
+	err := g.Commit(ctx)
+	if err == nil {
+		t.Fatal("commit must fail when a participant votes no")
+	}
+	if g.State() != StateAborted {
+		t.Errorf("state = %s", g.State())
+	}
+	// Atomicity: neither store applied the write.
+	if rowCount(t, a) != 1 || rowCount(t, b) != 1 {
+		t.Error("aborted txn leaked writes")
+	}
+	// No commit decision logged (presumed abort).
+	if len(c.Log().Decisions()) != 0 {
+		t.Errorf("abort path logged decisions: %+v", c.Log().Decisions())
+	}
+}
+
+func TestTwoPhaseCommitRetriesLostAck(t *testing.T) {
+	a, b := newStore(t, "A"), newStore(t, "B")
+	b.SetFailPolicy(relstore.FailPolicy{FailCommitOnce: true})
+	c := NewCoordinator()
+	g := c.Begin()
+	enlistWithWrite(t, g, a, 10)
+	enlistWithWrite(t, g, b, 10)
+	if err := g.Commit(ctx); err != nil {
+		t.Fatalf("lost ack must be absorbed by retry: %v", err)
+	}
+	if rowCount(t, a) != 2 || rowCount(t, b) != 2 {
+		t.Error("writes missing after retried commit")
+	}
+}
+
+// stubTx lets tests script participant behavior precisely.
+type stubTx struct {
+	prepareErr error
+	commitErr  error
+	commits    int
+	aborts     int
+	prepares   int
+}
+
+func (s *stubTx) Insert(context.Context, string, []types.Row) (int64, error) { return 0, nil }
+func (s *stubTx) Update(context.Context, string, expr.Expr, []source.SetClause) (int64, error) {
+	return 0, nil
+}
+func (s *stubTx) Delete(context.Context, string, expr.Expr) (int64, error) { return 0, nil }
+func (s *stubTx) Prepare(context.Context) error {
+	s.prepares++
+	return s.prepareErr
+}
+func (s *stubTx) Commit(context.Context) error {
+	s.commits++
+	return s.commitErr
+}
+func (s *stubTx) Abort(context.Context) error {
+	s.aborts++
+	return nil
+}
+
+func TestCommitExhaustsRetriesLeavesInDoubt(t *testing.T) {
+	c := NewCoordinator()
+	c.CommitRetries = 2
+	g := c.Begin()
+	bad := &stubTx{commitErr: errors.New("network down")}
+	g.Enlist("bad", bad)
+	err := g.Commit(ctx)
+	if err == nil {
+		t.Fatal("unacknowledged commit must surface an error")
+	}
+	if g.State() != StateCommitted {
+		t.Errorf("decision is commit even when acks fail: %s", g.State())
+	}
+	if bad.commits != 3 { // initial + 2 retries
+		t.Errorf("commit attempts = %d, want 3", bad.commits)
+	}
+	// The decision log resolves the in-doubt participant.
+	log := c.Log().Decisions()
+	if len(log) != 1 || !log[0].Commit {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestPrepareFailureAbortsEveryone(t *testing.T) {
+	c := NewCoordinator()
+	c.Parallel = false // deterministic order
+	g := c.Begin()
+	ok1, bad, ok2 := &stubTx{}, &stubTx{prepareErr: errors.New("no")}, &stubTx{}
+	g.Enlist("ok1", ok1)
+	g.Enlist("bad", bad)
+	g.Enlist("ok2", ok2)
+	if err := g.Commit(ctx); err == nil {
+		t.Fatal("want vote-no error")
+	}
+	for i, s := range []*stubTx{ok1, bad, ok2} {
+		if s.aborts != 1 {
+			t.Errorf("participant %d aborts = %d, want 1", i, s.aborts)
+		}
+		if s.commits != 0 {
+			t.Errorf("participant %d committed after abort decision", i)
+		}
+	}
+}
+
+func TestAbortExplicit(t *testing.T) {
+	a := newStore(t, "A")
+	c := NewCoordinator()
+	g := c.Begin()
+	enlistWithWrite(t, g, a, 10)
+	if err := g.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rowCount(t, a) != 1 {
+		t.Error("abort did not roll back")
+	}
+	if err := g.Abort(ctx); err != nil {
+		t.Error("abort must be idempotent")
+	}
+	if err := g.Commit(ctx); err == nil {
+		t.Error("commit after abort must error")
+	}
+	if err := g.Enlist("late", &stubTx{}); err == nil {
+		t.Error("enlist after abort must error")
+	}
+}
+
+func TestEmptyTransaction(t *testing.T) {
+	c := NewCoordinator()
+	g := c.Begin()
+	if err := g.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != StateCommitted {
+		t.Error("empty txn should commit trivially")
+	}
+}
+
+func TestOnePhaseBaselineInconsistency(t *testing.T) {
+	// One-phase commit with a failing participant leaves one store
+	// updated and the other not — exactly the anomaly 2PC prevents.
+	c := NewCoordinator()
+	c.Parallel = false
+	g := c.Begin()
+	good, bad := &stubTx{}, &stubTx{commitErr: errors.New("crashed")}
+	g.Enlist("good", good)
+	g.Enlist("bad", bad)
+	err := g.CommitOnePhase(ctx)
+	if err == nil {
+		t.Fatal("partial one-phase commit must error")
+	}
+	if good.commits != 1 || bad.commits != 1 {
+		t.Error("one-phase must attempt all commits")
+	}
+	if good.aborts != 0 {
+		t.Error("one-phase has no abort recourse — that's the point")
+	}
+	if good.prepares != 0 || bad.prepares != 0 {
+		t.Error("one-phase must skip prepare")
+	}
+}
+
+func TestParticipantLookup(t *testing.T) {
+	c := NewCoordinator()
+	g := c.Begin()
+	s := &stubTx{}
+	g.Enlist("x", s)
+	if tx, ok := g.Participant("x"); !ok || tx != source.Tx(s) {
+		t.Error("Participant lookup failed")
+	}
+	if _, ok := g.Participant("y"); ok {
+		t.Error("unknown participant found")
+	}
+	if len(g.Participants()) != 1 {
+		t.Error("Participants() wrong")
+	}
+}
+
+func TestUniqueTxIDs(t *testing.T) {
+	c := NewCoordinator()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := c.Begin().ID()
+		if seen[id] {
+			t.Fatalf("duplicate tx id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestManyParticipantsParallel(t *testing.T) {
+	c := NewCoordinator()
+	g := c.Begin()
+	stubs := make([]*stubTx, 16)
+	for i := range stubs {
+		stubs[i] = &stubTx{}
+		g.Enlist(fmt.Sprintf("p%d", i), stubs[i])
+	}
+	if err := g.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stubs {
+		if s.prepares != 1 || s.commits != 1 {
+			t.Errorf("participant %d: prepares=%d commits=%d", i, s.prepares, s.commits)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package types defines the value model shared by every layer of the
+// federation: SQL literals, wire-encoded rows, store payloads, and
+// execution-engine tuples all use the same Value representation.
+//
+// The model is deliberately small — NULL, BOOL, INT (64-bit), FLOAT
+// (64-bit), STRING, BYTES, and TIME — because a global information system
+// must present a least-common-denominator type system that every
+// heterogeneous component system can be mapped onto.
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the data types of the global type system.
+type Kind uint8
+
+// The global type system's kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindTime
+)
+
+// String returns the SQL-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBytes:
+		return "BYTES"
+	case KindTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// KindFromName parses a SQL-style type name ("INT", "varchar", ...) into a
+// Kind. It accepts the common aliases used by component-system schemas.
+func KindFromName(name string) (Kind, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "BOOL", "BOOLEAN":
+		return KindBool, true
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "INT4", "INT8":
+		return KindInt, true
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC", "FLOAT8":
+		return KindFloat, true
+	case "STRING", "TEXT", "VARCHAR", "CHAR", "CLOB":
+		return KindString, true
+	case "BYTES", "BLOB", "BINARY", "VARBINARY":
+		return KindBytes, true
+	case "TIME", "TIMESTAMP", "DATE", "DATETIME":
+		return KindTime, true
+	case "NULL":
+		return KindNull, true
+	default:
+		return KindNull, false
+	}
+}
+
+// Numeric reports whether the kind is INT or FLOAT.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single datum in the global type system. The zero Value is
+// NULL. Values are immutable by convention; Bytes payloads must not be
+// mutated after construction.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string // also backs BYTES to keep Value comparable-free of slices
+	t    time.Time
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewBool returns a BOOL value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// NewInt returns an INT value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a STRING value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewBytes returns a BYTES value. The slice is copied.
+func NewBytes(b []byte) Value { return Value{kind: KindBytes, s: string(b)} }
+
+// NewTime returns a TIME value normalized to UTC.
+func NewTime(t time.Time) Value { return Value{kind: KindTime, t: t.UTC()} }
+
+// Kind returns the value's kind. NULL values have KindNull.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the BOOL payload; it must only be called when Kind()==KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// Int returns the INT payload; it must only be called when Kind()==KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the FLOAT payload; it must only be called when Kind()==KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Str returns the STRING payload; it must only be called when Kind()==KindString.
+func (v Value) Str() string { return v.s }
+
+// Bytes returns a copy of the BYTES payload.
+func (v Value) Bytes() []byte { return []byte(v.s) }
+
+// Time returns the TIME payload; it must only be called when Kind()==KindTime.
+func (v Value) Time() time.Time { return v.t }
+
+// AsFloat converts a numeric value to float64. It must only be called on
+// INT or FLOAT values.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// String renders the value for display and EXPLAIN output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBytes:
+		return fmt.Sprintf("x'%x'", v.s)
+	case KindTime:
+		return v.t.Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("<bad kind %d>", v.kind)
+	}
+}
+
+// SQL renders the value as a SQL literal (quoting strings).
+func (v Value) SQL() string {
+	switch v.kind {
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindTime:
+		return "'" + v.t.Format(time.RFC3339Nano) + "'"
+	default:
+		return v.String()
+	}
+}
+
+// Equal reports deep equality of two values. NULL equals NULL here (this
+// is identity equality, used by grouping and duplicate elimination, not
+// SQL tri-state equality, which the expression engine layers on top).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Numeric cross-kind equality: 1 == 1.0.
+		if v.kind.Numeric() && o.kind.Numeric() {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString, KindBytes:
+		return v.s == o.s
+	case KindTime:
+		return v.t.Equal(o.t)
+	}
+	return false
+}
+
+// Compare orders two values: -1 if v<o, 0 if equal, +1 if v>o. NULL sorts
+// before every non-NULL value. Cross-kind numeric comparisons are
+// performed in float64. Comparing incompatible kinds orders by kind tag so
+// that sorting is still total.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind.Numeric() && o.kind.Numeric() {
+			return compareFloat(v.AsFloat(), o.AsFloat())
+		}
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	case KindFloat:
+		return compareFloat(v.f, o.f)
+	case KindString, KindBytes:
+		return strings.Compare(v.s, o.s)
+	case KindTime:
+		switch {
+		case v.t.Before(o.t):
+			return -1
+		case v.t.After(o.t):
+			return 1
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaN handling: NaN sorts before everything except NaN.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Hash writes the value into an FNV-1a hash and returns the running sum.
+// Values that are Equal hash identically (numerics hash via float64).
+func (v Value) Hash(seed uint64) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(v.kind)
+	switch v.kind {
+	case KindNull:
+		buf[0] = 0xff
+		h.Write(buf[:1])
+	case KindBool:
+		buf[0] = 1
+		if v.b {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	case KindInt, KindFloat:
+		buf[0] = 2 // shared tag: 1 and 1.0 must collide
+		bits := math.Float64bits(v.AsFloat())
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:9])
+	case KindString, KindBytes:
+		buf[0] = byte(v.kind)
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	case KindTime:
+		buf[0] = 6
+		n := v.t.UnixNano()
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(uint64(n) >> (8 * i))
+		}
+		h.Write(buf[:9])
+	}
+	return seed*1099511628211 ^ h.Sum64()
+}
+
+// Coerce converts the value to the target kind, applying the global type
+// system's coercion matrix. Coercing NULL yields NULL of any kind.
+func (v Value) Coerce(to Kind) (Value, error) {
+	if v.kind == to || v.kind == KindNull {
+		return v, nil
+	}
+	switch to {
+	case KindBool:
+		switch v.kind {
+		case KindInt:
+			return NewBool(v.i != 0), nil
+		case KindString:
+			b, err := strconv.ParseBool(strings.ToLower(v.s))
+			if err != nil {
+				return Null, fmt.Errorf("cannot coerce %q to BOOL", v.s)
+			}
+			return NewBool(b), nil
+		}
+	case KindInt:
+		switch v.kind {
+		case KindFloat:
+			if v.f != math.Trunc(v.f) || math.IsNaN(v.f) || math.IsInf(v.f, 0) {
+				return Null, fmt.Errorf("cannot coerce %v to INT without loss", v.f)
+			}
+			return NewInt(int64(v.f)), nil
+		case KindBool:
+			if v.b {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		case KindString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot coerce %q to INT", v.s)
+			}
+			return NewInt(i), nil
+		case KindTime:
+			return NewInt(v.t.Unix()), nil
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindInt:
+			return NewFloat(float64(v.i)), nil
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot coerce %q to FLOAT", v.s)
+			}
+			return NewFloat(f), nil
+		}
+	case KindString:
+		return NewString(v.String()), nil
+	case KindBytes:
+		if v.kind == KindString {
+			return Value{kind: KindBytes, s: v.s}, nil
+		}
+	case KindTime:
+		switch v.kind {
+		case KindString:
+			t, err := ParseTime(v.s)
+			if err != nil {
+				return Null, err
+			}
+			return NewTime(t), nil
+		case KindInt:
+			return NewTime(time.Unix(v.i, 0)), nil
+		}
+	}
+	return Null, fmt.Errorf("cannot coerce %s to %s", v.kind, to)
+}
+
+// ParseTime parses the timestamp formats accepted by the global SQL
+// dialect: RFC 3339, "2006-01-02 15:04:05", and bare dates.
+func ParseTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	for _, layout := range []string{
+		time.RFC3339Nano,
+		time.RFC3339,
+		"2006-01-02 15:04:05.999999999",
+		"2006-01-02 15:04:05",
+		"2006-01-02",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("cannot parse %q as TIME", s)
+}

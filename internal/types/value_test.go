@@ -1,0 +1,244 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOL", KindInt: "INT",
+		KindFloat: "FLOAT", KindString: "STRING", KindBytes: "BYTES", KindTime: "TIME",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "BigInt": KindInt,
+		"varchar": KindString, "TEXT": KindString,
+		"double": KindFloat, "decimal": KindFloat,
+		"bool": KindBool, "BOOLEAN": KindBool,
+		"blob": KindBytes, "timestamp": KindTime, "date": KindTime,
+	}
+	for name, want := range cases {
+		got, ok := KindFromName(name)
+		if !ok || got != want {
+			t.Errorf("KindFromName(%q) = %v,%v want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := KindFromName("frobnicate"); ok {
+		t.Error("KindFromName accepted junk type name")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Error("zero Value is not NULL")
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Error("NewBool broken")
+	}
+	if v := NewInt(-42); v.Int() != -42 || v.Kind() != KindInt {
+		t.Error("NewInt broken")
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 || v.Kind() != KindFloat {
+		t.Error("NewFloat broken")
+	}
+	if v := NewString("hi"); v.Str() != "hi" || v.Kind() != KindString {
+		t.Error("NewString broken")
+	}
+	b := []byte{1, 2, 3}
+	v := NewBytes(b)
+	b[0] = 99 // NewBytes must have copied
+	if got := v.Bytes(); got[0] != 1 || len(got) != 3 {
+		t.Error("NewBytes did not copy input")
+	}
+	now := time.Now()
+	if tv := NewTime(now); !tv.Time().Equal(now) || tv.Time().Location() != time.UTC {
+		t.Error("NewTime must normalize to UTC and preserve the instant")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(7), "7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("abc"), "abc"},
+		{NewBytes([]byte{0xde, 0xad}), "x'dead'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueSQLQuoting(t *testing.T) {
+	v := NewString("it's")
+	if got := v.SQL(); got != "'it''s'" {
+		t.Errorf("SQL() = %q", got)
+	}
+	if got := NewInt(3).SQL(); got != "3" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !NewInt(1).Equal(NewFloat(1.0)) {
+		t.Error("1 must equal 1.0 under identity equality")
+	}
+	if NewInt(1).Equal(NewString("1")) {
+		t.Error("1 must not equal '1'")
+	}
+	if !Null.Equal(Null) {
+		t.Error("NULL identity-equals NULL")
+	}
+	if Null.Equal(NewInt(0)) {
+		t.Error("NULL != 0")
+	}
+	tm := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	if !NewTime(tm).Equal(NewTime(tm.In(time.FixedZone("x", 3600)))) {
+		t.Error("TIME equality must compare instants, not zones")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, NewInt(1), -1},
+		{NewInt(1), Null, 1},
+		{Null, Null, 0},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueHashEqualConsistency(t *testing.T) {
+	// 1 and 1.0 are Equal, so they must hash identically.
+	if NewInt(1).Hash(0) != NewFloat(1).Hash(0) {
+		t.Error("Equal values INT 1 / FLOAT 1.0 hash differently")
+	}
+	if NewString("x").Hash(0) == NewBytes([]byte("x")).Hash(0) {
+		t.Error("STRING 'x' and BYTES 'x' are not Equal; expect distinct hashes")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		in   Value
+		to   Kind
+		want Value
+		err  bool
+	}{
+		{NewInt(3), KindFloat, NewFloat(3), false},
+		{NewFloat(3), KindInt, NewInt(3), false},
+		{NewFloat(3.5), KindInt, Null, true},
+		{NewString("42"), KindInt, NewInt(42), false},
+		{NewString(" 2.5 "), KindFloat, NewFloat(2.5), false},
+		{NewString("junk"), KindInt, Null, true},
+		{NewInt(0), KindBool, NewBool(false), false},
+		{NewBool(true), KindInt, NewInt(1), false},
+		{NewInt(7), KindString, NewString("7"), false},
+		{Null, KindInt, Null, false},
+		{NewString("2021-06-01"), KindTime, NewTime(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)), false},
+		{NewBool(true), KindTime, Null, true},
+	}
+	for _, c := range cases {
+		got, err := c.in.Coerce(c.to)
+		if c.err {
+			if err == nil {
+				t.Errorf("Coerce(%v,%v): want error, got %v", c.in, c.to, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Coerce(%v,%v): %v", c.in, c.to, err)
+			continue
+		}
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Coerce(%v,%v) = %v want %v", c.in, c.to, got, c.want)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	for _, s := range []string{"2021-06-01", "2021-06-01 10:20:30", "2021-06-01T10:20:30Z"} {
+		if _, err := ParseTime(s); err != nil {
+			t.Errorf("ParseTime(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseTime("yesterday"); err == nil {
+		t.Error("ParseTime accepted junk")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va) &&
+			(va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal values hash equal across int/float boundary.
+func TestHashConsistencyProperty(t *testing.T) {
+	f := func(a int32) bool {
+		return NewInt(int64(a)).Hash(7) == NewFloat(float64(a)).Hash(7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string round-trips through Coerce to BYTES and back.
+func TestStringBytesRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		b, err := NewString(s).Coerce(KindBytes)
+		if err != nil {
+			return false
+		}
+		return string(b.Bytes()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN vs NaN must compare 0 for sort totality")
+	}
+	if nan.Compare(NewFloat(0)) != -1 || NewFloat(0).Compare(nan) != 1 {
+		t.Error("NaN must sort before numbers")
+	}
+}

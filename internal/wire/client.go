@@ -1,0 +1,475 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/stats"
+	"gis/internal/types"
+)
+
+// Client is a remote source: it implements source.Source, source.Writer,
+// and source.Transactional over the wire protocol. A client multiplexes
+// work over a small pool of TCP connections; every Execute gets its own
+// connection so result streams from parallel sub-queries do not block
+// each other.
+type Client struct {
+	addr string
+	name string
+	up   SimLink // client → server
+	down SimLink // server → client
+
+	mu   sync.Mutex
+	pool []*frameConn
+	// ctrl is the dedicated connection for metadata and transactions.
+	ctrl *frameConn
+
+	capsOnce sync.Once
+	caps     source.Capabilities
+	capsErr  error
+}
+
+// Option configures a client.
+type Option func(*Client)
+
+// WithSimLink simulates WAN latency/bandwidth. The same link parameters
+// are applied in both directions (uplink on sends, downlink on receives).
+func WithSimLink(l SimLink) Option {
+	return func(c *Client) { c.up, c.down = l, l }
+}
+
+// WithName overrides the source name reported by the client (defaults to
+// the remote address).
+func WithName(name string) Option {
+	return func(c *Client) { c.name = name }
+}
+
+// Dial connects to a wire server.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{addr: addr, name: addr}
+	for _, o := range opts {
+		o(c)
+	}
+	ctrl, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.ctrl = ctrl
+	return c, nil
+}
+
+func (c *Client) dial() (*frameConn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	return newFrameConn(conn, c.up, c.down), nil
+}
+
+// getConn returns a pooled or fresh connection for a result stream.
+func (c *Client) getConn() (*frameConn, error) {
+	c.mu.Lock()
+	if n := len(c.pool); n > 0 {
+		fc := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		c.mu.Unlock()
+		return fc, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *Client) putConn(fc *frameConn) {
+	c.mu.Lock()
+	c.pool = append(c.pool, fc)
+	c.mu.Unlock()
+}
+
+// Close shuts every pooled connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	close := func(fc *frameConn) {
+		if cl, ok := fc.rw.(io.Closer); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if c.ctrl != nil {
+		close(c.ctrl)
+	}
+	for _, fc := range c.pool {
+		close(fc)
+	}
+	c.pool = nil
+	return first
+}
+
+// Name implements source.Source.
+func (c *Client) Name() string { return c.name }
+
+// ctrlCall performs a request/response on the control connection.
+func (c *Client) ctrlCall(tag byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	respTag, resp, err := c.ctrl.call(tag, payload)
+	if err != nil {
+		return nil, err
+	}
+	return checkResp(respTag, resp)
+}
+
+func checkResp(tag byte, payload []byte) ([]byte, error) {
+	switch tag {
+	case msgOK:
+		return payload, nil
+	case msgErr:
+		msg, err := NewDecoder(payload).String()
+		if err != nil {
+			return nil, fmt.Errorf("wire: malformed error response")
+		}
+		return nil, errors.New(msg)
+	default:
+		return nil, fmt.Errorf("wire: unexpected response tag %d", tag)
+	}
+}
+
+// Tables implements source.Source.
+func (c *Client) Tables(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.ctrlCall(msgTables, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(resp)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = d.String(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TableInfo implements source.Source.
+func (c *Client) TableInfo(ctx context.Context, table string) (*source.TableInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var e Encoder
+	e.String(table)
+	resp, err := c.ctrlCall(msgTableInfo, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(resp)
+	info := &source.TableInfo{}
+	if info.Schema, err = d.Schema(); err != nil {
+		return nil, err
+	}
+	if info.KeyColumns, err = d.IntSlice(); err != nil {
+		return nil, err
+	}
+	if len(info.KeyColumns) == 0 {
+		info.KeyColumns = nil
+	}
+	if info.RowCount, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Capabilities implements source.Source. The remote capability vector is
+// fetched once and cached.
+func (c *Client) Capabilities() source.Capabilities {
+	c.capsOnce.Do(func() {
+		resp, err := c.ctrlCall(msgCaps, nil)
+		if err != nil {
+			c.capsErr = err
+			return
+		}
+		d := NewDecoder(resp)
+		f, _ := d.Byte()
+		c.caps.Filter = source.FilterCap(f)
+		c.caps.Project, _ = d.Bool()
+		c.caps.Aggregate, _ = d.Bool()
+		c.caps.Sort, _ = d.Bool()
+		c.caps.Limit, _ = d.Bool()
+		c.caps.Write, _ = d.Bool()
+		c.caps.Txn, _ = d.Bool()
+	})
+	return c.caps
+}
+
+// Stats fetches optimizer statistics from the remote source (which must
+// be a StatsProvider).
+func (c *Client) Stats(table string) (*stats.TableStats, error) {
+	var e Encoder
+	e.String(table)
+	resp, err := c.ctrlCall(msgStats, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeStats(NewDecoder(resp))
+}
+
+// Execute implements source.Source, streaming result batches over a
+// dedicated connection.
+func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var e Encoder
+	if err := e.Query(q); err != nil {
+		return nil, err
+	}
+	fc, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	tag, resp, err := fc.call(msgExecute, e.Bytes())
+	if err != nil {
+		c.discard(fc)
+		return nil, err
+	}
+	if _, err := checkResp(tag, resp); err != nil {
+		// Protocol state is clean after msgErr; the conn is reusable.
+		c.putConn(fc)
+		return nil, err
+	}
+	return &streamIter{ctx: ctx, c: c, fc: fc}, nil
+}
+
+func (c *Client) discard(fc *frameConn) {
+	if cl, ok := fc.rw.(io.Closer); ok {
+		cl.Close()
+	}
+}
+
+// streamIter reads msgRows batches until msgEnd.
+type streamIter struct {
+	ctx   context.Context
+	c     *Client
+	fc    *frameConn
+	batch []types.Row
+	pos   int
+	done  bool
+	err   error
+}
+
+// Next implements source.RowIter.
+func (it *streamIter) Next() (types.Row, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
+	if it.pos < len(it.batch) {
+		r := it.batch[it.pos]
+		it.pos++
+		return r, nil
+	}
+	if it.done {
+		return nil, io.EOF
+	}
+	if err := it.ctx.Err(); err != nil {
+		it.fail(err)
+		return nil, err
+	}
+	tag, payload, err := it.fc.readFrame()
+	if err != nil {
+		it.fail(err)
+		return nil, err
+	}
+	switch tag {
+	case msgEnd:
+		it.done = true
+		it.c.putConn(it.fc)
+		it.fc = nil
+		return nil, io.EOF
+	case msgErr:
+		_, err := checkResp(tag, payload)
+		it.fail(err)
+		return nil, err
+	case msgRows:
+		d := NewDecoder(payload)
+		n, err := d.Uvarint()
+		if err != nil {
+			it.fail(err)
+			return nil, err
+		}
+		it.batch = make([]types.Row, n)
+		for i := range it.batch {
+			if it.batch[i], err = d.Row(); err != nil {
+				it.fail(err)
+				return nil, err
+			}
+		}
+		it.pos = 0
+		return it.Next()
+	default:
+		err := fmt.Errorf("wire: unexpected stream tag %d", tag)
+		it.fail(err)
+		return nil, err
+	}
+}
+
+func (it *streamIter) fail(err error) {
+	it.err = err
+	if it.fc != nil {
+		it.c.discard(it.fc)
+		it.fc = nil
+	}
+}
+
+// Close implements source.RowIter. Closing an undrained stream discards
+// the connection (the protocol has no cancel message).
+func (it *streamIter) Close() error {
+	if it.fc != nil && !it.done {
+		it.c.discard(it.fc)
+		it.fc = nil
+		it.done = true
+	}
+	return nil
+}
+
+// ---- writes ----
+
+// Insert implements source.Writer (autocommit).
+func (c *Client) Insert(ctx context.Context, table string, rows []types.Row) (int64, error) {
+	return c.insert(ctx, "", table, rows)
+}
+
+func (c *Client) insert(ctx context.Context, txid, table string, rows []types.Row) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var e Encoder
+	e.String(txid)
+	e.String(table)
+	e.Uvarint(uint64(len(rows)))
+	for _, r := range rows {
+		e.Row(r)
+	}
+	return c.affected(c.ctrlCall(msgInsert, e.Bytes()))
+}
+
+// Update implements source.Writer (autocommit).
+func (c *Client) Update(ctx context.Context, table string, filter expr.Expr, set []source.SetClause) (int64, error) {
+	return c.update(ctx, "", table, filter, set)
+}
+
+func (c *Client) update(ctx context.Context, txid, table string, filter expr.Expr, set []source.SetClause) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var e Encoder
+	e.String(txid)
+	e.String(table)
+	if err := e.Expr(filter); err != nil {
+		return 0, err
+	}
+	e.Uvarint(uint64(len(set)))
+	for _, sc := range set {
+		e.Varint(int64(sc.Col))
+		if err := e.Expr(sc.Value); err != nil {
+			return 0, err
+		}
+	}
+	return c.affected(c.ctrlCall(msgUpdate, e.Bytes()))
+}
+
+// Delete implements source.Writer (autocommit).
+func (c *Client) Delete(ctx context.Context, table string, filter expr.Expr) (int64, error) {
+	return c.delete(ctx, "", table, filter)
+}
+
+func (c *Client) delete(ctx context.Context, txid, table string, filter expr.Expr) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var e Encoder
+	e.String(txid)
+	e.String(table)
+	if err := e.Expr(filter); err != nil {
+		return 0, err
+	}
+	return c.affected(c.ctrlCall(msgDelete, e.Bytes()))
+}
+
+func (c *Client) affected(resp []byte, err error) (int64, error) {
+	if err != nil {
+		return 0, err
+	}
+	return NewDecoder(resp).Varint()
+}
+
+// ---- transactions ----
+
+// BeginTx implements source.Transactional.
+func (c *Client) BeginTx(ctx context.Context) (source.Tx, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.ctrlCall(msgBeginTx, nil)
+	if err != nil {
+		return nil, err
+	}
+	id, err := NewDecoder(resp).String()
+	if err != nil {
+		return nil, err
+	}
+	return &remoteTx{c: c, id: id}, nil
+}
+
+// remoteTx drives a server-side transaction by id.
+type remoteTx struct {
+	c  *Client
+	id string
+}
+
+// Insert implements source.Writer within the transaction.
+func (t *remoteTx) Insert(ctx context.Context, table string, rows []types.Row) (int64, error) {
+	return t.c.insert(ctx, t.id, table, rows)
+}
+
+// Update implements source.Writer within the transaction.
+func (t *remoteTx) Update(ctx context.Context, table string, filter expr.Expr, set []source.SetClause) (int64, error) {
+	return t.c.update(ctx, t.id, table, filter, set)
+}
+
+// Delete implements source.Writer within the transaction.
+func (t *remoteTx) Delete(ctx context.Context, table string, filter expr.Expr) (int64, error) {
+	return t.c.delete(ctx, t.id, table, filter)
+}
+
+func (t *remoteTx) protocol(ctx context.Context, tag byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var e Encoder
+	e.String(t.id)
+	_, err := t.c.ctrlCall(tag, e.Bytes())
+	return err
+}
+
+// Prepare implements source.Tx.
+func (t *remoteTx) Prepare(ctx context.Context) error { return t.protocol(ctx, msgPrepare) }
+
+// Commit implements source.Tx.
+func (t *remoteTx) Commit(ctx context.Context) error { return t.protocol(ctx, msgCommit) }
+
+// Abort implements source.Tx.
+func (t *remoteTx) Abort(ctx context.Context) error { return t.protocol(ctx, msgAbort) }

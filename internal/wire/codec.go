@@ -1,0 +1,645 @@
+// Package wire implements the federation's network layer: a compact
+// length-prefixed binary protocol that exposes a source.Source (and its
+// optional Writer/Transactional facets) over TCP, plus a configurable
+// latency/bandwidth simulator so experiments can model wide-area links.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// maxFrame bounds a single protocol frame (16 MiB).
+const maxFrame = 16 << 20
+
+// Encoder writes protocol values into a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Byte appends one byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Float appends a float64.
+func (e *Encoder) Float(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// Value appends one tagged value.
+func (e *Encoder) Value(v types.Value) {
+	e.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case types.KindNull:
+	case types.KindBool:
+		e.Bool(v.Bool())
+	case types.KindInt:
+		e.Varint(v.Int())
+	case types.KindFloat:
+		e.Float(v.Float())
+	case types.KindString:
+		e.String(v.Str())
+	case types.KindBytes:
+		b := v.Bytes()
+		e.Uvarint(uint64(len(b)))
+		e.buf = append(e.buf, b...)
+	case types.KindTime:
+		e.Varint(v.Time().UnixNano())
+	}
+}
+
+// Row appends a row.
+func (e *Encoder) Row(r types.Row) {
+	e.Uvarint(uint64(len(r)))
+	for _, v := range r {
+		e.Value(v)
+	}
+}
+
+// Schema appends a schema.
+func (e *Encoder) Schema(s *types.Schema) {
+	e.Uvarint(uint64(s.Len()))
+	for _, c := range s.Columns {
+		e.String(c.Table)
+		e.String(c.Name)
+		e.Byte(byte(c.Type))
+		e.Bool(c.Nullable)
+	}
+}
+
+// IntSlice appends a varint-coded []int.
+func (e *Encoder) IntSlice(v []int) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.Varint(int64(x))
+	}
+}
+
+// Expression node tags.
+const (
+	exTagNil byte = iota
+	exTagColRef
+	exTagConst
+	exTagBinary
+	exTagUnary
+	exTagIsNull
+	exTagInList
+	exTagCase
+	exTagCast
+	exTagCall
+)
+
+// Expr appends an expression tree. Only bound, subquery-free expressions
+// can travel (the planner guarantees pushed filters satisfy this).
+func (e *Encoder) Expr(x expr.Expr) error {
+	switch n := x.(type) {
+	case nil:
+		e.Byte(exTagNil)
+	case *expr.ColRef:
+		e.Byte(exTagColRef)
+		e.Varint(int64(n.Index))
+		e.Byte(byte(n.Type))
+		e.String(n.Name)
+	case *expr.Const:
+		e.Byte(exTagConst)
+		e.Value(n.Val)
+	case *expr.Binary:
+		e.Byte(exTagBinary)
+		e.Byte(byte(n.Op))
+		if err := e.Expr(n.L); err != nil {
+			return err
+		}
+		return e.Expr(n.R)
+	case *expr.Unary:
+		e.Byte(exTagUnary)
+		e.Byte(byte(n.Op))
+		return e.Expr(n.E)
+	case *expr.IsNull:
+		e.Byte(exTagIsNull)
+		e.Bool(n.Negate)
+		return e.Expr(n.E)
+	case *expr.InList:
+		e.Byte(exTagInList)
+		e.Bool(n.Negate)
+		if err := e.Expr(n.E); err != nil {
+			return err
+		}
+		e.Uvarint(uint64(len(n.List)))
+		for _, le := range n.List {
+			if err := e.Expr(le); err != nil {
+				return err
+			}
+		}
+	case *expr.Case:
+		e.Byte(exTagCase)
+		if err := e.Expr(n.Operand); err != nil {
+			return err
+		}
+		e.Uvarint(uint64(len(n.Whens)))
+		for _, w := range n.Whens {
+			if err := e.Expr(w.Cond); err != nil {
+				return err
+			}
+			if err := e.Expr(w.Then); err != nil {
+				return err
+			}
+		}
+		return e.Expr(n.Else)
+	case *expr.Cast:
+		e.Byte(exTagCast)
+		e.Byte(byte(n.To))
+		return e.Expr(n.E)
+	case *expr.Call:
+		e.Byte(exTagCall)
+		e.String(n.Name)
+		e.Uvarint(uint64(len(n.Args)))
+		for _, a := range n.Args {
+			if err := e.Expr(a); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("wire: cannot encode expression node %T", x)
+	}
+	return nil
+}
+
+// Query appends a source.Query.
+func (e *Encoder) Query(q *source.Query) error {
+	e.String(q.Table)
+	// Columns: distinguish nil (all) from empty.
+	if q.Columns == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.IntSlice(q.Columns)
+	}
+	if err := e.Expr(q.Filter); err != nil {
+		return err
+	}
+	e.IntSlice(q.GroupBy)
+	e.Uvarint(uint64(len(q.Aggs)))
+	for _, a := range q.Aggs {
+		e.Byte(byte(a.Kind))
+		e.Varint(int64(a.Col))
+		e.Bool(a.Star)
+		e.Bool(a.Distinct)
+	}
+	e.Uvarint(uint64(len(q.OrderBy)))
+	for _, o := range q.OrderBy {
+		e.Varint(int64(o.Col))
+		e.Bool(o.Desc)
+	}
+	e.Varint(q.Limit)
+	return nil
+}
+
+// Decoder reads protocol values from a byte slice.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining reports unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.Remaining() < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	b, err := d.Byte()
+	return b != 0, err
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.Remaining()) {
+		return "", io.ErrUnexpectedEOF
+	}
+	b, err := d.take(int(n))
+	return string(b), err
+}
+
+// Float reads a float64.
+func (d *Decoder) Float() (float64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// Value reads one tagged value.
+func (d *Decoder) Value() (types.Value, error) {
+	tag, err := d.Byte()
+	if err != nil {
+		return types.Null, err
+	}
+	switch types.Kind(tag) {
+	case types.KindNull:
+		return types.Null, nil
+	case types.KindBool:
+		b, err := d.Bool()
+		return types.NewBool(b), err
+	case types.KindInt:
+		v, err := d.Varint()
+		return types.NewInt(v), err
+	case types.KindFloat:
+		f, err := d.Float()
+		return types.NewFloat(f), err
+	case types.KindString:
+		s, err := d.String()
+		return types.NewString(s), err
+	case types.KindBytes:
+		n, err := d.Uvarint()
+		if err != nil {
+			return types.Null, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBytes(b), nil
+	case types.KindTime:
+		n, err := d.Varint()
+		return types.NewTime(time.Unix(0, n)), err
+	default:
+		return types.Null, fmt.Errorf("wire: bad value tag %d", tag)
+	}
+}
+
+// Row reads a row.
+func (d *Decoder) Row() (types.Row, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	r := make(types.Row, n)
+	for i := range r {
+		if r[i], err = d.Value(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Schema reads a schema.
+func (d *Decoder) Schema() (*types.Schema, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	s := &types.Schema{Columns: make([]types.Column, n)}
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		if c.Table, err = d.String(); err != nil {
+			return nil, err
+		}
+		if c.Name, err = d.String(); err != nil {
+			return nil, err
+		}
+		tag, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		c.Type = types.Kind(tag)
+		if c.Nullable, err = d.Bool(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// IntSlice reads a varint-coded []int.
+func (d *Decoder) IntSlice() ([]int, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// Expr reads an expression tree.
+func (d *Decoder) Expr() (expr.Expr, error) {
+	tag, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case exTagNil:
+		return nil, nil
+	case exTagColRef:
+		idx, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		kt, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.ColRef{Index: int(idx), Type: types.Kind(kt), Name: name}, nil
+	case exTagConst:
+		v, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewConst(v), nil
+	case exTagBinary:
+		op, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		l, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewBinary(expr.BinOp(op), l, r), nil
+	case exTagUnary:
+		op, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewUnary(expr.UnOp(op), inner), nil
+	case exTagIsNull:
+		neg, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: inner, Negate: neg}, nil
+	case exTagInList:
+		neg, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		operand, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		list := make([]expr.Expr, n)
+		for i := range list {
+			if list[i], err = d.Expr(); err != nil {
+				return nil, err
+			}
+		}
+		return &expr.InList{E: operand, List: list, Negate: neg}, nil
+	case exTagCase:
+		operand, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		whens := make([]expr.When, n)
+		for i := range whens {
+			if whens[i].Cond, err = d.Expr(); err != nil {
+				return nil, err
+			}
+			if whens[i].Then, err = d.Expr(); err != nil {
+				return nil, err
+			}
+		}
+		els, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Case{Operand: operand, Whens: whens, Else: els}, nil
+	case exTagCast:
+		kt, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := d.Expr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Cast{E: inner, To: types.Kind(kt)}, nil
+	case exTagCall:
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		args := make([]expr.Expr, n)
+		for i := range args {
+			if args[i], err = d.Expr(); err != nil {
+				return nil, err
+			}
+		}
+		return expr.NewCall(name, args...), nil
+	default:
+		return nil, fmt.Errorf("wire: bad expression tag %d", tag)
+	}
+}
+
+// Query reads a source.Query.
+func (d *Decoder) Query() (*source.Query, error) {
+	q := &source.Query{}
+	var err error
+	if q.Table, err = d.String(); err != nil {
+		return nil, err
+	}
+	hasCols, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasCols {
+		if q.Columns, err = d.IntSlice(); err != nil {
+			return nil, err
+		}
+		if q.Columns == nil {
+			q.Columns = []int{}
+		}
+	}
+	if q.Filter, err = d.Expr(); err != nil {
+		return nil, err
+	}
+	if q.GroupBy, err = d.IntSlice(); err != nil {
+		return nil, err
+	}
+	nAggs, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nAggs > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	q.Aggs = make([]source.AggSpec, nAggs)
+	for i := range q.Aggs {
+		kind, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		col, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		star, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		distinct, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		q.Aggs[i] = source.AggSpec{Kind: expr.AggKind(kind), Col: int(col), Star: star, Distinct: distinct}
+	}
+	if len(q.Aggs) == 0 {
+		q.Aggs = nil
+	}
+	nOrd, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nOrd > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	q.OrderBy = make([]source.OrderSpec, nOrd)
+	for i := range q.OrderBy {
+		col, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		desc, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy[i] = source.OrderSpec{Col: int(col), Desc: desc}
+	}
+	if len(q.OrderBy) == 0 {
+		q.OrderBy = nil
+	}
+	if q.Limit, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	if len(q.GroupBy) == 0 {
+		q.GroupBy = nil
+	}
+	return q, nil
+}

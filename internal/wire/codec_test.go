@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null,
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewInt(0),
+		types.NewInt(-12345678901),
+		types.NewFloat(3.14159),
+		types.NewString(""),
+		types.NewString("héllo wörld"),
+		types.NewBytes([]byte{0, 1, 2, 255}),
+		types.NewTime(time.Date(2021, 6, 1, 12, 0, 0, 123456789, time.UTC)),
+	}
+	var e Encoder
+	for _, v := range vals {
+		e.Value(v)
+	}
+	d := NewDecoder(e.Bytes())
+	for i, want := range vals {
+		got, err := d.Value()
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if !got.Equal(want) || got.Kind() != want.Kind() {
+			t.Errorf("value %d: got %v (%s), want %v (%s)", i, got, got.Kind(), want, want.Kind())
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestRowSchemaRoundTrip(t *testing.T) {
+	row := types.Row{types.NewInt(1), types.Null, types.NewString("x")}
+	schema := types.NewSchema(
+		types.Column{Table: "t", Name: "a", Type: types.KindInt},
+		types.Column{Name: "b", Type: types.KindFloat, Nullable: true},
+	)
+	var e Encoder
+	e.Row(row)
+	e.Schema(schema)
+	d := NewDecoder(e.Bytes())
+	gotRow, err := d.Row()
+	if err != nil || !gotRow.Equal(row) {
+		t.Errorf("row round trip: %v, %v", gotRow, err)
+	}
+	gotSchema, err := d.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.Len() != 2 || gotSchema.Columns[0].Table != "t" ||
+		gotSchema.Columns[1].Type != types.KindFloat || !gotSchema.Columns[1].Nullable {
+		t.Errorf("schema round trip: %+v", gotSchema)
+	}
+}
+
+func TestExprRoundTrip(t *testing.T) {
+	exprs := []expr.Expr{
+		nil,
+		expr.NewBoundColRef(2, types.KindInt, "a"),
+		expr.NewConst(types.NewString("lit")),
+		expr.NewBinary(expr.OpAnd,
+			expr.NewBinary(expr.OpGe, expr.NewBoundColRef(0, types.KindInt, "x"), expr.NewConst(types.NewInt(5))),
+			expr.NewBinary(expr.OpLike, expr.NewBoundColRef(1, types.KindString, "s"), expr.NewConst(types.NewString("a%")))),
+		expr.NewUnary(expr.OpNot, expr.NewConst(types.NewBool(false))),
+		&expr.IsNull{E: expr.NewBoundColRef(0, types.KindInt, "x"), Negate: true},
+		&expr.InList{E: expr.NewBoundColRef(0, types.KindInt, "x"),
+			List: []expr.Expr{expr.NewConst(types.NewInt(1)), expr.NewConst(types.NewInt(2))}, Negate: true},
+		&expr.Case{
+			Operand: expr.NewBoundColRef(0, types.KindInt, "x"),
+			Whens:   []expr.When{{Cond: expr.NewConst(types.NewInt(1)), Then: expr.NewConst(types.NewString("one"))}},
+			Else:    expr.NewConst(types.NewString("other")),
+		},
+		&expr.Cast{E: expr.NewBoundColRef(0, types.KindInt, "x"), To: types.KindString},
+		expr.NewCall("ABS", expr.NewBoundColRef(0, types.KindInt, "x")),
+	}
+	for _, want := range exprs {
+		var e Encoder
+		if err := e.Expr(want); err != nil {
+			t.Fatalf("encode %v: %v", want, err)
+		}
+		got, err := NewDecoder(e.Bytes()).Expr()
+		if err != nil {
+			t.Fatalf("decode %v: %v", want, err)
+		}
+		if !expr.Equal(got, want) {
+			t.Errorf("expr round trip: got %v, want %v", got, want)
+		}
+	}
+	// Subqueries cannot travel.
+	var e Encoder
+	if err := e.Expr(&expr.Subquery{}); err == nil {
+		t.Error("subquery encode must fail")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	queries := []*source.Query{
+		source.NewScan("t"),
+		{
+			Table:   "t",
+			Columns: []int{2, 0},
+			Filter:  expr.NewBinary(expr.OpGt, expr.NewBoundColRef(0, types.KindInt, "a"), expr.NewConst(types.NewInt(3))),
+			Limit:   10,
+		},
+		{
+			Table:   "t",
+			GroupBy: []int{1},
+			Aggs: []source.AggSpec{
+				{Kind: expr.AggCount, Star: true},
+				{Kind: expr.AggSum, Col: 2, Distinct: true},
+			},
+			OrderBy: []source.OrderSpec{{Col: 0, Desc: true}},
+			Limit:   -1,
+		},
+		{Table: "t", Columns: []int{}, Limit: -1}, // empty but non-nil projection
+	}
+	for _, want := range queries {
+		var e Encoder
+		if err := e.Query(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewDecoder(e.Bytes()).Query()
+		if err != nil {
+			t.Fatalf("decode %s: %v", want, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("query round trip:\n got %s\nwant %s", got, want)
+		}
+		if (got.Columns == nil) != (want.Columns == nil) {
+			t.Errorf("nil-ness of Columns lost: %v vs %v", got.Columns, want.Columns)
+		}
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.Query(&source.Query{Table: "table_with_a_long_name", Limit: -1})
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := NewDecoder(full[:cut]).Query(); err == nil {
+			t.Fatalf("truncated query at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestDecoderGarbage(t *testing.T) {
+	if _, err := NewDecoder([]byte{0xff, 0xff}).Value(); err == nil {
+		t.Error("garbage value tag must error")
+	}
+	if _, err := NewDecoder([]byte{0xee}).Expr(); err == nil {
+		t.Error("garbage expr tag must error")
+	}
+}
+
+// Property: every int/string row round-trips.
+func TestRowRoundTripProperty(t *testing.T) {
+	f := func(a int64, s string, b bool, fl float64) bool {
+		row := types.Row{types.NewInt(a), types.NewString(s), types.NewBool(b), types.NewFloat(fl), types.Null}
+		var e Encoder
+		e.Row(row)
+		got, err := NewDecoder(e.Bytes()).Row()
+		if err != nil {
+			return false
+		}
+		// NaN breaks Equal; compare kinds then values loosely.
+		if fl != fl {
+			return got[3].Kind() == types.KindFloat
+		}
+		return got.Equal(row)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimLinkDelay(t *testing.T) {
+	l := SimLink{Latency: 10 * time.Millisecond}
+	start := time.Now()
+	l.delay(100)
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("latency not applied: %v", d)
+	}
+	// Bandwidth: 1 KiB at 1 MiB/s ≈ 1ms.
+	l = SimLink{BytesPerSec: 1 << 20}
+	start = time.Now()
+	l.delay(1 << 10)
+	if d := time.Since(start); d < 900*time.Microsecond {
+		t.Errorf("bandwidth not applied: %v", d)
+	}
+	// Zero link must not sleep measurably.
+	l = SimLink{}
+	start = time.Now()
+	l.delay(1 << 20)
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Errorf("zero link slept: %v", d)
+	}
+}

@@ -1,0 +1,521 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/stats"
+	"gis/internal/types"
+)
+
+// StatsProvider is implemented by sources that can report optimizer
+// statistics (relstore does); the server exposes it over the wire.
+type StatsProvider interface {
+	Stats(table string) (*stats.TableStats, error)
+}
+
+// Server exposes one source.Source over TCP. The source's optional
+// Writer and Transactional facets are served when implemented.
+type Server struct {
+	src source.Source
+	ln  net.Listener
+
+	mu     sync.Mutex
+	nextTx uint64
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Serve starts serving src on addr (e.g. "127.0.0.1:0") and returns the
+// running server. Use Addr to discover the bound address.
+func Serve(addr string, src source.Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{src: src, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, force-closes every active connection, and
+// waits for their handlers to exit.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			err := s.serveConn(conn)
+			if err != nil && !errors.Is(err, io.EOF) && !s.closed.Load() && !benignNetErr(err) {
+				s.Logf("wire server %s: connection error: %v", s.src.Name(), err)
+			}
+		}()
+	}
+}
+
+// connState tracks per-connection transactions.
+type connState struct {
+	txs map[string]source.Tx
+}
+
+func (s *Server) serveConn(conn net.Conn) error {
+	fc := newFrameConn(conn, SimLink{}, SimLink{})
+	st := &connState{txs: make(map[string]source.Tx)}
+	defer func() {
+		// Abort any transaction the client abandoned.
+		for _, tx := range st.txs {
+			_ = tx.Abort(context.Background())
+		}
+	}()
+	for {
+		tag, payload, err := fc.readFrame()
+		if err != nil {
+			return err
+		}
+		if err := s.handle(fc, st, tag, payload); err != nil {
+			return err
+		}
+	}
+}
+
+func sendErr(fc *frameConn, err error) error {
+	var e Encoder
+	e.String(err.Error())
+	return fc.writeFrame(msgErr, e.Bytes())
+}
+
+func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) error {
+	ctx := context.Background()
+	d := NewDecoder(payload)
+	switch tag {
+	case msgTables:
+		names, err := s.src.Tables(ctx)
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		var e Encoder
+		e.Uvarint(uint64(len(names)))
+		for _, n := range names {
+			e.String(n)
+		}
+		return fc.writeFrame(msgOK, e.Bytes())
+
+	case msgTableInfo:
+		table, err := d.String()
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		info, err := s.src.TableInfo(ctx, table)
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		var e Encoder
+		e.Schema(info.Schema)
+		e.IntSlice(info.KeyColumns)
+		e.Varint(info.RowCount)
+		return fc.writeFrame(msgOK, e.Bytes())
+
+	case msgCaps:
+		c := s.src.Capabilities()
+		var e Encoder
+		e.Byte(byte(c.Filter))
+		e.Bool(c.Project)
+		e.Bool(c.Aggregate)
+		e.Bool(c.Sort)
+		e.Bool(c.Limit)
+		e.Bool(c.Write)
+		e.Bool(c.Txn)
+		return fc.writeFrame(msgOK, e.Bytes())
+
+	case msgStats:
+		table, err := d.String()
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		sp, ok := s.src.(StatsProvider)
+		if !ok {
+			return sendErr(fc, fmt.Errorf("source %s does not provide statistics", s.src.Name()))
+		}
+		ts, err := sp.Stats(table)
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		var e Encoder
+		encodeStats(&e, ts)
+		return fc.writeFrame(msgOK, e.Bytes())
+
+	case msgExecute:
+		q, err := d.Query()
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		if err := s.rebindQuery(ctx, q); err != nil {
+			return sendErr(fc, err)
+		}
+		it, err := s.src.Execute(ctx, q)
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		defer it.Close()
+		if err := fc.writeFrame(msgOK, nil); err != nil {
+			return err
+		}
+		var e Encoder
+		batch := 0
+		for {
+			row, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return sendErr(fc, err)
+			}
+			if batch == 0 {
+				e.Reset()
+			}
+			e.Row(row)
+			batch++
+			if batch == rowBatchSize {
+				hdr := prependCount(e.Bytes(), batch)
+				if err := fc.writeFrame(msgRows, hdr); err != nil {
+					return err
+				}
+				batch = 0
+			}
+		}
+		if batch > 0 {
+			hdr := prependCount(e.Bytes(), batch)
+			if err := fc.writeFrame(msgRows, hdr); err != nil {
+				return err
+			}
+		}
+		return fc.writeFrame(msgEnd, nil)
+
+	case msgBeginTx:
+		t, ok := s.src.(source.Transactional)
+		if !ok {
+			return sendErr(fc, fmt.Errorf("source %s is not transactional", s.src.Name()))
+		}
+		tx, err := t.BeginTx(ctx)
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		s.mu.Lock()
+		s.nextTx++
+		id := strconv.FormatUint(s.nextTx, 10)
+		s.mu.Unlock()
+		st.txs[id] = tx
+		var e Encoder
+		e.String(id)
+		return fc.writeFrame(msgOK, e.Bytes())
+
+	case msgInsert:
+		return s.handleWrite(fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
+			n, err := d.Uvarint()
+			if err != nil {
+				return 0, err
+			}
+			rows := make([]types.Row, n)
+			for i := range rows {
+				if rows[i], err = d.Row(); err != nil {
+					return 0, err
+				}
+			}
+			return w.Insert(ctx, table, rows)
+		})
+
+	case msgUpdate:
+		return s.handleWrite(fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
+			filter, err := d.Expr()
+			if err != nil {
+				return 0, err
+			}
+			n, err := d.Uvarint()
+			if err != nil {
+				return 0, err
+			}
+			set := make([]source.SetClause, n)
+			for i := range set {
+				col, err := d.Varint()
+				if err != nil {
+					return 0, err
+				}
+				val, err := d.Expr()
+				if err != nil {
+					return 0, err
+				}
+				set[i] = source.SetClause{Col: int(col), Value: val}
+			}
+			info, err := s.src.TableInfo(ctx, table)
+			if err != nil {
+				return 0, err
+			}
+			if filter, err = rebindExpr(filter, info.Schema); err != nil {
+				return 0, err
+			}
+			for i := range set {
+				if set[i].Value, err = rebindExpr(set[i].Value, info.Schema); err != nil {
+					return 0, err
+				}
+			}
+			return w.Update(ctx, table, filter, set)
+		})
+
+	case msgDelete:
+		return s.handleWrite(fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
+			filter, err := d.Expr()
+			if err != nil {
+				return 0, err
+			}
+			info, err := s.src.TableInfo(ctx, table)
+			if err != nil {
+				return 0, err
+			}
+			if filter, err = rebindExpr(filter, info.Schema); err != nil {
+				return 0, err
+			}
+			return w.Delete(ctx, table, filter)
+		})
+
+	case msgPrepare, msgCommit, msgAbort:
+		id, err := d.String()
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		tx, ok := st.txs[id]
+		if !ok {
+			return sendErr(fc, fmt.Errorf("unknown transaction %q", id))
+		}
+		switch tag {
+		case msgPrepare:
+			err = tx.Prepare(ctx)
+		case msgCommit:
+			err = tx.Commit(ctx)
+			if err == nil {
+				delete(st.txs, id)
+			}
+		case msgAbort:
+			err = tx.Abort(ctx)
+			delete(st.txs, id)
+		}
+		if err != nil {
+			return sendErr(fc, err)
+		}
+		return fc.writeFrame(msgOK, nil)
+
+	default:
+		return sendErr(fc, fmt.Errorf("wire: unknown message tag %d", tag))
+	}
+}
+
+// handleWrite decodes the shared (txid, table) prefix of write requests,
+// resolves the writer (transactional or autocommit), runs op, and sends
+// the affected-row count.
+func (s *Server) handleWrite(fc *frameConn, st *connState, d *Decoder,
+	op func(context.Context, source.Writer, string, *Decoder) (int64, error)) error {
+	ctx := context.Background()
+	txid, err := d.String()
+	if err != nil {
+		return sendErr(fc, err)
+	}
+	table, err := d.String()
+	if err != nil {
+		return sendErr(fc, err)
+	}
+	var w source.Writer
+	if txid != "" {
+		tx, ok := st.txs[txid]
+		if !ok {
+			return sendErr(fc, fmt.Errorf("unknown transaction %q", txid))
+		}
+		w = tx
+	} else {
+		sw, ok := s.src.(source.Writer)
+		if !ok {
+			return sendErr(fc, fmt.Errorf("source %s is not writable", s.src.Name()))
+		}
+		w = sw
+	}
+	n, err := op(ctx, w, table, d)
+	if err != nil {
+		return sendErr(fc, err)
+	}
+	var e Encoder
+	e.Varint(n)
+	return fc.writeFrame(msgOK, e.Bytes())
+}
+
+// rebindQuery re-binds the decoded filter against the target table's
+// schema so function references and operator types are restored.
+func (s *Server) rebindQuery(ctx context.Context, q *source.Query) error {
+	if q.Filter == nil {
+		return nil
+	}
+	info, err := s.src.TableInfo(ctx, q.Table)
+	if err != nil {
+		return err
+	}
+	q.Filter, err = rebindExpr(q.Filter, info.Schema)
+	return err
+}
+
+// rebindExpr strips names from positional references (the sender's names
+// may come from the global schema) and binds against schema.
+func rebindExpr(e expr.Expr, schema *types.Schema) (expr.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	stripped := expr.Transform(e, func(n expr.Expr) expr.Expr {
+		if c, ok := n.(*expr.ColRef); ok && c.Index >= 0 {
+			return expr.NewBoundColRef(c.Index, c.Type, "")
+		}
+		return n
+	})
+	return expr.Bind(stripped, schema)
+}
+
+// prependCount prefixes a row-batch payload with its row count.
+func prependCount(payload []byte, n int) []byte {
+	var hdr Encoder
+	hdr.Uvarint(uint64(n))
+	return append(hdr.Bytes(), payload...)
+}
+
+// encodeStats serializes table statistics (histograms travel too).
+func encodeStats(e *Encoder, ts *stats.TableStats) {
+	e.Varint(ts.RowCount)
+	e.Uvarint(uint64(len(ts.Columns)))
+	for _, c := range ts.Columns {
+		e.Varint(c.NDV)
+		e.Varint(c.NullCount)
+		e.Value(c.Min)
+		e.Value(c.Max)
+		if c.Hist == nil {
+			e.Bool(false)
+			continue
+		}
+		e.Bool(true)
+		e.Varint(c.Hist.Total)
+		e.Uvarint(uint64(len(c.Hist.Bounds)))
+		for i := range c.Hist.Bounds {
+			e.Value(c.Hist.Bounds[i])
+			e.Varint(c.Hist.Counts[i])
+		}
+	}
+}
+
+// decodeStats is the inverse of encodeStats.
+func decodeStats(d *Decoder) (*stats.TableStats, error) {
+	ts := &stats.TableStats{}
+	var err error
+	if ts.RowCount, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	ts.Columns = make([]stats.ColumnStats, n)
+	for i := range ts.Columns {
+		c := &ts.Columns[i]
+		if c.NDV, err = d.Varint(); err != nil {
+			return nil, err
+		}
+		if c.NullCount, err = d.Varint(); err != nil {
+			return nil, err
+		}
+		if c.Min, err = d.Value(); err != nil {
+			return nil, err
+		}
+		if c.Max, err = d.Value(); err != nil {
+			return nil, err
+		}
+		hasHist, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if !hasHist {
+			continue
+		}
+		h := &stats.Histogram{}
+		if h.Total, err = d.Varint(); err != nil {
+			return nil, err
+		}
+		nb, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nb > uint64(d.Remaining()) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		h.Bounds = make([]types.Value, nb)
+		h.Counts = make([]int64, nb)
+		for j := range h.Bounds {
+			if h.Bounds[j], err = d.Value(); err != nil {
+				return nil, err
+			}
+			if h.Counts[j], err = d.Varint(); err != nil {
+				return nil, err
+			}
+		}
+		c.Hist = h
+	}
+	return ts, nil
+}
+
+// benignNetErr reports connection teardown noise (a client abandoning an
+// undrained stream closes its socket; the server should not log that as
+// an error).
+func benignNetErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Message types. Requests and responses share one tag space.
+const (
+	// Requests.
+	msgTables byte = iota + 1
+	msgTableInfo
+	msgCaps
+	msgExecute
+	msgBeginTx
+	msgInsert
+	msgUpdate
+	msgDelete
+	msgPrepare
+	msgCommit
+	msgAbort
+	msgStats
+	// Responses.
+	msgOK   // payload depends on the request
+	msgErr  // payload: error string
+	msgRows // payload: row batch (streamed after msgExecute's msgOK)
+	msgEnd  // end of a row stream
+)
+
+// rowBatchSize is how many rows travel per msgRows frame.
+const rowBatchSize = 256
+
+// SimLink models one direction of a simulated wide-area link. The zero
+// value is a perfect link (no delay, infinite bandwidth).
+type SimLink struct {
+	// Latency is added once per frame.
+	Latency time.Duration
+	// BytesPerSec throttles frame payloads; 0 means unlimited.
+	BytesPerSec int64
+}
+
+// delay sleeps for the simulated transfer time of n bytes.
+func (l SimLink) delay(n int) {
+	if l.Latency == 0 && l.BytesPerSec == 0 {
+		return
+	}
+	d := l.Latency
+	if l.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// frameConn reads and writes tagged frames over an io stream:
+// [4-byte big-endian length][1-byte tag][payload].
+type frameConn struct {
+	rw io.ReadWriter
+	// send/recv simulate the uplink and downlink.
+	send, recv SimLink
+	hdr        [5]byte
+}
+
+func newFrameConn(rw io.ReadWriter, send, recv SimLink) *frameConn {
+	return &frameConn{rw: rw, send: send, recv: recv}
+}
+
+// writeFrame sends one frame, applying uplink simulation.
+func (f *frameConn) writeFrame(tag byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	f.send.delay(len(payload) + 5)
+	binary.BigEndian.PutUint32(f.hdr[:4], uint32(len(payload)))
+	f.hdr[4] = tag
+	if _, err := f.rw.Write(f.hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := f.rw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame receives one frame, applying downlink simulation.
+func (f *frameConn) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(f.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f.rw, payload); err != nil {
+		return 0, nil, err
+	}
+	f.recv.delay(int(n) + 5)
+	return hdr[4], payload, nil
+}
+
+// call performs one request/response round trip.
+func (f *frameConn) call(tag byte, payload []byte) (byte, []byte, error) {
+	if err := f.writeFrame(tag, payload); err != nil {
+		return 0, nil, err
+	}
+	return f.readFrame()
+}

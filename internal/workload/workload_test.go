@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+var ctx = context.Background()
+
+func TestTwoTableLocal(t *testing.T) {
+	f, err := TwoTable(100, 1000, false, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Engine.Query(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil || res.Rows[0][0].Int() != 1000 {
+		t.Fatalf("orders count = %v, %v", res, err)
+	}
+	res, err = f.Engine.Query(ctx,
+		"SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id")
+	if err != nil || res.Rows[0][0].Int() != 1000 {
+		t.Fatalf("join count = %v, %v", res, err)
+	}
+}
+
+func TestTwoTableRemote(t *testing.T) {
+	f, err := TwoTable(50, 200, true, Link{Latency: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Engine.Query(ctx, "SELECT COUNT(*) FROM orders WHERE amount < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() <= 0 {
+		t.Errorf("filtered count = %v", res.Rows[0][0])
+	}
+}
+
+func TestPartitionedFixture(t *testing.T) {
+	f, err := Partitioned(4, 250, false, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Engine.Query(ctx, "SELECT COUNT(*) FROM events")
+	if err != nil || res.Rows[0][0].Int() != 1000 {
+		t.Fatalf("events = %v, %v", res, err)
+	}
+	// Partition pruning: one fragment only.
+	res, err = f.Engine.Query(ctx, "SELECT COUNT(*) FROM events WHERE oid < 250")
+	if err != nil || res.Rows[0][0].Int() != 250 {
+		t.Fatalf("pruned = %v, %v", res, err)
+	}
+}
+
+func TestHeterogeneousViewsAgree(t *testing.T) {
+	f, err := Heterogeneous(500, false, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nat, err := f.Engine.Query(ctx, "SELECT COUNT(*) FROM orders_native WHERE rg = 'N'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := f.Engine.Query(ctx, "SELECT COUNT(*) FROM orders_mediated WHERE region = 'north'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Rows[0][0].Int() != med.Rows[0][0].Int() {
+		t.Errorf("native %v != mediated %v", nat.Rows[0][0], med.Rows[0][0])
+	}
+	// Unit conversion: mediated amounts are 1/100 of native cents.
+	sums, err := f.Engine.Query(ctx, "SELECT SUM(cents) FROM orders_native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumM, err := f.Engine.Query(ctx, "SELECT SUM(amount) FROM orders_mediated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sums.Rows[0][0].Float() / sumM.Rows[0][0].Float()
+	if ratio < 99.99 || ratio > 100.01 {
+		t.Errorf("unit conversion ratio = %v, want 100", ratio)
+	}
+	// Constant column materializes.
+	site, err := f.Engine.Query(ctx, "SELECT DISTINCT site FROM orders_mediated")
+	if err != nil || len(site.Rows) != 1 || site.Rows[0][0].Str() != "legacy-dc" {
+		t.Errorf("site = %v, %v", site, err)
+	}
+}
+
+func TestCapabilityWrappersAgree(t *testing.T) {
+	f, err := Capability(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	q := "SELECT COUNT(*), SUM(amount) FROM %s WHERE region = 'north' AND amount > 100"
+	var want string
+	for _, tbl := range []string{"orders_rel", "orders_kv", "orders_doc", "orders_file"} {
+		res, err := f.Engine.Query(ctx, replaceTable(q, tbl))
+		if err != nil {
+			t.Fatalf("%s: %v", tbl, err)
+		}
+		got := res.Rows[0].String()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%s disagrees: %s vs %s", tbl, got, want)
+		}
+	}
+}
+
+func replaceTable(q, tbl string) string {
+	out := ""
+	for i := 0; i < len(q); i++ {
+		if q[i] == '%' && i+1 < len(q) && q[i+1] == 's' {
+			out += tbl
+			i++
+			continue
+		}
+		out += string(q[i])
+	}
+	return out
+}
+
+func TestTxnStoresFixture(t *testing.T) {
+	f, err := TxnStores(4, 10, false, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A global update across all 4 participants commits atomically.
+	n, err := f.Engine.Exec(ctx, "UPDATE accounts SET balance = balance - 1")
+	if err != nil || n != 40 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	if len(f.Engine.Coordinator().Log().Decisions()) != 1 {
+		t.Error("expected one 2PC decision")
+	}
+	res, err := f.Engine.Query(ctx, "SELECT SUM(balance) FROM accounts")
+	if err != nil || res.Rows[0][0].Float() != 4*10*999 {
+		t.Fatalf("sum = %v, %v", res, err)
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	a := GenOrders(100, 10, 42)
+	b := GenOrders(100, 10, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("GenOrders is not deterministic")
+		}
+	}
+	c := GenOrders(100, 10, 43)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
