@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race lint fmt vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Project invariant analyzers (stdlib-only driver; see DESIGN.md).
+lint:
+	$(GO) run ./cmd/gislint ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+# The full gate: gofmt, vet, gislint, build, race-enabled tests.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem

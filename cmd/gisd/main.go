@@ -72,7 +72,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("gisd: shutting down")
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		log.Printf("gisd: close: %v", err)
+	}
 }
 
 // loadTable parses one -table definition and loads its CSV data.

@@ -1,0 +1,105 @@
+// Command gislint is the repo's custom static-analysis driver. It loads
+// and type-checks packages using only the standard library, then runs
+// the project-specific analyzers from internal/lint in parallel:
+//
+//	iterclose    exec/source iterators must be closed or handed off
+//	errdrop      no silently discarded error results
+//	valuecompare no raw ==/!= on types.Value or Value-bearing structs
+//	exhaustive   switches over plan/expr/kind vocabularies stay complete
+//
+// Usage:
+//
+//	gislint [-only name[,name]] [-list] [packages]
+//
+// Packages are directory patterns ("./...", "./internal/exec"); the
+// default is ./... from the current directory. Diagnostics print as
+// file:line:col and any finding makes the driver exit 1 (2 on load or
+// type-check failure), so it slots directly into scripts/check.sh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gis/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("gislint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			byName[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if byName[a.Name] {
+				selected = append(selected, a)
+				delete(byName, a.Name)
+			}
+		}
+		for name := range byName {
+			fmt.Fprintf(os.Stderr, "gislint: unknown analyzer %q\n", name)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gislint:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gislint:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "gislint: no packages matched")
+		return 2
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gislint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.Run(loader, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gislint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

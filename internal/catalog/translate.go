@@ -96,6 +96,8 @@ func (f *Fragment) translateComparison(c expr.Expr) (expr.Expr, bool) {
 			op = expr.OpLt
 		case expr.OpGe:
 			op = expr.OpLe
+		default:
+			// Equality and non-comparison operators are direction-free.
 		}
 	}
 	rcol := f.info.Schema.Columns[m.RemoteCol]

@@ -346,29 +346,29 @@ func (e *Engine) applyWrites(ctx context.Context, writes map[*catalog.Fragment]*
 	for name, fws := range bySource {
 		src, err := e.cat.Source(name)
 		if err != nil {
-			g.Abort(ctx)
+			_ = g.Abort(ctx) // best-effort rollback; the original error wins
 			return 0, err
 		}
 		t, ok := src.(source.Transactional)
 		if !ok {
-			g.Abort(ctx)
+			_ = g.Abort(ctx) // best-effort rollback; the original error wins
 			return 0, fmt.Errorf("core: source %s cannot participate in a multi-source write (no transaction support)", name)
 		}
 		tx, err := t.BeginTx(ctx)
 		if err != nil {
-			g.Abort(ctx)
+			_ = g.Abort(ctx) // best-effort rollback; the original error wins
 			return 0, err
 		}
 		if err := g.Enlist(name, tx); err != nil {
-			tx.Abort(ctx)
-			g.Abort(ctx)
+			_ = tx.Abort(ctx) // best-effort rollback; the original error wins
+			_ = g.Abort(ctx)  // best-effort rollback; the original error wins
 			return 0, err
 		}
 		for _, fw := range fws {
 			n, err := apply(ctx, tx, fw)
 			total += n
 			if err != nil {
-				g.Abort(ctx)
+				_ = g.Abort(ctx) // best-effort rollback; the original error wins
 				return 0, err
 			}
 		}

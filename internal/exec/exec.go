@@ -190,7 +190,9 @@ func (l *limitIter) Next() (types.Row, error) {
 	}
 	if l.remaining <= 0 {
 		l.done = true
-		l.in.Close()
+		if err := l.in.Close(); err != nil {
+			return nil, err
+		}
 		return nil, io.EOF
 	}
 	r, err := l.in.Next()
@@ -258,7 +260,9 @@ func (u *unionIter) Next() (types.Row, error) {
 		}
 		r, err := u.cur.Next()
 		if err == io.EOF {
-			u.cur.Close()
+			if cerr := u.cur.Close(); cerr != nil {
+				return nil, cerr
+			}
 			u.cur = nil
 			continue
 		}

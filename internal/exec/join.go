@@ -157,6 +157,8 @@ func (h *hashJoinIter) Next() (types.Row, error) {
 					return cur.Concat(nulls), nil
 				case plan.JoinAnti:
 					return cur, nil
+				default:
+					// Inner/semi/cross: unmatched left rows vanish.
 				}
 			}
 		}
@@ -279,6 +281,8 @@ func (n *nlJoinIter) Next() (types.Row, error) {
 				return cur.Concat(make(types.Row, n.rightWidth)), nil
 			case plan.JoinAnti:
 				return cur, nil
+			default:
+				// Inner/semi/cross: unmatched left rows vanish.
 			}
 		}
 	}

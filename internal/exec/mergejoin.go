@@ -21,7 +21,7 @@ func runMergeJoin(ctx context.Context, j *plan.Join) (source.RowIter, error) {
 	}
 	right, err := Run(ctx, j.R)
 	if err != nil {
-		left.Close()
+		_ = left.Close() // the Run error wins
 		return nil, err
 	}
 	return &mergeJoinIter{
@@ -165,6 +165,9 @@ func (m *mergeJoinIter) advanceRunTo(k types.Value) error {
 
 // Close implements source.RowIter.
 func (m *mergeJoinIter) Close() error {
-	m.left.Close()
-	return m.right.Close()
+	lerr := m.left.Close()
+	if rerr := m.right.Close(); rerr != nil {
+		return rerr
+	}
+	return lerr
 }

@@ -133,8 +133,9 @@ func evalComparison(op BinOp, l, r types.Value) (types.Value, error) {
 		return types.NewBool(c > 0), nil
 	case OpGe:
 		return types.NewBool(c >= 0), nil
+	default:
+		return types.Null, fmt.Errorf("not a comparison: %s", op)
 	}
-	return types.Null, fmt.Errorf("not a comparison: %s", op)
 }
 
 func comparable(a, b types.Kind) bool {
@@ -167,6 +168,9 @@ func evalArith(op BinOp, l, r types.Value) (types.Value, error) {
 				return types.Null, fmt.Errorf("modulo by zero")
 			}
 			return types.NewInt(a % b), nil
+		default:
+			// Not integer arithmetic: fall through to the float path,
+			// whose default reports the error.
 		}
 	}
 	a, b := l.AsFloat(), r.AsFloat()
@@ -187,8 +191,9 @@ func evalArith(op BinOp, l, r types.Value) (types.Value, error) {
 			return types.Null, fmt.Errorf("modulo by zero")
 		}
 		return types.NewFloat(math.Mod(a, b)), nil
+	default:
+		return types.Null, fmt.Errorf("not arithmetic: %s", op)
 	}
-	return types.Null, fmt.Errorf("not arithmetic: %s", op)
 }
 
 // evalLike implements SQL LIKE with % and _ wildcards (case-sensitive).
@@ -243,8 +248,9 @@ func (u *Unary) Eval(row types.Row) (types.Value, error) {
 			return types.NewInt(-v.Int()), nil
 		case types.KindFloat:
 			return types.NewFloat(-v.Float()), nil
+		default:
+			return types.Null, fmt.Errorf("cannot negate %s", v.Kind())
 		}
-		return types.Null, fmt.Errorf("cannot negate %s", v.Kind())
 	case OpNot:
 		b, err := truthy(v)
 		if err != nil {

@@ -161,6 +161,8 @@ func IsConst(e Expr) bool {
 		case *ColRef, *AggCall:
 			constant = false
 			return false
+		default:
+			// Every other node is constant if its children are.
 		}
 		return true
 	})

@@ -140,7 +140,7 @@ func (s *Store) Execute(ctx context.Context, q *source.Query) (source.RowIter, e
 	it := &csvIter{ctx: ctx, store: s.name, t: t, r: r, c: rc, cols: q.Columns}
 	if t.hasHeader {
 		if _, err := r.Read(); err != nil && err != io.EOF {
-			rc.Close()
+			_ = rc.Close() // the header error wins
 			return nil, fmt.Errorf("filestore %s: header: %w", s.name, err)
 		}
 	}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive keeps the optimizer's and executor's many visitors in sync
+// with the plan/expr/type vocabularies: every switch over a module enum
+// (types.Kind, plan.JoinKind, ...) and every type switch over a module
+// node interface (plan.Node, expr.Expr, sql statements) must either
+// handle all variants or carry an explicit default clause. When a new
+// node kind is added, each visitor that silently ignored the gap would
+// otherwise mis-plan or mis-execute queries instead of failing loudly.
+func Exhaustive() *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustive",
+		Doc:  "switches over module enums and node interfaces must cover every variant or declare a default",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.SwitchStmt:
+					checkEnumSwitch(pass, t)
+				case *ast.TypeSwitchStmt:
+					checkTypeSwitch(pass, t)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkEnumSwitch verifies value switches over module integer enums.
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := pass.TypeOf(sw.Tag)
+	named, ok := t.(*types.Named)
+	if !ok || !pass.InModule(named.Obj().Pkg()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the author owns the gap
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch, "switch over %s is not exhaustive and has no default: missing %s",
+			relType(pass, named), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants lists the package-level constants declared with exactly
+// the enum's type, deduplicated by value (aliases count once).
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	seen := make(map[string]bool)
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// checkTypeSwitch verifies type switches over module node interfaces.
+func checkTypeSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	subj := typeSwitchSubject(sw)
+	if subj == nil {
+		return
+	}
+	named, ok := pass.TypeOf(subj).(*types.Named)
+	if !ok || !pass.InModule(named.Obj().Pkg()) {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return
+	}
+	impls := implementations(named, iface)
+	if len(impls) < 2 {
+		return
+	}
+	var caseTypes []types.Type
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if ct := pass.TypeOf(e); ct != nil {
+				caseTypes = append(caseTypes, ct)
+			}
+		}
+	}
+	var missing []string
+	for _, impl := range impls {
+		if !typeCovered(impl, caseTypes) {
+			missing = append(missing, relType(pass, impl))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch, "type switch over %s is not exhaustive and has no default: missing %s",
+			relType(pass, named), strings.Join(missing, ", "))
+	}
+}
+
+// typeSwitchSubject extracts x from `switch x.(type)` / `switch v := x.(type)`.
+func typeSwitchSubject(sw *ast.TypeSwitchStmt) ast.Expr {
+	var ta *ast.TypeAssertExpr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ = s.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			ta, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if ta == nil {
+		return nil
+	}
+	return ta.X
+}
+
+// implementations lists the concrete named types of the interface's own
+// package that satisfy it, in the form a case clause would name them
+// (T or *T depending on the receiver set).
+func implementations(named *types.Named, iface *types.Interface) []types.Type {
+	scope := named.Obj().Pkg().Scope()
+	var out []types.Type
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t, ok := tn.Type().(*types.Named)
+		if !ok || types.Identical(t, named) {
+			continue
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(t, iface) {
+			out = append(out, t)
+		} else if pt := types.NewPointer(t); types.Implements(pt, iface) {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// typeCovered reports whether impl matches one of the case types,
+// either exactly or through an interface the case names.
+func typeCovered(impl types.Type, caseTypes []types.Type) bool {
+	for _, ct := range caseTypes {
+		if types.Identical(impl, ct) {
+			return true
+		}
+		if ci, ok := ct.Underlying().(*types.Interface); ok && types.Implements(impl, ci) {
+			return true
+		}
+	}
+	return false
+}
+
+// relType renders a type with package names qualified relative to the
+// analyzed package (plan.Node inside exec, Node inside plan itself).
+func relType(pass *Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg.Types))
+}

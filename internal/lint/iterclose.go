@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IterClose enforces the Volcano-iterator contract: a RowIter obtained
+// from a call inside a function must either be closed in that function
+// (directly or via defer) or handed off — returned, passed as an
+// argument, or stored into a longer-lived location. An iterator whose
+// only uses are Next calls leaks its source cursor / connection.
+func IterClose() *Analyzer {
+	a := &Analyzer{
+		Name: "iterclose",
+		Doc:  "exec/source iterators must be closed or handed off before the opening function returns",
+	}
+	a.Run = func(pass *Pass) {
+		iface := rowIterInterface(pass)
+		if iface == nil {
+			return // package never touches the iterator model
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkIterClose(pass, iface, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// rowIterInterface resolves gis/internal/source.RowIter's interface.
+func rowIterInterface(pass *Pass) *types.Interface {
+	named := pass.Named(pass.loader.ModulePath+"/internal/source", "RowIter")
+	if named == nil {
+		return nil
+	}
+	iface, _ := named.Underlying().(*types.Interface)
+	return iface
+}
+
+// iterCandidate is one locally-opened iterator variable.
+type iterCandidate struct {
+	obj *types.Var
+	def *ast.Ident
+}
+
+func checkIterClose(pass *Pass, iface *types.Interface, body *ast.BlockStmt) {
+	// Phase 1: every `x := <call>` (including multi-value) whose static
+	// type implements RowIter opens an iterator this function owns.
+	var cands []*iterCandidate
+	byObj := make(map[*types.Var]*iterCandidate)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[id].(*types.Var)
+			if !ok || obj == nil {
+				continue
+			}
+			if !implementsIter(obj.Type(), iface) {
+				continue
+			}
+			c := &iterCandidate{obj: obj, def: id}
+			cands = append(cands, c)
+			byObj[obj] = c
+		}
+		return true
+	})
+	if len(cands) == 0 {
+		return
+	}
+
+	// Phase 2: classify every other use of each candidate. Close
+	// references discharge the obligation; so does any escape (return,
+	// argument, store, address-of, channel send). Only Next calls and
+	// nil comparisons leave it pending.
+	closed := make(map[*types.Var]bool)
+	escaped := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		c, tracked := byObj[obj]
+		if !tracked || id == c.def {
+			return true
+		}
+		switch parent := pass.Parent(id).(type) {
+		case *ast.SelectorExpr:
+			if parent.X == ast.Expr(id) {
+				if parent.Sel.Name == "Close" {
+					closed[obj] = true
+				}
+				return true // method use (Next etc.) keeps the obligation
+			}
+			escaped[obj] = true
+		case *ast.BinaryExpr:
+			// Comparisons (it == nil) neither close nor hand off.
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == ast.Expr(id) {
+					return true // reassignment target, not a hand-off
+				}
+			}
+			escaped[obj] = true // appears on the RHS: stored somewhere
+		default:
+			// Argument, return value, composite literal, &x, channel
+			// send, range subject, ...: ownership moved elsewhere.
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, c := range cands {
+		if !closed[c.obj] && !escaped[c.obj] {
+			pass.Reportf(c.def.Pos(), "iterator %s is opened here but never closed or handed off; call %s.Close (or defer it), return it, or pass it on",
+				c.def.Name, c.def.Name)
+		}
+	}
+}
+
+// implementsIter reports whether T (or *T) satisfies the RowIter
+// interface.
+func implementsIter(t types.Type, iface *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}

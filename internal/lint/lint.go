@@ -1,0 +1,193 @@
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// mediator's cross-layer invariants — the contracts that Go's type
+// system cannot express but that the federation's correctness depends
+// on: Volcano iterators must be closed or handed off, errors must not be
+// silently dropped, heterogeneous Values must never be compared with raw
+// ==, and switches over plan/expr/kind enumerations must stay exhaustive
+// as node types are added.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// parsed with go/parser, type-checked with go/types, and analyzed over
+// the typed AST, keeping the repo dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-line description printed by the driver's -list.
+	Doc string
+	// Run analyzes one package, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		IterClose(),
+		ErrDrop(),
+		ValueCompare(),
+		Exhaustive(),
+	}
+}
+
+// Pass carries one (package, analyzer) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	loader *Loader
+	mu     *sync.Mutex
+	out    *[]Diagnostic
+
+	parentsOnce sync.Once
+	parents     map[ast.Node]ast.Node
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	p.mu.Lock()
+	*p.out = append(*p.out, d)
+	p.mu.Unlock()
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object (use or definition).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// InModule reports whether pkg belongs to the analyzed module.
+func (p *Pass) InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == p.loader.ModulePath || strings.HasPrefix(path, p.loader.ModulePath+"/")
+}
+
+// Named looks up a named type by import path and name across every
+// package the loader has seen. It returns nil when the type is not
+// reachable from the analyzed packages (then no value of it can occur).
+func (p *Pass) Named(path, name string) *types.Named {
+	tp := p.loader.Dep(path)
+	if tp == nil && p.Pkg.Path == path {
+		tp = p.Pkg.Types
+	}
+	if tp == nil {
+		return nil
+	}
+	obj, ok := tp.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// Parent returns the syntactic parent of n within its file.
+func (p *Pass) Parent(n ast.Node) ast.Node {
+	p.parentsOnce.Do(func() {
+		p.parents = make(map[ast.Node]ast.Node)
+		for _, f := range p.Pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if len(stack) > 0 {
+					p.parents[n] = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	})
+	return p.parents[n]
+}
+
+// Run executes analyzers over packages in parallel and returns the
+// findings sorted by position.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var (
+		mu  sync.Mutex
+		out []Diagnostic
+		wg  sync.WaitGroup
+		// Bound the fan-out: one goroutine per (package, analyzer) pair
+		// is wasteful for big module trees.
+		sem = make(chan struct{}, 8)
+	)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			wg.Add(1)
+			go func(pkg *Package, a *Analyzer) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pass := &Pass{
+					Analyzer: a,
+					Pkg:      pkg,
+					Fset:     l.Fset,
+					loader:   l,
+					mu:       &mu,
+					out:      &out,
+				}
+				a.Run(pass)
+			}(pkg, a)
+		}
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("gis/internal/exec").
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's results for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages of a single module using only
+// the standard library: module-internal imports are resolved against the
+// module root, everything else is delegated to the compiler's importer.
+// A Loader caches packages by import path and is not safe for concurrent
+// use (load packages first, then analyze in parallel).
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the module enclosing dir and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		std:        importer.Default(),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Expand resolves package patterns to directories. Supported patterns:
+// a directory path, or a path ending in "/..." which walks recursively.
+// Directories named testdata or vendor and those starting with "." or
+// "_" are skipped, as the go tool does.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if base == "" || base == "." {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if ok, err := hasGoFiles(path); err != nil {
+					return err
+				} else if ok {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if ok, err := hasGoFiles(pat); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, fmt.Errorf("lint: no Go files in %s", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, abs)
+}
+
+// Dep returns an already-loaded dependency by import path (nil when the
+// analyzed packages never reached it — then no value of its types can
+// occur in them either).
+func (l *Loader) Dep(path string) *types.Package {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types
+	}
+	return nil
+}
+
+func (l *Loader) importPathFor(abs string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", abs, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) dirForImport(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rest := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// moduleImporter resolves module-internal imports through the loader and
+// everything else (the standard library) through the compiler importer.
+type moduleImporter struct {
+	l *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l := m.l
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.load(path, l.dirForImport(path))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

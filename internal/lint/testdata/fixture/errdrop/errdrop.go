@@ -1,0 +1,54 @@
+// Package errdrop is a gislint test fixture: calls whose error results
+// are dropped versus handled or explicitly discarded.
+package errdrop
+
+import "os"
+
+type conn struct{}
+
+func (c *conn) Close() error  { return nil }
+func (c *conn) Flush() error  { return nil }
+func (c *conn) Ping()         {}
+func fail() error             { return nil }
+func failWith() (int, error)  { return 0, nil }
+func noError() int            { return 0 }
+func external(f func() error) { _ = f }
+func handler() func() error   { return func() error { return nil } }
+
+// dropped discards errors from module-internal calls.
+func dropped(c *conn) {
+	fail()     // want "error result of fail is silently discarded"
+	failWith() // want "error result of failWith is silently discarded"
+	c.Flush()  // want "error result of Flush is silently discarded"
+	c.Close()  // want "error result of Close is silently discarded"
+}
+
+// droppedStdlibClose shows the Close contract applies beyond the module.
+func droppedStdlibClose(f *os.File) {
+	f.Close() // want "error result of Close is silently discarded"
+}
+
+// handled covers the accepted patterns.
+func handled(c *conn) error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = fail() // explicit opt-out
+	_, _ = failWith()
+	defer c.Close() // defer teardown is exempt
+	c.Ping()        // no error to drop
+	_ = noError()
+	return c.Close()
+}
+
+// stdlibNonClose is out of scope: not module-internal, not a Close.
+func stdlibNonClose() {
+	os.Remove("/nonexistent-fixture-path")
+}
+
+// dynamicCall is out of scope: calls through function values have no
+// resolvable callee.
+func dynamicCall() {
+	f := handler()
+	f()
+}

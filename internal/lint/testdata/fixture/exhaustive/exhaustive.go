@@ -1,0 +1,119 @@
+// Package exhaustive is a gislint test fixture: switches over enums and
+// node interfaces with and without full variant coverage.
+package exhaustive
+
+import "gis/internal/types"
+
+// color is a module enum with three variants.
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+// colorAlias duplicates a value; aliases must not count as a separate
+// variant.
+const colorAlias = red
+
+// shape is a module node interface with concrete implementations below.
+type shape interface {
+	area() int
+}
+
+type circle struct{ r int }
+type square struct{ s int }
+type rect struct{ w, h int }
+
+func (c circle) area() int { return 3 * c.r * c.r }
+func (s square) area() int { return s.s * s.s }
+func (r *rect) area() int  { return r.w * r.h }
+
+func missingEnumCase(c color) int {
+	switch c { // want "switch over color is not exhaustive and has no default: missing blue"
+	case red:
+		return 0
+	case green:
+		return 1
+	}
+	return -1
+}
+
+func missingKindCase(k types.Kind) bool {
+	switch k { // want "switch over gis/internal/types.Kind is not exhaustive and has no default"
+	case types.KindInt, types.KindFloat:
+		return true
+	case types.KindNull:
+		return false
+	}
+	return false
+}
+
+func missingTypeCase(s shape) int {
+	switch v := s.(type) { // want "type switch over shape is not exhaustive and has no default: missing *rect, square"
+	case circle:
+		return v.area()
+	}
+	return 0
+}
+
+func fullEnum(c color) int {
+	switch c {
+	case red:
+		return 0
+	case green:
+		return 1
+	case blue:
+		return 2
+	}
+	return -1
+}
+
+func defaultedEnum(c color) int {
+	switch c {
+	case red:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func fullTypeSwitch(s shape) int {
+	switch v := s.(type) {
+	case circle:
+		return v.area()
+	case square:
+		return v.area()
+	case *rect:
+		return v.area()
+	}
+	return 0
+}
+
+func defaultedTypeSwitch(s shape) int {
+	switch s.(type) {
+	case circle:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// nonEnumSwitch is out of scope: plain int, not a named module enum.
+func nonEnumSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// stringSwitch is out of scope: not an integer enum.
+func stringSwitch(s string) int {
+	switch s {
+	case "a":
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+// Package iterclose is a gislint test fixture: known-good and known-bad
+// iterator lifecycle patterns. Lines carrying a want comment must produce
+// a diagnostic containing the quoted substring; unmarked lines must not.
+package iterclose
+
+import (
+	"io"
+
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// iter is a minimal RowIter implementation.
+type iter struct{}
+
+func (i *iter) Next() (types.Row, error) { return nil, io.EOF }
+func (i *iter) Close() error             { return nil }
+
+func open() *iter { return &iter{} }
+
+func open2() (*iter, error) { return &iter{}, nil }
+
+// holder keeps an iterator alive beyond one function.
+type holder struct {
+	it source.RowIter
+}
+
+func consume(it source.RowIter) {}
+
+// leak opens an iterator and only ever calls Next on it.
+func leak() {
+	it := open() // want "iterator it is opened here but never closed"
+	_, _ = it.Next()
+}
+
+// leakMulti leaks the iterator from a multi-value open.
+func leakMulti() error {
+	it, err := open2() // want "iterator it is opened here but never closed"
+	if err != nil {
+		return err
+	}
+	_, _ = it.Next()
+	return nil
+}
+
+// leakNilCheck shows that a nil comparison does not discharge the
+// obligation.
+func leakNilCheck() {
+	it := open() // want "iterator it is opened here but never closed"
+	if it == nil {
+		return
+	}
+	_, _ = it.Next()
+}
+
+// closedDirect closes the iterator explicitly.
+func closedDirect() error {
+	it := open()
+	_, _ = it.Next()
+	return it.Close()
+}
+
+// closedDeferred uses the defer teardown idiom.
+func closedDeferred() {
+	it := open()
+	defer func() { _ = it.Close() }()
+	_, _ = it.Next()
+}
+
+// closedDeferMethod defers the Close call directly.
+func closedDeferMethod() {
+	it := open()
+	defer it.Close()
+	_, _ = it.Next()
+}
+
+// handedOffReturn transfers ownership to the caller.
+func handedOffReturn() source.RowIter {
+	it := open()
+	return it
+}
+
+// handedOffArg passes the iterator to another owner.
+func handedOffArg() {
+	it := open()
+	consume(it)
+}
+
+// handedOffStore parks the iterator in a longer-lived struct.
+func handedOffStore(h *holder) {
+	it := open()
+	h.it = it
+}
+
+// notAnIter is out of scope: the variable is not a RowIter.
+func notAnIter() {
+	n := len("abc")
+	_ = n
+}

@@ -1,0 +1,63 @@
+// Package valuecompare is a gislint test fixture: raw comparisons of
+// types.Value (and Value-bearing structs) versus the canonical helpers.
+package valuecompare
+
+import "gis/internal/types"
+
+// cell embeds a Value, so raw comparison of cells is equally wrong.
+type cell struct {
+	name string
+	val  types.Value
+}
+
+// pair nests a Value two levels deep.
+type pair struct {
+	a cell
+	b cell
+}
+
+func rawEqual(a, b types.Value) bool {
+	return a == b // want "types.Value compared with =="
+}
+
+func rawNotEqual(a types.Value) bool {
+	return a != types.Null // want "types.Value compared with !="
+}
+
+func rawStructCompare(x, y cell) bool {
+	return x == y // want "cell (contains types.Value) compared with =="
+}
+
+func rawNestedCompare(x, y pair) bool {
+	return x != y // want "pair (contains types.Value) compared with !="
+}
+
+func rawSwitch(v types.Value) int {
+	switch v { // want "switch over types.Value compares with =="
+	case types.Null:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// canonical shows the approved comparison surface.
+func canonical(a, b types.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	if a.Equal(b) {
+		return true
+	}
+	return a.Compare(b) < 0
+}
+
+// kindCompare is fine: Kind is a plain enum, not a Value.
+func kindCompare(a, b types.Value) bool {
+	return a.Kind() == b.Kind()
+}
+
+// plainStruct is fine: no Value inside.
+type plainStruct struct{ x, y int }
+
+func plainCompare(a, b plainStruct) bool { return a == b }

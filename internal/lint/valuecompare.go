@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ValueCompare forbids raw ==/!= (and value switches) on
+// gis/internal/types.Value and on module structs embedding Values. Raw
+// comparison is type-correct Go but semantically wrong for the global
+// type system: it misses cross-kind numeric equality (1 vs 1.0),
+// compares time.Time wall/monotonic clocks, and silently diverges from
+// the Hash used by grouping and duplicate elimination. The canonical
+// helpers are Value.Equal, Value.Compare, and Value.IsNull.
+func ValueCompare() *Analyzer {
+	a := &Analyzer{
+		Name: "valuecompare",
+		Doc:  "types.Value must be compared with Equal/Compare/IsNull, never raw == or !=",
+	}
+	a.Run = func(pass *Pass) {
+		valueType := pass.Named(pass.loader.ModulePath+"/internal/types", "Value")
+		if valueType == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.BinaryExpr:
+					if t.Op != token.EQL && t.Op != token.NEQ {
+						return true
+					}
+					if bad, name := forbiddenCompare(pass, valueType, pass.TypeOf(t.X)); bad {
+						pass.Reportf(t.OpPos, "%s compared with %s; use Equal/Compare/IsNull", name, t.Op)
+					} else if bad, name := forbiddenCompare(pass, valueType, pass.TypeOf(t.Y)); bad {
+						pass.Reportf(t.OpPos, "%s compared with %s; use Equal/Compare/IsNull", name, t.Op)
+					}
+				case *ast.SwitchStmt:
+					if t.Tag == nil {
+						return true
+					}
+					if bad, name := forbiddenCompare(pass, valueType, pass.TypeOf(t.Tag)); bad {
+						pass.Reportf(t.Tag.Pos(), "switch over %s compares with ==; dispatch on Kind() or use Equal", name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// forbiddenCompare reports whether t is types.Value or a module struct
+// that (transitively, through direct fields) contains one.
+func forbiddenCompare(pass *Pass, valueType *types.Named, t types.Type) (bool, string) {
+	return forbidden(pass, valueType, t, 0)
+}
+
+func forbidden(pass *Pass, valueType *types.Named, t types.Type, depth int) (bool, string) {
+	if t == nil || depth > 4 {
+		return false, ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false, ""
+	}
+	if types.Identical(named, valueType) {
+		return true, "types.Value"
+	}
+	if !pass.InModule(named.Obj().Pkg()) {
+		return false, ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false, ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if bad, _ := forbidden(pass, valueType, st.Field(i).Type(), depth+1); bad {
+			return true, named.Obj().Name() + " (contains types.Value)"
+		}
+	}
+	return false, ""
+}

@@ -35,6 +35,8 @@ func pushAggregates(n Node) Node {
 		if out := pushPartialAggregate(agg, input); out != nil {
 			return out
 		}
+	default:
+		// Aggregation over any other operator stays at the mediator.
 	}
 	return n
 }

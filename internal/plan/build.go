@@ -214,6 +214,8 @@ func (b *Builder) buildFrom(t sql.TableExpr) (Node, error) {
 			kind = JoinLeft
 		case sql.JoinCross:
 			kind = JoinCross
+		default:
+			// JoinRight was rewritten above; nothing else exists.
 		}
 		return &Join{Kind: kind, L: l, R: r, Cond: cond}, nil
 

@@ -44,6 +44,8 @@ func decompose(n Node, cat *catalog.Catalog, parallel bool) (Node, error) {
 			return nil, err
 		}
 		t.R, err = decompose(t.R, cat, parallel)
+	default:
+		// FragScan and Values are leaves; GlobalScan was handled above.
 	}
 	return n, err
 }

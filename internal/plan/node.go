@@ -139,6 +139,8 @@ func (s *FragScan) CanBindOn(outCol int) (int, bool) {
 				return m.RemoteCol, true
 			}
 		}
+	default:
+		// FilterNone: the source cannot evaluate any predicate.
 	}
 	return -1, false
 }
@@ -687,6 +689,8 @@ func childColumnNDV(n Node, col int) float64 {
 				return childColumnNDV(t.Input, c.Index)
 			}
 		}
+	default:
+		// Joins, aggregates, sorts, ...: no per-column NDV to report.
 	}
 	return 0
 }

@@ -346,5 +346,7 @@ func rewriteChildren(n Node, fn func(Node) Node) {
 	case *Join:
 		t.L = fn(t.L)
 		t.R = fn(t.R)
+	default:
+		// GlobalScan, FragScan, and Values are leaves.
 	}
 }

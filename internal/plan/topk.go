@@ -226,6 +226,8 @@ func pushLimitOnly(l *Limit) Node {
 				}
 			}
 		}
+	default:
+		// Limits over other operators cannot ship to the sources.
 	}
 	return l
 }
@@ -333,5 +335,7 @@ func pushSortLimitKeep(l *Limit, s *Sort) {
 		for _, fs := range scans {
 			tryPush(fs)
 		}
+	default:
+		// Sorted limits over other operators stay at the mediator.
 	}
 }

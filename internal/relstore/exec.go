@@ -144,6 +144,8 @@ func (t *table) candidateRows(filter expr.Expr) ([]int, bool) {
 			if allConst {
 				return out, false
 			}
+		default:
+			// Other conjuncts cannot use the hash index.
 		}
 	}
 	all := make([]int, len(t.rows))

@@ -194,7 +194,7 @@ func (s *Store) Insert(ctx context.Context, tbl string, rows []types.Row) (int64
 	}
 	n, err := tx.Insert(ctx, tbl, rows)
 	if err != nil {
-		tx.Abort(ctx)
+		_ = tx.Abort(ctx) // best-effort rollback; the original error wins
 		return 0, err
 	}
 	return n, tx.Commit(ctx)
@@ -208,7 +208,7 @@ func (s *Store) Update(ctx context.Context, tbl string, filter expr.Expr, set []
 	}
 	n, err := tx.Update(ctx, tbl, filter, set)
 	if err != nil {
-		tx.Abort(ctx)
+		_ = tx.Abort(ctx) // best-effort rollback; the original error wins
 		return 0, err
 	}
 	return n, tx.Commit(ctx)
@@ -222,7 +222,7 @@ func (s *Store) Delete(ctx context.Context, tbl string, filter expr.Expr) (int64
 	}
 	n, err := tx.Delete(ctx, tbl, filter)
 	if err != nil {
-		tx.Abort(ctx)
+		_ = tx.Abort(ctx) // best-effort rollback; the original error wins
 		return 0, err
 	}
 	return n, tx.Commit(ctx)

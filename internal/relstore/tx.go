@@ -192,6 +192,8 @@ func (tx *Tx) Commit(context.Context) error {
 		return nil
 	case txAborted:
 		return fmt.Errorf("relstore %s: commit after abort", tx.s.name)
+	default:
+		// Active or prepared: proceed with the commit below.
 	}
 	failOnce := tx.s.fail.FailCommitOnce
 	if failOnce {
@@ -216,6 +218,8 @@ func (tx *Tx) Abort(context.Context) error {
 		return nil
 	case txCommitted:
 		return fmt.Errorf("relstore %s: abort after commit", tx.s.name)
+	default:
+		// Active or prepared: roll back below.
 	}
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]

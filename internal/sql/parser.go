@@ -816,6 +816,8 @@ func (p *Parser) parseUnary() (expr.Expr, error) {
 				return expr.NewConst(types.NewInt(-c.Val.Int())), nil
 			case types.KindFloat:
 				return expr.NewConst(types.NewFloat(-c.Val.Float())), nil
+			default:
+				// Non-numeric literal: leave the unary for the binder.
 			}
 		}
 		return expr.NewUnary(expr.OpNeg, inner), nil
@@ -927,6 +929,8 @@ func (p *Parser) parsePrimary() (expr.Expr, error) {
 			}
 			return inner, nil
 		}
+	default:
+		// TokEOF and anything unexpected fall through to the error.
 	}
 	return nil, p.errorf("unexpected %s in expression", t)
 }

@@ -327,6 +327,8 @@ func comparisonSelectivity(b *expr.Binary, ts *TableStats) float64 {
 		return clamp(fracBelow(cs, val.Val))
 	case expr.OpGe, expr.OpGt:
 		return clamp(1 - fracBelow(cs, val.Val))
+	default:
+		// Non-comparison operators reach the generic fallback below.
 	}
 	return DefaultRangeSel
 }

@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gis/internal/expr"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// raceTx is a participant stub safe for the coordinator's parallel
+// fan-out: all counters are atomic so the stub itself cannot mask (or
+// introduce) races in the protocol code under -race.
+type raceTx struct {
+	prepares atomic.Int64
+	commits  atomic.Int64
+	aborts   atomic.Int64
+	voteNo   bool
+}
+
+func (r *raceTx) Insert(context.Context, string, []types.Row) (int64, error) { return 0, nil }
+func (r *raceTx) Update(context.Context, string, expr.Expr, []source.SetClause) (int64, error) {
+	return 0, nil
+}
+func (r *raceTx) Delete(context.Context, string, expr.Expr) (int64, error) { return 0, nil }
+func (r *raceTx) Prepare(context.Context) error {
+	r.prepares.Add(1)
+	if r.voteNo {
+		return errors.New("vote no")
+	}
+	return nil
+}
+func (r *raceTx) Commit(context.Context) error {
+	r.commits.Add(1)
+	return nil
+}
+func (r *raceTx) Abort(context.Context) error {
+	r.aborts.Add(1)
+	return nil
+}
+
+// TestRaceStress2PCFanOut runs many global transactions concurrently
+// against one coordinator, each fanning out prepare/commit (or abort)
+// rounds over several participants in parallel. The shared decision log
+// and id counter race across transactions; the per-transaction fan-out
+// races across participants. Run under -race.
+func TestRaceStress2PCFanOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race stress test")
+	}
+	coord := NewCoordinator()
+	const (
+		goroutines   = 8
+		iters        = 20
+		participants = 6
+	)
+	var committed, aborted atomic.Int64
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				gtx := coord.Begin()
+				txs := make([]*raceTx, participants)
+				voteNo := (g+i)%5 == 4 // every fifth transaction is refused
+				for p := range txs {
+					txs[p] = &raceTx{voteNo: voteNo && p == participants-1}
+					if err := gtx.Enlist(fmt.Sprintf("p%d", p), txs[p]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if (g+i)%3 == 2 {
+					// Client-initiated rollback.
+					if err := gtx.Abort(ctx); err != nil {
+						errs <- err
+						return
+					}
+					aborted.Add(1)
+					continue
+				}
+				err := gtx.Commit(ctx)
+				switch {
+				case voteNo:
+					if err == nil {
+						errs <- errors.New("commit succeeded despite a no vote")
+						return
+					}
+					if gtx.State() != StateAborted {
+						errs <- fmt.Errorf("state after refused commit = %s", gtx.State())
+						return
+					}
+					for _, tx := range txs {
+						if tx.commits.Load() != 0 {
+							errs <- errors.New("participant committed in an aborted transaction")
+							return
+						}
+					}
+				default:
+					if err != nil {
+						errs <- err
+						return
+					}
+					committed.Add(1)
+					for _, tx := range txs {
+						if tx.commits.Load() != 1 {
+							errs <- fmt.Errorf("participant commits = %d, want 1", tx.commits.Load())
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The branch selectors are deterministic in (g, i), so the totals are
+	// exact: aborts take the (g+i)%3 == 2 branch, refusals the remaining
+	// (g+i)%5 == 4 ones, everything else commits.
+	var wantCommitted, wantAborted int64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < iters; i++ {
+			switch {
+			case (g+i)%3 == 2:
+				wantAborted++
+			case (g+i)%5 == 4:
+			default:
+				wantCommitted++
+			}
+		}
+	}
+	if committed.Load() != wantCommitted || aborted.Load() != wantAborted {
+		t.Fatalf("committed=%d aborted=%d, want %d and %d",
+			committed.Load(), aborted.Load(), wantCommitted, wantAborted)
+	}
+	// Every committed transaction logged exactly one decision; aborts are
+	// presumed and never logged.
+	decisions := coord.Log().Decisions()
+	if int64(len(decisions)) != committed.Load() {
+		t.Fatalf("decision log has %d entries, want %d", len(decisions), committed.Load())
+	}
+	ids := make(map[string]bool)
+	for _, d := range decisions {
+		if !d.Commit {
+			t.Fatalf("abort decision %s was logged (presumed abort must not log)", d.TxID)
+		}
+		if ids[d.TxID] {
+			t.Fatalf("duplicate decision for %s", d.TxID)
+		}
+		ids[d.TxID] = true
+	}
+}

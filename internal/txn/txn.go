@@ -240,6 +240,8 @@ func (g *GlobalTx) Abort(ctx context.Context) error {
 		return nil
 	case StateCommitted:
 		return fmt.Errorf("txn %s: abort after commit", g.id)
+	default:
+		// Active or preparing: drive the abort round below.
 	}
 	errs := g.fanOut(ctx, func(i int) error { return g.txs[i].Abort(ctx) })
 	g.state = StateAborted

@@ -266,6 +266,8 @@ func (v Value) Compare(o Value) int {
 		default:
 			return 0
 		}
+	default:
+		// KindNull was handled before the switch.
 	}
 	return 0
 }
@@ -343,6 +345,8 @@ func (v Value) Coerce(to Kind) (Value, error) {
 				return Null, fmt.Errorf("cannot coerce %q to BOOL", v.s)
 			}
 			return NewBool(b), nil
+		default:
+			// Uncoercible: fall through to the error below.
 		}
 	case KindInt:
 		switch v.kind {
@@ -364,6 +368,8 @@ func (v Value) Coerce(to Kind) (Value, error) {
 			return NewInt(i), nil
 		case KindTime:
 			return NewInt(v.t.Unix()), nil
+		default:
+			// Uncoercible: fall through to the error below.
 		}
 	case KindFloat:
 		switch v.kind {
@@ -375,6 +381,8 @@ func (v Value) Coerce(to Kind) (Value, error) {
 				return Null, fmt.Errorf("cannot coerce %q to FLOAT", v.s)
 			}
 			return NewFloat(f), nil
+		default:
+			// Uncoercible: fall through to the error below.
 		}
 	case KindString:
 		return NewString(v.String()), nil
@@ -392,7 +400,11 @@ func (v Value) Coerce(to Kind) (Value, error) {
 			return NewTime(t), nil
 		case KindInt:
 			return NewTime(time.Unix(v.i, 0)), nil
+		default:
+			// Uncoercible: fall through to the error below.
 		}
+	default:
+		// KindNull as a target was handled before the switch.
 	}
 	return Null, fmt.Errorf("cannot coerce %s to %s", v.kind, to)
 }

@@ -256,7 +256,7 @@ func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, 
 
 func (c *Client) discard(fc *frameConn) {
 	if cl, ok := fc.rw.(io.Closer); ok {
-		cl.Close()
+		_ = cl.Close() // the conn is being thrown away; nothing to report
 	}
 }
 

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gis/internal/relstore"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// stressStore builds a single-table relstore with n integer rows.
+func stressStore(t *testing.T, n int) *relstore.Store {
+	t.Helper()
+	st := relstore.New("stress")
+	schema := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "val", Type: types.KindFloat},
+	)
+	if err := st.CreateTable("items", schema, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i) / 2)}
+	}
+	if _, err := st.Insert(ctx, "items", rows); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRaceStressConcurrentClients hammers the server's accept loop and
+// per-connection handlers: several clients connect at once, each running
+// interleaved full drains and early-closed streams that recycle pooled
+// connections. Run under -race.
+func TestRaceStressConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race stress test")
+	}
+	srv, err := Serve("127.0.0.1:0", stressStore(t, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const (
+		clients = 6
+		iters   = 10
+	)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < iters; i++ {
+				it, err := cl.Execute(ctx, source.NewScan("items"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if (c+i)%3 == 0 {
+					// Early close: the pooled conn is discarded and the
+					// server's stream write fails benignly.
+					if _, err := it.Next(); err != nil {
+						errs <- err
+						return
+					}
+					if err := it.Close(); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				rows, err := source.Drain(it)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rows) != 400 {
+					errs <- fmt.Errorf("scan returned %d rows, want 400", len(rows))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceStressServerCloseUnderLoad closes the server while streams
+// are in flight: the accept loop, the connection registry, and every
+// handler goroutine race against Close, which must still wait for all
+// of them and never hang a reader.
+func TestRaceStressServerCloseUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race stress test")
+	}
+	srv, err := Serve("127.0.0.1:0", stressStore(t, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 6
+	var wg sync.WaitGroup
+	started := make(chan struct{}, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				started <- struct{}{}
+				return // the server may already be gone: fine
+			}
+			defer cl.Close()
+			it, err := cl.Execute(ctx, source.NewScan("items"))
+			if err != nil {
+				started <- struct{}{}
+				return
+			}
+			started <- struct{}{}
+			// Drain until the shutdown kills the stream (or it finishes
+			// from buffered batches); either way it must terminate.
+			for {
+				if _, err := it.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		<-started
+	}
+	if err := srv.Close(); err != nil {
+		t.Logf("server close: %v (listener already closed is fine)", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("readers hung after server shutdown")
+	}
+}

@@ -63,7 +63,7 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // force-close; handlers report their own errors
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -84,7 +84,7 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer func() {
-				conn.Close()
+				_ = conn.Close() // serveConn's error is the one that matters
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()

@@ -1,0 +1,38 @@
+#!/bin/sh
+# check.sh — the full verification gate, run from the repo root (or any
+# subdirectory: it cd's to the module root first). Mirrors what CI runs:
+#
+#   1. gofmt      — no unformatted files
+#   2. go vet     — stdlib static checks
+#   3. gislint    — project invariant analyzers (iterclose, errdrop,
+#                   valuecompare, exhaustive); see DESIGN.md
+#   4. go build   — everything compiles
+#   5. go test    — full suite under the race detector, including the
+#                   race-stress tests (skipped under -short)
+#
+# Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== gofmt =='
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '== go vet =='
+go vet ./...
+
+echo '== gislint =='
+go run ./cmd/gislint ./...
+
+echo '== go build =='
+go build ./...
+
+echo '== go test -race =='
+go test -race ./...
+
+echo 'check: all gates passed'
