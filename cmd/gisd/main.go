@@ -12,6 +12,11 @@
 // Each -table flag is name=path:col:type[,col:type...]; the first column
 // is the primary key. The store is a fully-capable relational engine
 // (filters, projection, aggregation, sort, limit, transactions).
+//
+// With -debug-addr the daemon also serves a runtime introspection
+// endpoint: /metrics (JSON metrics snapshot), /sessions (in-flight
+// sub-queries), /slow (sub-queries slower than -slow-query, retained
+// ring-buffer style), and /debug/pprof/.
 package main
 
 import (
@@ -20,11 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"gis/internal/obs"
 	"gis/internal/relstore"
 	"gis/internal/types"
 	"gis/internal/wire"
@@ -42,9 +50,11 @@ func (t *tableFlag) Set(v string) error {
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7070", "address to serve on")
-		name   = flag.String("name", "gisd", "source name reported to mediators")
-		tables tableFlag
+		listen    = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		name      = flag.String("name", "gisd", "source name reported to mediators")
+		debugAddr = flag.String("debug-addr", "", "serve metrics/pprof/sessions on this address (e.g. 127.0.0.1:6060)")
+		slowQuery = flag.Duration("slow-query", 250*time.Millisecond, "retain sub-queries slower than this on /slow")
+		tables    tableFlag
 	)
 	flag.Var(&tables, "table", "table definition: name=path:col:type[,col:type...] (repeatable)")
 	flag.Parse()
@@ -66,7 +76,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("gisd: %v", err)
 	}
+	srv.Queries.SetThreshold(*slowQuery)
 	log.Printf("gisd: serving source %q on %s", *name, srv.Addr())
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.Handler(obs.Default(), srv.Queries)}
+		go func() {
+			log.Printf("gisd: debug endpoint on http://%s/", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("gisd: debug endpoint: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -9,20 +9,26 @@
 //	gisql -demo                       # self-contained demo federation
 //	gisql -demo -e "SELECT ..."       # one-shot query
 //
-// Shell commands: \tables, \sources, \explain <query>, \q.
+// Shell commands: \tables, \sources, \explain <query>, \analyze
+// <query>, \trace (span tree of the last statement), \metrics (metrics
+// snapshot), \q. Tracing is on by default in the shell; -debug-addr
+// additionally serves the introspection endpoint over HTTP.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"gis/internal/catalog"
 	"gis/internal/core"
+	"gis/internal/obs"
 	"gis/internal/relstore"
 	"gis/internal/source"
 	"gis/internal/types"
@@ -40,16 +46,28 @@ func (s *sourceFlag) Set(v string) error {
 
 func main() {
 	var (
-		sources sourceFlag
-		demo    = flag.Bool("demo", false, "start an in-process demo federation")
-		config  = flag.String("config", "", "JSON federation description (catalog.Config)")
-		oneShot = flag.String("e", "", "execute one statement and exit")
+		sources   sourceFlag
+		demo      = flag.Bool("demo", false, "start an in-process demo federation")
+		config    = flag.String("config", "", "JSON federation description (catalog.Config)")
+		oneShot   = flag.String("e", "", "execute one statement and exit")
+		noTrace   = flag.Bool("no-trace", false, "disable per-statement tracing")
+		debugAddr = flag.String("debug-addr", "", "serve metrics/pprof/sessions on this address")
 	)
 	flag.Var(&sources, "source", "component system: name=host:port (repeatable)")
 	flag.Parse()
 
 	e := core.New()
+	e.SetTracing(!*noTrace)
 	ctx := context.Background()
+
+	if *debugAddr != "" {
+		go func() {
+			h := obs.Handler(obs.Default(), e.Queries())
+			if err := http.ListenAndServe(*debugAddr, h); err != nil {
+				fmt.Fprintf(os.Stderr, "gisql: debug endpoint: %v\n", err)
+			}
+		}()
+	}
 
 	switch {
 	case *config != "":
@@ -214,7 +232,7 @@ func buildDemo(e *core.Engine) error {
 func repl(ctx context.Context, e *core.Engine) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println(`gisql — type SQL, \tables, \sources, \explain <q>, or \q`)
+	fmt.Println(`gisql — type SQL, \tables, \sources, \explain <q>, \analyze <q>, \trace, \metrics, or \q`)
 	var pending strings.Builder
 	for {
 		if pending.Len() == 0 {
@@ -266,10 +284,6 @@ func command(ctx context.Context, e *core.Engine, line string) bool {
 			body, _ := e.Catalog().View(v)
 			fmt.Printf("%s (view) = %s\n", v, body)
 		}
-		for _, v := range e.Catalog().Views() {
-			body, _ := e.Catalog().View(v)
-			fmt.Printf("%s (view) = %s\n", v, body)
-		}
 	case line == "\\sources":
 		for _, s := range e.Catalog().Sources() {
 			src, err := e.Catalog().Source(s)
@@ -292,6 +306,20 @@ func command(ctx context.Context, e *core.Engine, line string) bool {
 			break
 		}
 		fmt.Print(out)
+	case line == "\\trace":
+		tr := e.TraceLast()
+		if tr == nil {
+			fmt.Println("no trace recorded yet (run a statement first; tracing must be on)")
+			break
+		}
+		fmt.Print(tr.Tree())
+	case line == "\\metrics":
+		out, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Println(string(out))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", line)
 	}

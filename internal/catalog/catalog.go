@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"gis/internal/expr"
+	"gis/internal/obs"
 	"gis/internal/source"
 	"gis/internal/stats"
 	"gis/internal/types"
@@ -196,7 +197,15 @@ func (c *Catalog) AddSource(src source.Source) error {
 }
 
 // Source resolves a registered source.
+// Lookup counters expose how often the planner consults the catalog.
+var (
+	mTableLookups  = obs.Default().Counter("catalog.table_lookups")
+	mSourceLookups = obs.Default().Counter("catalog.source_lookups")
+	mViewLookups   = obs.Default().Counter("catalog.view_lookups")
+)
+
 func (c *Catalog) Source(name string) (source.Source, error) {
+	mSourceLookups.Inc()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	src, ok := c.sources[name]
@@ -240,6 +249,7 @@ func (c *Catalog) DefineTable(name string, schema *types.Schema) error {
 
 // Table resolves a global table.
 func (c *Catalog) Table(name string) (*GlobalTable, error) {
+	mTableLookups.Inc()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
@@ -389,6 +399,7 @@ func (c *Catalog) DefineView(name, selectSQL string) error {
 
 // View returns the SQL text of a view, if defined.
 func (c *Catalog) View(name string) (string, bool) {
+	mViewLookups.Inc()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	v, ok := c.views[name]

@@ -9,11 +9,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gis/internal/catalog"
 	"gis/internal/exec"
 	"gis/internal/expr"
+	"gis/internal/obs"
 	"gis/internal/plan"
 	"gis/internal/source"
 	"gis/internal/sql"
@@ -27,6 +29,16 @@ type Engine struct {
 	cat   *catalog.Catalog
 	opts  *plan.Options
 	coord *txn.Coordinator
+
+	// tracing, when set, attaches a fresh obs.Trace to every statement
+	// that does not already carry one; the completed trace is kept in
+	// lastTrace (gisql \trace). Callers may instead supply their own
+	// trace via obs.WithTrace on the context.
+	tracing   atomic.Bool
+	lastTrace atomic.Pointer[obs.Trace]
+	// qlog tracks in-flight statements and retains slow ones with their
+	// traces (served by the debug endpoint).
+	qlog *obs.QueryLog
 }
 
 // Option configures an Engine.
@@ -45,11 +57,60 @@ func New(opts ...Option) *Engine {
 		cat:   catalog.New(),
 		opts:  plan.DefaultOptions(),
 		coord: txn.NewCoordinator(),
+		qlog:  obs.NewQueryLog(250*time.Millisecond, 64),
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// SetTracing toggles per-statement tracing. Off by default: with it off
+// the only per-query cost is the query-log bookkeeping.
+func (e *Engine) SetTracing(on bool) { e.tracing.Store(on) }
+
+// Tracing reports whether per-statement tracing is enabled.
+func (e *Engine) Tracing() bool { return e.tracing.Load() }
+
+// TraceLast returns the trace of the most recently completed top-level
+// statement (nil when tracing was never on).
+func (e *Engine) TraceLast() *obs.Trace { return e.lastTrace.Load() }
+
+// Queries exposes the engine's query log: in-flight statements and the
+// retained slow ones.
+func (e *Engine) Queries() *obs.QueryLog { return e.qlog }
+
+// instrument begins query-log tracking for one top-level statement and,
+// when tracing is on and the context does not already carry a trace,
+// attaches a fresh one rooted at a query span. The returned context
+// must be used for the statement; finish must be called exactly once
+// with the statement's outcome. Nested statements (subqueries, Run
+// dispatching to ExplainAnalyze) pass through here too — their spans
+// attach under the outer root and only the outermost call publishes
+// lastTrace.
+func (e *Engine) instrument(ctx context.Context, text string) (context.Context, func(error)) {
+	id := e.qlog.Begin(text)
+	tr := obs.TraceFrom(ctx)
+	owned := false
+	if tr == nil && e.tracing.Load() {
+		tr = obs.NewTrace(text)
+		ctx = obs.WithTrace(ctx, tr)
+		owned = true
+	}
+	var root *obs.Span
+	if tr != nil {
+		ctx, root = obs.StartSpan(ctx, obs.SpanQuery, text)
+	}
+	return ctx, func(err error) {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+		if owned {
+			e.lastTrace.Store(tr)
+		}
+		e.qlog.Finish(id, err, tr)
+	}
 }
 
 // Catalog exposes the global catalog for registration and mapping.
@@ -114,8 +175,10 @@ func (r *Result) String() string {
 }
 
 // Query parses, plans, and executes a SELECT, materializing the result.
-func (e *Engine) Query(ctx context.Context, text string, params ...types.Value) (*Result, error) {
-	stmt, err := sql.Parse(text, params...)
+func (e *Engine) Query(ctx context.Context, text string, params ...types.Value) (res *Result, err error) {
+	ctx, finish := e.instrument(ctx, text)
+	defer func() { finish(err) }()
+	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -126,22 +189,56 @@ func (e *Engine) Query(ctx context.Context, text string, params ...types.Value) 
 	return e.runSelect(ctx, sel)
 }
 
+// parse wraps sql.Parse in a parse span.
+func (e *Engine) parse(ctx context.Context, text string, params ...types.Value) (sql.Statement, error) {
+	_, span := obs.StartSpan(ctx, obs.SpanParse, "")
+	stmt, err := sql.Parse(text, params...)
+	span.End()
+	return stmt, err
+}
+
 // QueryIter plans and executes a SELECT, streaming rows. The returned
 // schema describes the stream.
 func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Value) (*types.Schema, source.RowIter, error) {
+	ctx, finish := e.instrument(ctx, text)
+	_, pspan := obs.StartSpan(ctx, obs.SpanParse, "")
 	sel, err := sql.ParseSelect(text, params...)
+	pspan.End()
 	if err != nil {
+		finish(err)
 		return nil, nil, err
 	}
 	p, err := e.planSelect(ctx, sel)
 	if err != nil {
+		finish(err)
 		return nil, nil, err
 	}
 	it, err := exec.Run(ctx, p)
 	if err != nil {
+		finish(err)
 		return nil, nil, err
 	}
-	return p.Schema(), it, nil
+	// The statement is live until the stream is closed.
+	return p.Schema(), &finishIter{in: it, fn: finish}, nil
+}
+
+// finishIter completes a streamed statement's instrumentation when the
+// consumer closes the stream.
+type finishIter struct {
+	in   source.RowIter
+	fn   func(error)
+	done bool
+}
+
+func (f *finishIter) Next() (types.Row, error) { return f.in.Next() }
+
+func (f *finishIter) Close() error {
+	err := f.in.Close()
+	if !f.done {
+		f.done = true
+		f.fn(err)
+	}
+	return err
 }
 
 func (e *Engine) runSelect(ctx context.Context, sel *sql.SelectStmt) (*Result, error) {
@@ -163,15 +260,20 @@ func (e *Engine) runSelect(ctx context.Context, sel *sql.SelectStmt) (*Result, e
 
 // planSelect materializes subqueries and produces an optimized plan.
 func (e *Engine) planSelect(ctx context.Context, sel *sql.SelectStmt) (plan.Node, error) {
-	if err := e.materializeSubqueries(ctx, sel); err != nil {
-		return nil, err
+	rctx, rspan := obs.StartSpan(ctx, obs.SpanResolve, "")
+	err := e.materializeSubqueries(rctx, sel)
+	var logical plan.Node
+	if err == nil {
+		logical, err = plan.NewBuilder(e.cat).BuildSelect(sel)
 	}
-	builder := plan.NewBuilder(e.cat)
-	logical, err := builder.BuildSelect(sel)
+	rspan.End()
 	if err != nil {
 		return nil, err
 	}
-	return plan.Optimize(logical, e.cat, e.opts)
+	octx, ospan := obs.StartSpan(ctx, obs.SpanOptimize, "")
+	n, err := plan.Optimize(octx, logical, e.cat, e.opts)
+	ospan.End()
+	return n, err
 }
 
 // Explain returns the optimized plan of a statement as indented text.
@@ -196,8 +298,10 @@ func (e *Engine) Explain(ctx context.Context, text string, params ...types.Value
 
 // Run executes any statement: SELECT returns a Result; INSERT, UPDATE
 // and DELETE return the affected-row count in a single-column Result.
-func (e *Engine) Run(ctx context.Context, text string, params ...types.Value) (*Result, error) {
-	stmt, err := sql.Parse(text, params...)
+func (e *Engine) Run(ctx context.Context, text string, params ...types.Value) (res *Result, err error) {
+	ctx, finish := e.instrument(ctx, text)
+	defer func() { finish(err) }()
+	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -239,8 +343,10 @@ func (e *Engine) Run(ctx context.Context, text string, params ...types.Value) (*
 // Exec executes a write statement (INSERT/UPDATE/DELETE) and returns the
 // number of affected rows. Writes spanning several sources run under
 // two-phase commit.
-func (e *Engine) Exec(ctx context.Context, text string, params ...types.Value) (int64, error) {
-	stmt, err := sql.Parse(text, params...)
+func (e *Engine) Exec(ctx context.Context, text string, params ...types.Value) (n int64, err error) {
+	ctx, finish := e.instrument(ctx, text)
+	defer func() { finish(err) }()
+	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return 0, err
 	}
@@ -437,8 +543,10 @@ func (e *Engine) CreateView(name, selectSQL string) error {
 // ExplainAnalyze plans AND executes a SELECT, returning the plan
 // annotated with each operator's measured row count and inclusive time,
 // followed by the total.
-func (e *Engine) ExplainAnalyze(ctx context.Context, text string, params ...types.Value) (string, error) {
-	stmt, err := sql.Parse(text, params...)
+func (e *Engine) ExplainAnalyze(ctx context.Context, text string, params ...types.Value) (out string, err error) {
+	ctx, finish := e.instrument(ctx, text)
+	defer func() { finish(err) }()
+	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return "", err
 	}
@@ -459,7 +567,7 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, text string, params ...type
 	if err != nil {
 		return "", err
 	}
-	out := plan.ExplainFunc(p, prof.Annotate)
+	out = plan.ExplainFunc(p, prof.Annotate)
 	out += fmt.Sprintf("total: %d row(s) in %s\n", len(rows), time.Since(start).Round(time.Microsecond))
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"gis/internal/catalog"
 	"gis/internal/expr"
+	"gis/internal/obs"
 	"gis/internal/source"
 	"gis/internal/sql"
 	"gis/internal/types"
@@ -13,18 +14,40 @@ import (
 
 // execStmt routes a write statement.
 func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement) (int64, error) {
+	var name string
+	switch stmt.(type) {
+	case *sql.InsertStmt:
+		name = "insert"
+	case *sql.UpdateStmt:
+		name = "update"
+	case *sql.DeleteStmt:
+		name = "delete"
+	default:
+		// Non-writes fall through to the dispatch switch's error.
+	}
+	var span *obs.Span
+	if name != "" {
+		ctx, span = obs.StartSpan(ctx, obs.SpanWrite, name)
+		defer span.End()
+	}
+	var n int64
+	var err error
 	switch s := stmt.(type) {
 	case *sql.InsertStmt:
-		return e.execInsert(ctx, s)
+		n, err = e.execInsert(ctx, s)
 	case *sql.UpdateStmt:
-		return e.execUpdate(ctx, s)
+		n, err = e.execUpdate(ctx, s)
 	case *sql.DeleteStmt:
-		return e.execDelete(ctx, s)
+		n, err = e.execDelete(ctx, s)
 	case *sql.SelectStmt:
 		return 0, fmt.Errorf("core: Exec requires a write statement; use Query for SELECT")
 	default:
 		return 0, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
+	if err == nil {
+		span.SetInt("affected", n)
+	}
+	return n, err
 }
 
 // fragWrite batches the per-fragment work of one global write.

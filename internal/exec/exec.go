@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"gis/internal/expr"
+	"gis/internal/obs"
 	"gis/internal/plan"
 	"gis/internal/source"
 	"gis/internal/types"
@@ -19,16 +21,74 @@ import (
 
 // Run executes an optimized plan and streams its result rows. When a
 // Profile is attached to the context (EXPLAIN ANALYZE), every operator's
-// output is instrumented.
+// output is instrumented; when a trace is attached (obs.WithTrace),
+// every operator gets an exec span.
 func Run(ctx context.Context, n plan.Node) (source.RowIter, error) {
+	var span *obs.Span
+	if obs.Enabled(ctx) {
+		ctx, span = obs.StartSpan(ctx, obs.SpanExec, opLabel(n))
+	}
 	it, err := run(ctx, n)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	if p := profileFrom(ctx); p != nil {
 		it = &countIter{in: it, st: p.node(n)}
 	}
+	if span != nil {
+		it = &spanIter{in: it, span: span}
+	}
 	return it, nil
+}
+
+// opLabel names an operator span from the first line of its Describe.
+func opLabel(n plan.Node) string {
+	d := n.Describe()
+	if i := strings.IndexByte(d, '\n'); i >= 0 {
+		d = d[:i]
+	}
+	if len(d) > 80 {
+		d = d[:77] + "..."
+	}
+	return d
+}
+
+// spanIter finishes an operator's exec span when its stream ends,
+// annotating it with the rows and estimated bytes produced.
+type spanIter struct {
+	in    source.RowIter
+	span  *obs.Span
+	rows  int64
+	bytes int64
+	done  bool
+}
+
+func (s *spanIter) Next() (types.Row, error) {
+	r, err := s.in.Next()
+	if err == nil {
+		s.rows++
+		s.bytes += int64(r.EstimatedSize())
+	} else if err == io.EOF {
+		s.finish()
+	}
+	return r, err
+}
+
+func (s *spanIter) Close() error {
+	err := s.in.Close()
+	s.finish()
+	return err
+}
+
+func (s *spanIter) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.span.SetInt("rows", s.rows)
+	s.span.SetInt("bytes", s.bytes)
+	s.span.End()
 }
 
 func run(ctx context.Context, n plan.Node) (source.RowIter, error) {
@@ -280,6 +340,7 @@ func (u *unionIter) Close() error {
 // runParallelUnion fetches every input concurrently and merges rows as
 // they arrive (order across inputs is unspecified, as for UNION ALL).
 func runParallelUnion(ctx context.Context, u *plan.Union) (source.RowIter, error) {
+	mUnionBranches.Add(int64(len(u.Inputs)))
 	cctx, cancel := context.WithCancel(ctx)
 	ch := make(chan rowOrErr, 64)
 	var wg sync.WaitGroup
@@ -461,6 +522,7 @@ func runAggregate(ctx context.Context, a *plan.Aggregate) (source.RowIter, error
 		if err != nil {
 			return nil, err
 		}
+		mAggInputRows.Inc()
 		key := make(types.Row, len(a.GroupBy))
 		for i, g := range a.GroupBy {
 			v, err := g.Eval(r)
@@ -498,6 +560,7 @@ func runAggregate(ctx context.Context, a *plan.Aggregate) (source.RowIter, error
 			}
 		}
 	}
+	mAggGroups.Add(int64(len(order)))
 	if len(order) == 0 && len(a.GroupBy) == 0 {
 		row := make(types.Row, len(a.Aggs))
 		for i, ag := range a.Aggs {

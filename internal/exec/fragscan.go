@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"gis/internal/expr"
+	"gis/internal/obs"
 	"gis/internal/plan"
 	"gis/internal/source"
 	"gis/internal/types"
@@ -22,16 +24,34 @@ func runFragScan(ctx context.Context, fs *plan.FragScan, extraRemoteFilter expr.
 		cp.Filter = expr.Conjoin([]expr.Expr{cp.Filter, extraRemoteFilter})
 		q = &cp
 	}
+	var ship *obs.Span
+	if obs.Enabled(ctx) {
+		ctx, ship = obs.StartSpan(ctx, obs.SpanShip, fs.Frag.Source+"."+fs.Frag.RemoteTable)
+		ship.SetAttr("source", fs.Frag.Source)
+		ship.SetAttr("sql", q.String())
+	}
+	shipStart := time.Now()
 	remote, err := fs.Src.Execute(ctx, q)
 	if err != nil {
+		ship.SetAttr("error", err.Error())
+		ship.End()
 		return nil, fmt.Errorf("exec: fragment %s.%s: %w", fs.Frag.Source, fs.Frag.RemoteTable, err)
 	}
+	var fetch *obs.Span
+	if ship != nil {
+		_, fetch = obs.StartSpan(ctx, obs.SpanFetch, fs.Frag.Source)
+	}
+	var st *NodeStats
+	if p := profileFrom(ctx); p != nil {
+		st = p.node(fs)
+	}
+	instrumented := &fetchIter{in: remote, st: st, ship: ship, fetch: fetch, shipStart: shipStart}
 	if fs.Raw {
 		// Pushed aggregation: the remote output is already final.
-		return remote, nil
+		return instrumented, nil
 	}
 
-	var it source.RowIter = remote
+	var it source.RowIter = instrumented
 	// Remote-space compensation. Filter and projection stream;
 	// aggregation/sort/limit need materialization (they never occur for
 	// fragment scans today — Split only produces them when the desired

@@ -55,6 +55,7 @@ func runLocalJoin(ctx context.Context, j *plan.Join, preFetchedRight []types.Row
 	}
 	if len(j.EquiL) > 0 {
 		// Hash join: build on the right, probe with the left stream.
+		mJoinBuildRows.Add(int64(len(right)))
 		build := make(map[uint64][]types.Row)
 		for _, r := range right {
 			k := keyOf(r, j.EquiR)
@@ -113,6 +114,7 @@ type hashJoinIter struct {
 	midx    int
 	matched bool
 	done    bool
+	probed  int64 // left rows consumed, flushed to metrics at stream end
 }
 
 func (h *hashJoinIter) Next() (types.Row, error) {
@@ -166,11 +168,13 @@ func (h *hashJoinIter) Next() (types.Row, error) {
 		l, err := h.left.Next()
 		if err == io.EOF {
 			h.done = true
+			h.flush()
 			return nil, io.EOF
 		}
 		if err != nil {
 			return nil, err
 		}
+		h.probed++
 		h.cur = l
 		h.matched = false
 		h.midx = 0
@@ -207,7 +211,18 @@ func (h *hashJoinIter) condHolds(joined types.Row) (bool, error) {
 	return expr.EvalBool(h.j.Cond, joined)
 }
 
-func (h *hashJoinIter) Close() error { return h.left.Close() }
+func (h *hashJoinIter) Close() error {
+	h.flush()
+	return h.left.Close()
+}
+
+// flush reports the probe-side row count once per stream.
+func (h *hashJoinIter) flush() {
+	if h.probed > 0 {
+		mJoinProbeRows.Add(h.probed)
+		h.probed = 0
+	}
+}
 
 // nlJoinIter is the nested-loops fallback for non-equi conditions.
 type nlJoinIter struct {

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"io"
+	"time"
+
+	"gis/internal/obs"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// Package-cached metric handles: operator hot paths must not pay a
+// registry map lookup per row (or even per operator).
+var (
+	mSourceRows    = obs.Default().Counter("exec.source.rows_fetched")
+	mSourceBytes   = obs.Default().Counter("exec.source.bytes_fetched")
+	mJoinBuildRows = obs.Default().Counter("exec.join.build_rows")
+	mJoinProbeRows = obs.Default().Counter("exec.join.probe_rows")
+	mAggInputRows  = obs.Default().Counter("exec.agg.input_rows")
+	mAggGroups     = obs.Default().Counter("exec.agg.groups")
+	mUnionBranches = obs.Default().Counter("exec.union.parallel_branches")
+	mShipLatency   = obs.Default().Histogram("exec.source.ship_seconds", obs.LatencyBuckets)
+)
+
+// fetchIter wraps the remote stream of one fragment scan. It always
+// feeds the process-wide source counters; optionally it also feeds the
+// profile's wire stats (EXPLAIN ANALYZE) and a ship/fetch span pair
+// (tracing). Counter flushes are batched to stream end so the per-row
+// cost is two integer adds.
+type fetchIter struct {
+	in source.RowIter
+	st *NodeStats // nil when not profiling
+	// ship covers the whole round trip from Execute to stream end;
+	// fetch covers only the streaming part after Execute returned.
+	ship, fetch *obs.Span
+	shipStart   time.Time
+	rows, bytes int64
+	done        bool
+}
+
+func (f *fetchIter) Next() (types.Row, error) {
+	r, err := f.in.Next()
+	if err == nil {
+		f.rows++
+		f.bytes += int64(r.EstimatedSize())
+	} else if err == io.EOF {
+		f.finish()
+	}
+	return r, err
+}
+
+func (f *fetchIter) Close() error {
+	err := f.in.Close()
+	f.finish()
+	return err
+}
+
+func (f *fetchIter) finish() {
+	if f.done {
+		return
+	}
+	f.done = true
+	mSourceRows.Add(f.rows)
+	mSourceBytes.Add(f.bytes)
+	mShipLatency.ObserveSince(f.shipStart)
+	if f.st != nil {
+		f.st.mu.Lock()
+		f.st.WireRows += f.rows
+		f.st.WireBytes += f.bytes
+		f.st.mu.Unlock()
+	}
+	f.fetch.SetInt("rows", f.rows)
+	f.fetch.SetInt("bytes", f.bytes)
+	f.fetch.End()
+	f.ship.SetInt("rows", f.rows)
+	f.ship.SetInt("bytes", f.bytes)
+	f.ship.End()
+}

@@ -19,10 +19,22 @@ type Profile struct {
 	stats map[plan.Node]*NodeStats
 }
 
-// NodeStats is one operator's measured behavior.
+// NodeStats is one operator's measured behavior. Bytes are estimated
+// via types.Row.EstimatedSize. WireRows/WireBytes count what a fragment
+// scan fetched from its source before mediator-side compensation, so
+// EXPLAIN ANALYZE can show wire cost separately from output size;
+// CloseElapsed isolates teardown cost (e.g. discarding an undrained
+// remote cursor) from fetch cost.
 type NodeStats struct {
-	Rows    int64
-	Elapsed time.Duration
+	// mu serialises writers: fan-out branches that execute the same plan
+	// node (and a fragment scan's fetchIter) share one NodeStats.
+	mu           sync.Mutex
+	Rows         int64
+	Bytes        int64
+	Elapsed      time.Duration
+	CloseElapsed time.Duration
+	WireRows     int64
+	WireBytes    int64
 }
 
 // NewProfile returns an empty profile.
@@ -44,7 +56,14 @@ func (p *Profile) Annotate(n plan.Node) string {
 	if s == nil {
 		return " (never executed)"
 	}
-	return fmt.Sprintf(" (rows=%d time=%s)", s.Rows, s.Elapsed.Round(time.Microsecond))
+	out := fmt.Sprintf(" (rows=%d bytes=%d time=%s", s.Rows, s.Bytes, s.Elapsed.Round(time.Microsecond))
+	if s.CloseElapsed > 0 {
+		out += fmt.Sprintf(" close=%s", s.CloseElapsed.Round(time.Microsecond))
+	}
+	if s.WireRows > 0 || s.WireBytes > 0 {
+		out += fmt.Sprintf(" wire_rows=%d wire_bytes=%d", s.WireRows, s.WireBytes)
+	}
+	return out + ")"
 }
 
 func (p *Profile) node(n plan.Node) *NodeStats {
@@ -75,20 +94,30 @@ func profileFrom(ctx context.Context) *Profile {
 type countIter struct {
 	in source.RowIter
 	st *NodeStats
-	mu sync.Mutex // parallel unions may share a child iterator's stats
 }
 
 func (c *countIter) Next() (types.Row, error) {
 	start := time.Now()
 	r, err := c.in.Next()
 	d := time.Since(start)
-	c.mu.Lock()
+	c.st.mu.Lock()
 	c.st.Elapsed += d
 	if err == nil {
 		c.st.Rows++
+		c.st.Bytes += int64(r.EstimatedSize())
 	}
-	c.mu.Unlock()
+	c.st.mu.Unlock()
 	return r, err
 }
 
-func (c *countIter) Close() error { return c.in.Close() }
+// Close times the teardown as well: discarding an undrained remote
+// cursor can dominate a LIMIT query's cost and used to be invisible.
+func (c *countIter) Close() error {
+	start := time.Now()
+	err := c.in.Close()
+	d := time.Since(start)
+	c.st.mu.Lock()
+	c.st.CloseElapsed += d
+	c.st.mu.Unlock()
+	return err
+}

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"gis/internal/types"
+)
+
+// slowCloseIter yields a fixed set of rows and sleeps in Close, standing
+// in for a remote cursor whose teardown (draining the stream) is slow.
+type slowCloseIter struct {
+	rows  []types.Row
+	pos   int
+	delay time.Duration
+}
+
+func (s *slowCloseIter) Next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *slowCloseIter) Close() error {
+	time.Sleep(s.delay)
+	return nil
+}
+
+// TestCountIterRecordsCloseLatency is the regression test for the bug
+// where countIter.Close forwarded to the input without touching the
+// profile, hiding teardown cost from EXPLAIN ANALYZE entirely.
+func TestCountIterRecordsCloseLatency(t *testing.T) {
+	st := &NodeStats{}
+	c := &countIter{
+		in: &slowCloseIter{
+			rows:  []types.Row{{types.NewInt(1), types.NewString("a")}},
+			delay: 5 * time.Millisecond,
+		},
+		st: st,
+	}
+	for {
+		if _, err := c.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 1 {
+		t.Errorf("Rows = %d, want 1", st.Rows)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("Bytes = %d, want > 0", st.Bytes)
+	}
+	if st.CloseElapsed < 5*time.Millisecond {
+		t.Errorf("CloseElapsed = %v, want >= 5ms", st.CloseElapsed)
+	}
+}
+
+// TestAnnotateIncludesCloseAndWire checks the EXPLAIN ANALYZE rendering
+// of the extended statistics (and that zero-valued extras stay hidden).
+func TestAnnotateIncludesCloseAndWire(t *testing.T) {
+	p := NewProfile()
+	n := valuesNode(types.NewSchema(intCol("id")), []any{1})
+	st := p.node(n)
+	st.Rows = 3
+	st.Bytes = 42
+	st.Elapsed = 2 * time.Millisecond
+
+	out := p.Annotate(n)
+	if !strings.Contains(out, "rows=3") || !strings.Contains(out, "bytes=42") {
+		t.Errorf("missing rows/bytes: %s", out)
+	}
+	if strings.Contains(out, "close=") || strings.Contains(out, "wire_rows=") {
+		t.Errorf("zero-valued extras should be hidden: %s", out)
+	}
+
+	st.CloseElapsed = 7 * time.Millisecond
+	st.WireRows = 100
+	st.WireBytes = 9000
+	out = p.Annotate(n)
+	if !strings.Contains(out, "close=7ms") {
+		t.Errorf("missing close latency: %s", out)
+	}
+	if !strings.Contains(out, "wire_rows=100 wire_bytes=9000") {
+		t.Errorf("missing wire stats: %s", out)
+	}
+}

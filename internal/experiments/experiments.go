@@ -561,3 +561,45 @@ func ByID(id string, sc Scale) (*Table, error) {
 }
 
 var _ = types.Null
+
+// Record is the machine-readable form of one experiment's measurement
+// series, emitted one JSON object per line by `gisbench -json`. The
+// schema is documented in EXPERIMENTS.md and guarded against drift by
+// scripts/benchjson; BENCH_*.json trajectory files hold sequences of
+// these records.
+type Record struct {
+	// ID and Title identify the experiment (e.g. "T1").
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Header names the series columns; every element of Rows has
+	// exactly len(Header) cells (stringified measurements).
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  string     `json:"notes,omitempty"`
+	// The workload configuration the series was measured under.
+	Scale          float64 `json:"scale"`
+	Reps           int     `json:"reps"`
+	LatencyMS      float64 `json:"latency_ms"`
+	BandwidthMiBps int64   `json:"bandwidth_mibps"`
+	// ElapsedMS is the wall-clock cost of producing the series.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// At is the measurement timestamp in RFC 3339 format.
+	At string `json:"at"`
+}
+
+// Record converts the table and its scale into the JSON line schema.
+func (t *Table) Record(sc Scale, elapsed time.Duration, at time.Time) Record {
+	return Record{
+		ID:             t.ID,
+		Title:          t.Title,
+		Header:         t.Header,
+		Rows:           t.Rows,
+		Notes:          t.Notes,
+		Scale:          sc.Rows,
+		Reps:           sc.Reps,
+		LatencyMS:      float64(sc.Link.Latency) / float64(time.Millisecond),
+		BandwidthMiBps: sc.Link.BytesPerSec >> 20,
+		ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+		At:             at.UTC().Format(time.RFC3339),
+	}
+}

@@ -2,7 +2,10 @@
 // node interfaces with and without full variant coverage.
 package exhaustive
 
-import "gis/internal/types"
+import (
+	"gis/internal/obs"
+	"gis/internal/types"
+)
 
 // color is a module enum with three variants.
 type color uint8
@@ -56,6 +59,25 @@ func missingTypeCase(s shape) int {
 		return v.area()
 	}
 	return 0
+}
+
+func missingSpanKindCase(k obs.SpanKind) bool {
+	switch k { // want "switch over gis/internal/obs.SpanKind is not exhaustive and has no default"
+	case obs.SpanQuery, obs.SpanParse:
+		return true
+	case obs.SpanShip, obs.SpanFetch:
+		return false
+	}
+	return false
+}
+
+func defaultedSpanKindCase(k obs.SpanKind) bool {
+	switch k {
+	case obs.SpanPrepare, obs.SpanCommit, obs.SpanAbort:
+		return true
+	default:
+		return false
+	}
 }
 
 func fullEnum(c color) int {

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ActiveQuery is one in-flight query as reported by the debug endpoint.
+type ActiveQuery struct {
+	ID    int64     `json:"id"`
+	SQL   string    `json:"sql"`
+	Start time.Time `json:"start"`
+}
+
+// SlowQuery is one completed query that exceeded the slow threshold,
+// retained ring-buffer style together with its trace (when tracing was
+// enabled for the query).
+type SlowQuery struct {
+	ID         int64     `json:"id"`
+	SQL        string    `json:"sql"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Err        string    `json:"error,omitempty"`
+	Trace      *SpanData `json:"trace,omitempty"`
+}
+
+// QueryLog tracks in-flight queries and retains slow ones. All methods
+// are safe on a nil receiver so call sites can instrument
+// unconditionally.
+type QueryLog struct {
+	mu        sync.Mutex
+	nextID    int64
+	active    map[int64]ActiveQuery
+	threshold time.Duration
+	ring      []SlowQuery
+	pos       int
+	capacity  int
+}
+
+// NewQueryLog returns a query log retaining up to capacity queries
+// slower than threshold.
+func NewQueryLog(threshold time.Duration, capacity int) *QueryLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &QueryLog{
+		active:    map[int64]ActiveQuery{},
+		threshold: threshold,
+		capacity:  capacity,
+	}
+}
+
+// SetThreshold changes the slow-query threshold.
+func (l *QueryLog) SetThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.threshold = d
+	l.mu.Unlock()
+}
+
+// Threshold returns the slow-query threshold.
+func (l *QueryLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold
+}
+
+// Begin registers an in-flight query and returns its id.
+func (l *QueryLog) Begin(sql string) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	id := l.nextID
+	l.active[id] = ActiveQuery{ID: id, SQL: sql, Start: time.Now()}
+	return id
+}
+
+// Finish deregisters the query and, if it ran longer than the
+// threshold, retains it with its trace.
+func (l *QueryLog) Finish(id int64, err error, tr *Trace) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q, ok := l.active[id]
+	if !ok {
+		return
+	}
+	delete(l.active, id)
+	d := time.Since(q.Start)
+	if d < l.threshold {
+		return
+	}
+	slow := SlowQuery{
+		ID:         q.ID,
+		SQL:        q.SQL,
+		Start:      q.Start,
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Trace:      tr.Root().Data(),
+	}
+	if err != nil {
+		slow.Err = err.Error()
+	}
+	if len(l.ring) < l.capacity {
+		l.ring = append(l.ring, slow)
+	} else {
+		l.ring[l.pos] = slow
+	}
+	l.pos = (l.pos + 1) % l.capacity
+}
+
+// Active returns the in-flight queries, oldest first.
+func (l *QueryLog) Active() []ActiveQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]ActiveQuery, 0, len(l.active))
+	for _, q := range l.active {
+		out = append(out, q)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Slow returns the retained slow queries, most recent first.
+func (l *QueryLog) Slow() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]SlowQuery, 0, len(l.ring))
+	// Walk the ring backwards from the slot most recently written.
+	for i := 0; i < len(l.ring); i++ {
+		idx := (l.pos - 1 - i + l.capacity) % l.capacity
+		if idx < len(l.ring) {
+			out = append(out, l.ring[idx])
+		}
+	}
+	l.mu.Unlock()
+	return out
+}
+
+// Handler serves the runtime introspection endpoint:
+//
+//	/               index
+//	/metrics        registry snapshot as JSON
+//	/sessions       active queries as JSON
+//	/slow           slow queries (with traces) as JSON
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// Either argument may be nil; the corresponding routes then serve empty
+// data.
+func Handler(reg *Registry, ql *QueryLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "gis debug endpoint\n\n/metrics\n/sessions\n/slow\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Active []ActiveQuery `json:"active"`
+		}{ql.Active()})
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			ThresholdMS float64     `json:"threshold_ms"`
+			Slow        []SlowQuery `json:"slow"`
+		}{float64(ql.Threshold()) / float64(time.Millisecond), ql.Slow()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,375 @@
+// Package obs is the mediator's observability layer: query traces with
+// typed spans carried through context.Context, a process-wide metrics
+// registry (counters, gauges, fixed-bucket histograms), and the runtime
+// introspection HTTP handler served by gisd -debug-addr. Everything is
+// stdlib-only and designed so the disabled path costs almost nothing: a
+// nil *Span or absent Trace turns every method into a no-op, letting
+// call sites instrument unconditionally.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanKind classifies a span within the mediator pipeline. The taxonomy
+// mirrors the query lifecycle: a root query span, the planning phases,
+// per-source sub-query shipment, per-operator execution, and the 2PC
+// rounds for global writes.
+type SpanKind uint8
+
+// Span kinds, in rough pipeline order.
+const (
+	SpanQuery SpanKind = iota
+	SpanParse
+	SpanResolve
+	SpanOptimize
+	SpanDecompose
+	SpanExec
+	SpanShip
+	SpanFetch
+	SpanWrite
+	SpanPrepare
+	SpanCommit
+	SpanAbort
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanQuery:
+		return "query"
+	case SpanParse:
+		return "parse"
+	case SpanResolve:
+		return "resolve"
+	case SpanOptimize:
+		return "optimize"
+	case SpanDecompose:
+		return "decompose"
+	case SpanExec:
+		return "exec"
+	case SpanShip:
+		return "ship"
+	case SpanFetch:
+		return "fetch"
+	case SpanWrite:
+		return "write"
+	case SpanPrepare:
+		return "prepare"
+	case SpanCommit:
+		return "commit"
+	case SpanAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("SpanKind(%d)", uint8(k))
+	}
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a trace. All methods are safe on a nil
+// receiver (they no-op), and safe for concurrent use: parallel union
+// branches and 2PC fan-out attach children from multiple goroutines.
+type Span struct {
+	mu       sync.Mutex
+	kind     SpanKind
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// End records the span's duration. Subsequent calls are no-ops, so
+// wrappers may End defensively on both EOF and Close.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span, replacing any existing value for key.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", v))
+}
+
+// Kind returns the span's kind.
+func (s *Span) Kind() SpanKind {
+	if s == nil {
+		return SpanQuery
+	}
+	return s.kind
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration, or the elapsed time so far
+// for a span that has not ended.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Attr returns the value of the named attribute, if set.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Children returns a copy of the span's children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SpanData is the JSON-marshalable snapshot of a span subtree.
+type SpanData struct {
+	Kind       string      `json:"kind"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationUS int64       `json:"duration_us"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Children   []*SpanData `json:"children,omitempty"`
+}
+
+// Data snapshots the span subtree for JSON serialisation.
+func (s *Span) Data() *SpanData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	d := &SpanData{
+		Kind:       s.kind.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationUS: s.dur.Microseconds(),
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	if !s.ended {
+		d.DurationUS = time.Since(s.start).Microseconds()
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Data())
+	}
+	return d
+}
+
+// Trace is one query's span tree. Create it with NewTrace, attach it to
+// a context with WithTrace, and spans started via StartSpan under that
+// context form the tree. The first span started becomes the root; later
+// parentless spans attach under the root.
+type Trace struct {
+	mu   sync.Mutex
+	name string
+	root *Span
+}
+
+// NewTrace returns an empty trace. name is informational (typically the
+// SQL text).
+func NewTrace(name string) *Trace {
+	return &Trace{name: name}
+}
+
+// Name returns the trace's name.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Root returns the root span, or nil if no span has started.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+// attach links sp into the tree under parent (or as/under the root).
+func (t *Trace) attach(parent, sp *Span) {
+	if parent != nil {
+		parent.addChild(sp)
+		return
+	}
+	t.mu.Lock()
+	root := t.root
+	if root == nil {
+		t.root = sp
+	}
+	t.mu.Unlock()
+	if root != nil {
+		root.addChild(sp)
+	}
+}
+
+// Tree renders the trace as an indented text tree, one span per line:
+//
+//	query SELECT ... 1.2ms
+//	  parse 40µs
+//	  exec Join(hash) 1.1ms {rows=12}
+func (t *Trace) Tree() string {
+	root := t.Root()
+	if root == nil {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	writeSpan(&b, root, 0)
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	d := s.Data()
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s", d.Kind)
+	if d.Name != "" {
+		fmt.Fprintf(b, " %s", d.Name)
+	}
+	fmt.Fprintf(b, " %s", time.Duration(d.DurationUS)*time.Microsecond)
+	if len(d.Attrs) > 0 {
+		b.WriteString(" {")
+		for i, a := range d.Attrs {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(b, "%s=%s", a.Key, a.Value)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n")
+	for _, c := range s.Children() {
+		writeSpan(b, c, depth+1)
+	}
+}
+
+// JSON serialises the trace.
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(struct {
+		Name string    `json:"name"`
+		Root *SpanData `json:"root"`
+	}{t.name, t.Root().Data()})
+}
+
+// FindAll returns every span of the given kind in depth-first order.
+func (t *Trace) FindAll(kind SpanKind) []*Span {
+	var out []*Span
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s == nil {
+			return
+		}
+		if s.Kind() == kind {
+			out = append(out, s)
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(t.Root())
+	return out
+}
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace attaches tr to the context, enabling span collection.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// Enabled reports whether ctx carries a trace. Hot paths use this to
+// skip building span names when tracing is off.
+func Enabled(ctx context.Context) bool { return TraceFrom(ctx) != nil }
+
+// StartSpan begins a span under ctx's current span (or as the trace
+// root) and returns a context carrying the new span as parent. When ctx
+// has no trace the original context and a nil span are returned — all
+// *Span methods no-op on nil, so callers need no branch.
+func StartSpan(ctx context.Context, kind SpanKind, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &Span{kind: kind, name: name, start: time.Now()}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	tr.attach(parent, sp)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

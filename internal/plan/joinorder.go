@@ -57,6 +57,9 @@ type PredInfo struct {
 type SearchResult struct {
 	Order []int
 	Cost  float64
+	// Considered counts candidate partial plans whose cost was
+	// evaluated, feeding the plan.joinorder.considered metric.
+	Considered int64
 }
 
 // OrderSearch runs the selected join-order algorithm on an abstract join
@@ -73,18 +76,21 @@ func OrderSearch(rels []RelInfo, preds []PredInfo, algo JoinOrderAlgo) SearchRes
 	if algo == OrderDP && n > dpMaxRelations {
 		algo = OrderGreedy
 	}
+	var res SearchResult
 	switch algo {
 	case OrderDP:
-		return orderDP(rels, preds)
+		res = orderDP(rels, preds)
 	case OrderGreedy:
-		return orderGreedy(rels, preds)
+		res = orderGreedy(rels, preds)
 	default:
 		order := make([]int, n)
 		for i := range order {
 			order[i] = i
 		}
-		return SearchResult{Order: order, Cost: orderCost(rels, preds, order)}
+		res = SearchResult{Order: order, Cost: orderCost(rels, preds, order), Considered: 1}
 	}
+	mPlansConsidered.Add(res.Considered)
+	return res
 }
 
 // cardOf estimates the cardinality of joining the relation set S (bitmask).
@@ -132,6 +138,7 @@ func orderDP(rels []RelInfo, preds []PredInfo) SearchResult {
 	const inf = math.MaxFloat64
 	cost := make([]float64, full+1)
 	last := make([]int8, full+1)
+	var considered int64
 	for s := uint64(1); s <= full; s++ {
 		if bits.OnesCount64(s) == 1 {
 			cost[s] = 0
@@ -154,6 +161,7 @@ func orderDP(rels []RelInfo, preds []PredInfo) SearchResult {
 				if pass == 0 && bits.OnesCount64(rest) >= 1 && !connected(preds, rest, i) {
 					continue
 				}
+				considered++
 				c := cost[rest] + cardOf(rels, preds, s)
 				if c < cost[s] {
 					cost[s] = c
@@ -173,7 +181,7 @@ func orderDP(rels []RelInfo, preds []PredInfo) SearchResult {
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
 	}
-	return SearchResult{Order: order, Cost: cost[full]}
+	return SearchResult{Order: order, Cost: cost[full], Considered: considered}
 }
 
 func orderGreedy(rels []RelInfo, preds []PredInfo) SearchResult {
@@ -187,6 +195,7 @@ func orderGreedy(rels []RelInfo, preds []PredInfo) SearchResult {
 	}
 	order := []int{start}
 	s := uint64(1) << uint(start)
+	var considered int64
 	for len(order) < n {
 		best, bestCard := -1, math.MaxFloat64
 		// Prefer connected candidates.
@@ -199,6 +208,7 @@ func orderGreedy(rels []RelInfo, preds []PredInfo) SearchResult {
 				if pass == 0 && !connected(preds, s, i) {
 					continue
 				}
+				considered++
 				card := cardOf(rels, preds, s|bit)
 				if card < bestCard {
 					best, bestCard = i, card
@@ -208,7 +218,7 @@ func orderGreedy(rels []RelInfo, preds []PredInfo) SearchResult {
 		order = append(order, best)
 		s |= 1 << uint(best)
 	}
-	return SearchResult{Order: order, Cost: orderCost(rels, preds, order)}
+	return SearchResult{Order: order, Cost: orderCost(rels, preds, order), Considered: considered}
 }
 
 // ---- plan-tree integration ----

@@ -1,7 +1,24 @@
 package plan
 
 import (
+	"context"
+
 	"gis/internal/catalog"
+	"gis/internal/obs"
+)
+
+// Rewrite-rule hit counters (plan.rule.*) plus the join-order search
+// effort counter, reported into the default registry.
+var (
+	mOptimizeRuns    = obs.Default().Counter("plan.optimize_runs")
+	mPlansConsidered = obs.Default().Counter("plan.joinorder.considered")
+	mRuleFold        = obs.Default().Counter("plan.rule.fold_constants")
+	mRulePushFilter  = obs.Default().Counter("plan.rule.push_filters")
+	mRuleJoinOrder   = obs.Default().Counter("plan.rule.reorder_joins")
+	mRulePrune       = obs.Default().Counter("plan.rule.prune_columns")
+	mRuleAggPush     = obs.Default().Counter("plan.rule.push_aggregates")
+	mRuleMergeJoin   = obs.Default().Counter("plan.rule.merge_join")
+	mRuleTopK        = obs.Default().Counter("plan.rule.push_topk")
 )
 
 // Options control the optimizer. The zero value is NOT usable; call
@@ -55,18 +72,24 @@ func DefaultOptions() *Options {
 }
 
 // Optimize runs the rewrite pipeline and decomposes the plan against the
-// catalog, producing an executable plan.
-func Optimize(n Node, cat *catalog.Catalog, opts *Options) (Node, error) {
+// catalog, producing an executable plan. ctx only carries observability
+// state (the decompose phase gets its own trace span); cancellation is
+// not checked — optimization is CPU-bound and short.
+func Optimize(ctx context.Context, n Node, cat *catalog.Catalog, opts *Options) (Node, error) {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
+	mOptimizeRuns.Inc()
 	if opts.FoldConstants {
+		mRuleFold.Inc()
 		n = foldConstants(n)
 	}
 	if opts.PushFilters {
+		mRulePushFilter.Inc()
 		n = pushDownFilters(n)
 	}
 	if opts.ReorderJoins {
+		mRuleJoinOrder.Inc()
 		n = chooseJoinOrder(n, opts.JoinOrder)
 		if opts.PushFilters {
 			// Reordering re-attaches predicates at joins; push the
@@ -75,21 +98,27 @@ func Optimize(n Node, cat *catalog.Catalog, opts *Options) (Node, error) {
 		}
 	}
 	if opts.PruneColumns {
+		mRulePrune.Inc()
 		n = pruneColumns(n)
 	}
 	n = extractEquiKeys(n)
+	_, dspan := obs.StartSpan(ctx, obs.SpanDecompose, "")
 	n, err := decompose(n, cat, opts.ParallelFragments)
+	dspan.End()
 	if err != nil {
 		return nil, err
 	}
 	n = chooseStrategies(n, opts.ForceStrategy, opts.BindThreshold)
 	if opts.PushAggregates {
+		mRuleAggPush.Inc()
 		n = pushAggregates(n)
 	}
 	if opts.PreferMergeJoin {
+		mRuleMergeJoin.Inc()
 		n = chooseMergeJoin(n)
 	}
 	if opts.PushTopK {
+		mRuleTopK.Inc()
 		n = pushTopK(n)
 	}
 	return n, nil

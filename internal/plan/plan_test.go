@@ -119,7 +119,7 @@ func planQuery(t testing.TB, cat *catalog.Catalog, q string, opts *Options) Node
 	if err != nil {
 		t.Fatalf("build %q: %v", q, err)
 	}
-	optimized, err := Optimize(logical, cat, opts)
+	optimized, err := Optimize(context.Background(), logical, cat, opts)
 	if err != nil {
 		t.Fatalf("optimize %q: %v", q, err)
 	}

@@ -14,7 +14,19 @@ import (
 	"sync"
 	"time"
 
+	"gis/internal/obs"
 	"gis/internal/source"
+)
+
+// Commit-protocol outcome counters and per-participant round latencies.
+var (
+	mCommitted       = obs.Default().Counter("txn.committed")
+	mAborted         = obs.Default().Counter("txn.aborted")
+	mInDoubt         = obs.Default().Counter("txn.in_doubt")
+	mOnePhase        = obs.Default().Counter("txn.one_phase")
+	mPrepareLatency  = obs.Default().Histogram("txn.participant.prepare_seconds", obs.LatencyBuckets)
+	mCommitLatency   = obs.Default().Histogram("txn.participant.commit_seconds", obs.LatencyBuckets)
+	mParticipantFail = obs.Default().Counter("txn.participant.failures")
 )
 
 // State is the lifecycle of a global transaction.
@@ -187,9 +199,23 @@ func (g *GlobalTx) Commit(ctx context.Context) error {
 		return nil
 	}
 	g.state = StatePreparing
+	ctx, span := obs.StartSpan(ctx, obs.SpanCommit, "2pc "+g.id)
+	span.SetInt("participants", int64(len(g.txs)))
+	defer span.End()
 
 	// Phase 1: prepare (vote collection).
-	prepErrs := g.fanOut(ctx, func(i int) error { return g.txs[i].Prepare(ctx) })
+	prepErrs := g.fanOut(ctx, func(i int) error {
+		_, ps := obs.StartSpan(ctx, obs.SpanPrepare, g.names[i])
+		start := time.Now()
+		err := g.txs[i].Prepare(ctx)
+		mPrepareLatency.ObserveSince(start)
+		if err != nil {
+			mParticipantFail.Inc()
+			ps.SetAttr("error", err.Error())
+		}
+		ps.End()
+		return err
+	})
 	var voteErr error
 	for i, err := range prepErrs {
 		if err != nil {
@@ -200,6 +226,8 @@ func (g *GlobalTx) Commit(ctx context.Context) error {
 	if voteErr != nil {
 		g.fanOut(ctx, func(i int) error { return g.txs[i].Abort(ctx) })
 		g.state = StateAborted
+		mAborted.Inc()
+		span.SetAttr("outcome", "aborted")
 		return voteErr
 	}
 
@@ -209,12 +237,22 @@ func (g *GlobalTx) Commit(ctx context.Context) error {
 
 	// Phase 2: commit with bounded retry (Commit must be idempotent).
 	commitErrs := g.fanOut(ctx, func(i int) error {
+		_, cs := obs.StartSpan(ctx, obs.SpanCommit, g.names[i])
+		defer cs.End()
+		start := time.Now()
 		var err error
 		for attempt := 0; attempt <= g.coord.CommitRetries; attempt++ {
 			if err = g.txs[i].Commit(ctx); err == nil {
+				if attempt > 0 {
+					cs.SetInt("retries", int64(attempt))
+				}
+				mCommitLatency.ObserveSince(start)
 				return nil
 			}
 		}
+		mCommitLatency.ObserveSince(start)
+		mParticipantFail.Inc()
+		cs.SetAttr("error", err.Error())
 		return err
 	})
 	var inDoubt []string
@@ -228,8 +266,12 @@ func (g *GlobalTx) Commit(ctx context.Context) error {
 		}
 	}
 	if len(inDoubt) > 0 {
+		mInDoubt.Inc()
+		span.SetAttr("outcome", "in-doubt")
 		return fmt.Errorf("txn %s committed but participants %v did not acknowledge: %w", g.id, inDoubt, firstErr)
 	}
+	mCommitted.Inc()
+	span.SetAttr("outcome", "committed")
 	return nil
 }
 
@@ -243,8 +285,11 @@ func (g *GlobalTx) Abort(ctx context.Context) error {
 	default:
 		// Active or preparing: drive the abort round below.
 	}
+	ctx, span := obs.StartSpan(ctx, obs.SpanAbort, "abort "+g.id)
+	defer span.End()
 	errs := g.fanOut(ctx, func(i int) error { return g.txs[i].Abort(ctx) })
 	g.state = StateAborted
+	mAborted.Inc()
 	return errors.Join(errs...)
 }
 
@@ -256,6 +301,7 @@ func (g *GlobalTx) CommitOnePhase(ctx context.Context) error {
 	if g.state != StateActive {
 		return fmt.Errorf("txn %s: commit in state %s", g.id, g.state)
 	}
+	mOnePhase.Inc()
 	errs := g.fanOut(ctx, func(i int) error { return g.txs[i].Commit(ctx) })
 	g.state = StateCommitted
 	var failed []string

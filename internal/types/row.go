@@ -164,3 +164,13 @@ func (s *Schema) String() string {
 	}
 	return "(" + strings.Join(parts, ", ") + ")"
 }
+
+// EstimatedSize returns the approximate serialized footprint of the row
+// in bytes (see Value.EstimatedSize).
+func (r Row) EstimatedSize() int {
+	n := 1
+	for _, v := range r {
+		n += v.EstimatedSize()
+	}
+	return n
+}

@@ -426,3 +426,24 @@ func ParseTime(s string) (time.Time, error) {
 	}
 	return time.Time{}, fmt.Errorf("cannot parse %q as TIME", s)
 }
+
+// EstimatedSize returns the approximate serialized footprint of the
+// value in bytes (a kind tag plus the payload). It backs the byte
+// accounting in EXPLAIN ANALYZE and trace spans; it is an estimate of
+// wire cost, not of Go heap size.
+func (v Value) EstimatedSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 2
+	case KindInt, KindFloat:
+		return 9
+	case KindString, KindBytes:
+		return 3 + len(v.s)
+	case KindTime:
+		return 13
+	default:
+		return 1
+	}
+}

@@ -33,6 +33,10 @@ type Client struct {
 	capsOnce sync.Once
 	caps     source.Capabilities
 	capsErr  error
+
+	// lm counts this link's frames/bytes/round trips under
+	// wire.client.<name>.*; set once in Dial after options resolve.
+	lm *linkMetrics
 }
 
 // Option configures a client.
@@ -56,6 +60,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	c.lm = newLinkMetrics("client", c.name)
 	ctrl, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -69,7 +74,9 @@ func (c *Client) dial() (*frameConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
-	return newFrameConn(conn, c.up, c.down), nil
+	fc := newFrameConn(conn, c.up, c.down)
+	fc.metrics = c.lm
+	return fc, nil
 }
 
 // getConn returns a pooled or fresh connection for a result stream.

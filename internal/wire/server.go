@@ -11,8 +11,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"gis/internal/expr"
+	"gis/internal/obs"
 	"gis/internal/source"
 	"gis/internal/stats"
 	"gis/internal/types"
@@ -38,6 +40,13 @@ type Server struct {
 
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
+
+	// Queries tracks in-flight and slow sub-queries executed against
+	// this server's source (served by gisd -debug-addr).
+	Queries *obs.QueryLog
+
+	// lm counts this server's frames/bytes under wire.server.<name>.*.
+	lm *linkMetrics
 }
 
 // Serve starts serving src on addr (e.g. "127.0.0.1:0") and returns the
@@ -47,7 +56,11 @@ func Serve(addr string, src source.Source) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{src: src, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s := &Server{
+		src: src, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf,
+		Queries: obs.NewQueryLog(250*time.Millisecond, 64),
+		lm:      newLinkMetrics("server", src.Name()),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -104,6 +117,7 @@ type connState struct {
 
 func (s *Server) serveConn(conn net.Conn) error {
 	fc := newFrameConn(conn, SimLink{}, SimLink{})
+	fc.metrics = s.lm
 	st := &connState{txs: make(map[string]source.Tx)}
 	defer func() {
 		// Abort any transaction the client abandoned.
@@ -196,11 +210,14 @@ func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) 
 		if err := s.rebindQuery(ctx, q); err != nil {
 			return sendErr(fc, err)
 		}
+		qid := s.Queries.Begin(q.String())
 		it, err := s.src.Execute(ctx, q)
 		if err != nil {
+			s.Queries.Finish(qid, err, nil)
 			return sendErr(fc, err)
 		}
 		defer it.Close()
+		defer func() { s.Queries.Finish(qid, nil, nil) }()
 		if err := fc.writeFrame(msgOK, nil); err != nil {
 			return err
 		}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"gis/internal/obs"
 )
 
 // Message types. Requests and responses share one tag space.
@@ -55,13 +57,37 @@ func (l SimLink) delay(n int) {
 	}
 }
 
+// linkMetrics holds one named link's wire counters (frames and bytes in
+// each direction, plus a round-trip latency histogram). Client links
+// register under wire.client.<name>.*, server links under
+// wire.server.<name>.*. A nil *linkMetrics disables recording.
+type linkMetrics struct {
+	framesOut, framesIn *obs.Counter
+	bytesOut, bytesIn   *obs.Counter
+	rtt                 *obs.Histogram
+}
+
+func newLinkMetrics(scope, name string) *linkMetrics {
+	p := "wire." + scope + "." + name + "."
+	r := obs.Default()
+	return &linkMetrics{
+		framesOut: r.Counter(p + "frames_out"),
+		framesIn:  r.Counter(p + "frames_in"),
+		bytesOut:  r.Counter(p + "bytes_out"),
+		bytesIn:   r.Counter(p + "bytes_in"),
+		rtt:       r.Histogram(p+"rtt_seconds", obs.LatencyBuckets),
+	}
+}
+
 // frameConn reads and writes tagged frames over an io stream:
 // [4-byte big-endian length][1-byte tag][payload].
 type frameConn struct {
 	rw io.ReadWriter
 	// send/recv simulate the uplink and downlink.
 	send, recv SimLink
-	hdr        [5]byte
+	// metrics, when set, counts frames/bytes per direction.
+	metrics *linkMetrics
+	hdr     [5]byte
 }
 
 func newFrameConn(rw io.ReadWriter, send, recv SimLink) *frameConn {
@@ -72,6 +98,10 @@ func newFrameConn(rw io.ReadWriter, send, recv SimLink) *frameConn {
 func (f *frameConn) writeFrame(tag byte, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	if m := f.metrics; m != nil {
+		m.framesOut.Inc()
+		m.bytesOut.Add(int64(len(payload) + 5))
 	}
 	f.send.delay(len(payload) + 5)
 	binary.BigEndian.PutUint32(f.hdr[:4], uint32(len(payload)))
@@ -101,14 +131,23 @@ func (f *frameConn) readFrame() (byte, []byte, error) {
 	if _, err := io.ReadFull(f.rw, payload); err != nil {
 		return 0, nil, err
 	}
+	if m := f.metrics; m != nil {
+		m.framesIn.Inc()
+		m.bytesIn.Add(int64(n) + 5)
+	}
 	f.recv.delay(int(n) + 5)
 	return hdr[4], payload, nil
 }
 
 // call performs one request/response round trip.
 func (f *frameConn) call(tag byte, payload []byte) (byte, []byte, error) {
+	start := time.Now()
 	if err := f.writeFrame(tag, payload); err != nil {
 		return 0, nil, err
 	}
-	return f.readFrame()
+	tag, resp, err := f.readFrame()
+	if err == nil && f.metrics != nil {
+		f.metrics.rtt.ObserveSince(start)
+	}
+	return tag, resp, err
 }

@@ -9,6 +9,8 @@
 #   4. go build   — everything compiles
 #   5. go test    — full suite under the race detector, including the
 #                   race-stress tests (skipped under -short)
+#   6. gisbench   — quick JSON smoke run, schema-validated by
+#                   scripts/benchjson (see EXPERIMENTS.md)
 #
 # Fails fast on the first broken step.
 set -eu
@@ -34,5 +36,8 @@ go build ./...
 
 echo '== go test -race =='
 go test -race ./...
+
+echo '== gisbench -json -quick =='
+go run ./cmd/gisbench -json -quick | go run ./scripts/benchjson
 
 echo 'check: all gates passed'
