@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vet check bench
+.PHONY: build test race lint lint-fixtures fmt vet check bench
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ race:
 # Project invariant analyzers (stdlib-only driver; see DESIGN.md).
 lint:
 	$(GO) run ./cmd/gislint ./...
+
+# Assert every analyzer still fires on its fixture package (guards
+# against an analyzer silently going blind).
+lint-fixtures:
+	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions' -count=1
 
 fmt:
 	gofmt -w .

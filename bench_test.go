@@ -35,7 +35,7 @@ func mustQuery(b *testing.B, e *core.Engine, q string) {
 // ---- T1: selection pushdown vs ship-everything ----
 
 func benchmarkT1(b *testing.B, push bool, sel float64) {
-	f, err := workload.TwoTable(100, 20000, true, benchLink)
+	f, err := workload.TwoTable(context.Background(), 100, 20000, true, benchLink)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func BenchmarkT1ShipAll_Sel100(b *testing.B)  { benchmarkT1(b, false, 1.0) }
 // ---- T2/F7: distributed join strategies ----
 
 func benchmarkT2(b *testing.B, strat plan.Strategy, leftRows int) {
-	f, err := workload.TwoTable(2000, 20000, true, benchLink)
+	f, err := workload.TwoTable(context.Background(), 2000, 20000, true, benchLink)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func BenchmarkF3JoinOrderGreedy50(b *testing.B) { benchmarkF3(b, 50, plan.OrderG
 // ---- T4: fan-out scalability ----
 
 func benchmarkT4(b *testing.B, k int, parallel bool) {
-	f, err := workload.Partitioned(k, 16000/k, true, benchLink)
+	f, err := workload.Partitioned(context.Background(), k, 16000/k, true, benchLink)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func BenchmarkT4FanOutParallel16(b *testing.B)   { benchmarkT4(b, 16, true) }
 // ---- F5: mediation overhead ----
 
 func benchmarkF5(b *testing.B, table, where string) {
-	f, err := workload.Heterogeneous(50000, false, workload.Link{})
+	f, err := workload.Heterogeneous(context.Background(), 50000, false, workload.Link{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func BenchmarkF5MediationMediated(b *testing.B) {
 // ---- T6: atomic commitment ----
 
 func benchmarkT6(b *testing.B, n int) {
-	f, err := workload.TxnStores(n, 50, true, benchLink)
+	f, err := workload.TxnStores(context.Background(), n, 50, true, benchLink)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func BenchmarkT6Commit8(b *testing.B) { benchmarkT6(b, 8) }
 // ---- T8: capability-restricted wrappers ----
 
 func benchmarkT8(b *testing.B, table string) {
-	f, err := workload.Capability(20000)
+	f, err := workload.Capability(context.Background(), 20000)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func BenchmarkT8CapabilityFile(b *testing.B)       { benchmarkT8(b, "orders_file
 // ---- F9: optimizer ablation ----
 
 func benchmarkF9(b *testing.B, tweak func(*plan.Options)) {
-	f, err := workload.TwoTable(2000, 20000, true, benchLink)
+	f, err := workload.TwoTable(context.Background(), 2000, 20000, true, benchLink)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func BenchmarkF9AblationNoAggPushdown(b *testing.B) {
 // ---- micro-benchmarks of the engine itself (no network) ----
 
 func BenchmarkMicroParseOnly(b *testing.B) {
-	f, err := workload.TwoTable(10, 10, false, workload.Link{})
+	f, err := workload.TwoTable(context.Background(), 10, 10, false, workload.Link{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func BenchmarkMicroParseOnly(b *testing.B) {
 }
 
 func BenchmarkMicroLocalScan100k(b *testing.B) {
-	f, err := workload.TwoTable(100, 100000, false, workload.Link{})
+	f, err := workload.TwoTable(context.Background(), 100, 100000, false, workload.Link{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func BenchmarkMicroLocalScan100k(b *testing.B) {
 }
 
 func BenchmarkMicroLocalJoin(b *testing.B) {
-	f, err := workload.TwoTable(1000, 20000, false, workload.Link{})
+	f, err := workload.TwoTable(context.Background(), 1000, 20000, false, workload.Link{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func BenchmarkMicroLocalJoin(b *testing.B) {
 }
 
 func BenchmarkMicroInsert(b *testing.B) {
-	f, err := workload.TwoTable(10, 10, false, workload.Link{})
+	f, err := workload.TwoTable(context.Background(), 10, 10, false, workload.Link{})
 	if err != nil {
 		b.Fatal(err)
 	}

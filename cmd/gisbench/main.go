@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -72,7 +73,7 @@ func main() {
 	failed := false
 	for _, id := range ids {
 		expStart := time.Now()
-		tab, err := experiments.ByID(strings.TrimSpace(id), sc)
+		tab, err := experiments.ByID(context.Background(), strings.TrimSpace(id), sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed = true

@@ -72,7 +72,10 @@ func main() {
 		}
 	}
 
-	srv, err := wire.Serve(*listen, store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srv, err := wire.Serve(ctx, *listen, store)
 	if err != nil {
 		log.Fatalf("gisd: %v", err)
 	}

@@ -2,26 +2,35 @@
 // and type-checks packages using only the standard library, then runs
 // the project-specific analyzers from internal/lint in parallel:
 //
-//	iterclose    exec/source iterators must be closed or handed off
+//	iterclose    exec/source iterators closed or handed off on every path
 //	errdrop      no silently discarded error results
 //	valuecompare no raw ==/!= on types.Value or Value-bearing structs
 //	exhaustive   switches over plan/expr/kind vocabularies stay complete
+//	spanfinish   obs spans reach End on every path out of the starter
+//	ctxflow      no context.Background/TODO outside main; contexts flow
+//	lockheld     no mutex held across an RPC, channel op, or Wait
 //
 // Usage:
 //
-//	gislint [-only name[,name]] [-list] [packages]
+//	gislint [-only name[,name]] [-skip name[,name]] [-json] [-list] [packages]
 //
 // Packages are directory patterns ("./...", "./internal/exec"); the
 // default is ./... from the current directory. Diagnostics print as
-// file:line:col and any finding makes the driver exit 1 (2 on load or
-// type-check failure), so it slots directly into scripts/check.sh.
+// file:line:col (or a JSON array with -json) and any finding makes the
+// driver exit 1 (2 on load or type-check failure), so it slots directly
+// into scripts/check.sh. Individual findings can be waived in source
+// with `//lint:ignore <analyzer> <reason>` — the reason is mandatory,
+// and a bare suppression is itself reported. Parsing fans out across a
+// bounded worker pool; the wall-time summary goes to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gis/internal/lint"
 )
@@ -33,6 +42,8 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("gislint", flag.ContinueOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzer names to exclude")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -45,23 +56,9 @@ func run(args []string) int {
 		}
 		return 0
 	}
-	if *only != "" {
-		byName := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
-			byName[strings.TrimSpace(name)] = true
-		}
-		var selected []*lint.Analyzer
-		for _, a := range analyzers {
-			if byName[a.Name] {
-				selected = append(selected, a)
-				delete(byName, a.Name)
-			}
-		}
-		for name := range byName {
-			fmt.Fprintf(os.Stderr, "gislint: unknown analyzer %q\n", name)
-			return 2
-		}
-		analyzers = selected
+	analyzers, ok := filterAnalyzers(analyzers, *only, *skip)
+	if !ok {
+		return 2
 	}
 
 	patterns := fs.Args()
@@ -69,6 +66,7 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
+	start := time.Now()
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gislint:", err)
@@ -83,6 +81,10 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "gislint: no packages matched")
 		return 2
 	}
+	if err := loader.Preparse(dirs, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "gislint:", err)
+		return 2
+	}
 	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
@@ -94,12 +96,105 @@ func run(args []string) int {
 	}
 
 	diags := lint.Run(loader, pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "gislint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
+	elapsed := time.Since(start).Round(time.Millisecond)
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "gislint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(os.Stderr, "gislint: %d finding(s) in %d package(s), %d analyzer(s), %s\n",
+			len(diags), len(pkgs), len(analyzers), elapsed)
 		return 1
 	}
+	fmt.Fprintf(os.Stderr, "gislint: clean, %d package(s), %d analyzer(s), %s\n",
+		len(pkgs), len(analyzers), elapsed)
 	return 0
+}
+
+// filterAnalyzers applies -only then -skip; unknown names are an error
+// so typos cannot silently disable a check.
+func filterAnalyzers(all []*lint.Analyzer, only, skip string) ([]*lint.Analyzer, bool) {
+	selected := all
+	if only != "" {
+		byName := nameSet(only)
+		selected = nil
+		for _, a := range all {
+			if byName[a.Name] {
+				selected = append(selected, a)
+				delete(byName, a.Name)
+			}
+		}
+		if !reportUnknown(byName) {
+			return nil, false
+		}
+	}
+	if skip != "" {
+		byName := nameSet(skip)
+		var kept []*lint.Analyzer
+		for _, a := range selected {
+			if byName[a.Name] {
+				delete(byName, a.Name)
+				continue
+			}
+			kept = append(kept, a)
+		}
+		if !reportUnknown(byName) {
+			return nil, false
+		}
+		selected = kept
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "gislint: no analyzers selected")
+		return nil, false
+	}
+	return selected, true
+}
+
+func nameSet(csv string) map[string]bool {
+	set := make(map[string]bool)
+	for _, name := range strings.Split(csv, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[name] = true
+		}
+	}
+	return set
+}
+
+func reportUnknown(left map[string]bool) bool {
+	for name := range left {
+		fmt.Fprintf(os.Stderr, "gislint: unknown analyzer %q\n", name)
+		return false
+	}
+	return true
+}
+
+// jsonDiag is the stable machine-readable diagnostic shape.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

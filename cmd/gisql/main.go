@@ -76,12 +76,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
 			os.Exit(1)
 		}
-		if err := e.ApplyConfig(data, dialSource); err != nil {
+		if err := e.ApplyConfig(ctx, data, dialSource); err != nil {
 			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
 			os.Exit(1)
 		}
 	case *demo:
-		if err := buildDemo(e); err != nil {
+		if err := buildDemo(ctx, e); err != nil {
 			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
 			os.Exit(1)
 		}
@@ -157,7 +157,7 @@ func attachSource(ctx context.Context, e *core.Engine, def string) error {
 				return err
 			}
 		}
-		if err := e.Catalog().MapSimple(globalName, name, tbl); err != nil {
+		if err := e.Catalog().MapSimple(ctx, globalName, name, tbl); err != nil {
 			return err
 		}
 		fmt.Printf("imported %s.%s as %s (%d rows)\n", name, tbl, globalName, info.RowCount)
@@ -166,8 +166,7 @@ func attachSource(ctx context.Context, e *core.Engine, def string) error {
 }
 
 // buildDemo assembles a two-store demo federation in process.
-func buildDemo(e *core.Engine) error {
-	ctx := context.Background()
+func buildDemo(ctx context.Context, e *core.Engine) error {
 	ny := relstore.New("ny")
 	custSchema := types.NewSchema(
 		types.Column{Name: "id", Type: types.KindInt},
@@ -220,13 +219,13 @@ func buildDemo(e *core.Engine) error {
 	if err := cat.DefineTable("customers", custSchema); err != nil {
 		return err
 	}
-	if err := cat.MapSimple("customers", "ny", "customers"); err != nil {
+	if err := cat.MapSimple(ctx, "customers", "ny", "customers"); err != nil {
 		return err
 	}
 	if err := cat.DefineTable("orders", ordSchema); err != nil {
 		return err
 	}
-	return cat.MapSimple("orders", "eu", "orders")
+	return cat.MapSimple(ctx, "orders", "eu", "orders")
 }
 
 func repl(ctx context.Context, e *core.Engine) {

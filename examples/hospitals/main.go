@@ -61,7 +61,7 @@ func main() {
 	)
 	must(cat.DefineTable("patients", global))
 	siteA, siteB := types.NewString("A"), types.NewString("B")
-	must(cat.MapFragment("patients", &gis.Fragment{
+	must(cat.MapFragment(ctx, "patients", &gis.Fragment{
 		Source: "hospA", RemoteTable: "pat",
 		Columns: []gis.ColumnMapping{
 			{RemoteCol: 0},
@@ -70,7 +70,7 @@ func main() {
 			{RemoteCol: -1, Const: &siteA},
 		},
 	}))
-	must(cat.MapFragment("patients", &gis.Fragment{
+	must(cat.MapFragment(ctx, "patients", &gis.Fragment{
 		Source: "hospB", RemoteTable: "people",
 		Columns: []gis.ColumnMapping{
 			{RemoteCol: 1},

@@ -64,11 +64,11 @@ func main() {
 	must(cat.AddSource(kv))
 	must(cat.AddSource(files))
 	must(cat.DefineTable("customers", custSchema))
-	must(cat.MapSimple("customers", "crm", "customers"))
+	must(cat.MapSimple(ctx, "customers", "crm", "customers"))
 	must(cat.DefineTable("accounts", acctSchema))
-	must(cat.MapSimple("accounts", "ledger", "accounts"))
+	must(cat.MapSimple(ctx, "accounts", "ledger", "accounts"))
 	must(cat.DefineTable("tickets", ticketSchema))
-	must(cat.MapSimple("tickets", "ticketing", "tickets"))
+	must(cat.MapSimple(ctx, "tickets", "ticketing", "tickets"))
 	must(e.Analyze(ctx))
 
 	// --- Federated queries. ---

@@ -31,7 +31,7 @@ func main() {
 
 	var closers []func() error
 	serve := func(st *relstore.Store) string {
-		srv, err := wire.Serve("127.0.0.1:0", st)
+		srv, err := wire.Serve(ctx, "127.0.0.1:0", st)
 		must(err)
 		closers = append(closers, srv.Close)
 		return srv.Addr()
@@ -64,11 +64,11 @@ func main() {
 	)
 	must(cat.DefineTable("stock", stockSchema))
 	idCols := []gis.ColumnMapping{{RemoteCol: 0}, {RemoteCol: 1}, {RemoteCol: 2}}
-	must(cat.MapFragment("stock", &gis.Fragment{
+	must(cat.MapFragment(ctx, "stock", &gis.Fragment{
 		Source: "wh_east", RemoteTable: "stock", Columns: idCols,
 		Where: lt("item", 10000),
 	}))
-	must(cat.MapFragment("stock", &gis.Fragment{
+	must(cat.MapFragment(ctx, "stock", &gis.Fragment{
 		Source: "wh_west", RemoteTable: "stock", Columns: idCols,
 		Where: ge("item", 10000),
 	}))
@@ -78,7 +78,7 @@ func main() {
 		types.Column{Name: "critical", Type: types.KindBool},
 	)
 	must(cat.DefineTable("parts", partSchema))
-	must(cat.MapSimple("parts", "partsdb", "parts"))
+	must(cat.MapSimple(ctx, "parts", "partsdb", "parts"))
 	must(e.Analyze(ctx))
 
 	// --- Federated analytics over the WAN. ---

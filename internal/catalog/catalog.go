@@ -11,6 +11,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -272,22 +273,27 @@ func (c *Catalog) Tables() []string {
 
 // MapFragment validates and attaches a fragment to a global table,
 // fetching and caching the remote table description. info is fetched
-// from the live source, so the source must be registered first.
-func (c *Catalog) MapFragment(table string, f *Fragment) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t, ok := c.tables[table]
-	if !ok {
+// from the live source, so the source must be registered first. The
+// fetch is a remote round-trip governed by ctx; it runs outside the
+// catalog lock so a slow or dead source cannot stall concurrent
+// catalog lookups.
+func (c *Catalog) MapFragment(ctx context.Context, table string, f *Fragment) error {
+	c.mu.RLock()
+	t, tableOK := c.tables[table]
+	src, sourceOK := c.sources[f.Source]
+	c.mu.RUnlock()
+	if !tableOK {
 		return fmt.Errorf("catalog: unknown global table %q", table)
 	}
-	src, ok := c.sources[f.Source]
-	if !ok {
+	if !sourceOK {
 		return fmt.Errorf("catalog: fragment references unknown source %q", f.Source)
 	}
-	info, err := src.TableInfo(contextTODO(), f.RemoteTable)
+	info, err := src.TableInfo(ctx, f.RemoteTable)
 	if err != nil {
 		return fmt.Errorf("catalog: fragment %s.%s: %w", f.Source, f.RemoteTable, err)
 	}
+	// t.Schema is immutable once DefineTable returns, so validation needs
+	// no lock; only the final fragment append mutates shared state.
 	if len(f.Columns) != t.Schema.Len() {
 		return fmt.Errorf("catalog: fragment %s.%s maps %d columns, global table %q has %d",
 			f.Source, f.RemoteTable, len(f.Columns), table, t.Schema.Len())
@@ -346,13 +352,15 @@ func (c *Catalog) MapFragment(table string, f *Fragment) error {
 		f.Where = bound
 	}
 	f.info = info
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t.Fragments = append(t.Fragments, f)
 	return nil
 }
 
 // MapSimple is a convenience for the common case: the remote table's
 // first N columns map 1:1 onto the global schema.
-func (c *Catalog) MapSimple(table, sourceName, remoteTable string) error {
+func (c *Catalog) MapSimple(ctx context.Context, table, sourceName, remoteTable string) error {
 	t, err := c.Table(table)
 	if err != nil {
 		return err
@@ -361,7 +369,7 @@ func (c *Catalog) MapSimple(table, sourceName, remoteTable string) error {
 	for i := range cols {
 		cols[i] = ColumnMapping{RemoteCol: i}
 	}
-	return c.MapFragment(table, &Fragment{Source: sourceName, RemoteTable: remoteTable, Columns: cols})
+	return c.MapFragment(ctx, table, &Fragment{Source: sourceName, RemoteTable: remoteTable, Columns: cols})
 }
 
 // Invertible reports whether global constants can be translated back to

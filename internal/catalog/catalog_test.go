@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"testing"
 
 	"gis/internal/expr"
@@ -49,7 +50,7 @@ func newHospitalFixture(t *testing.T) (*Catalog, *relstore.Store, *relstore.Stor
 		t.Fatal(err)
 	}
 	siteA, siteB := types.NewString("A"), types.NewString("B")
-	if err := c.MapFragment("patients", &Fragment{
+	if err := c.MapFragment(context.Background(), "patients", &Fragment{
 		Source: "hospA", RemoteTable: "pat",
 		Columns: []ColumnMapping{
 			{RemoteCol: 0},
@@ -60,7 +61,7 @@ func newHospitalFixture(t *testing.T) (*Catalog, *relstore.Store, *relstore.Stor
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.MapFragment("patients", &Fragment{
+	if err := c.MapFragment(context.Background(), "patients", &Fragment{
 		Source: "hospB", RemoteTable: "people",
 		Columns: []ColumnMapping{
 			{RemoteCol: 1},
@@ -102,7 +103,7 @@ func TestCatalogValidation(t *testing.T) {
 		t.Error("duplicate source must error")
 	}
 	// Fragment with wrong column count.
-	err := c.MapFragment("patients", &Fragment{
+	err := c.MapFragment(context.Background(), "patients", &Fragment{
 		Source: "hospA", RemoteTable: "pat",
 		Columns: []ColumnMapping{{RemoteCol: 0}},
 	})
@@ -110,7 +111,7 @@ func TestCatalogValidation(t *testing.T) {
 		t.Error("wrong arity fragment must error")
 	}
 	// Remote column out of range.
-	err = c.MapFragment("patients", &Fragment{
+	err = c.MapFragment(context.Background(), "patients", &Fragment{
 		Source: "hospA", RemoteTable: "pat",
 		Columns: []ColumnMapping{{RemoteCol: 0}, {RemoteCol: 9}, {RemoteCol: 2}, {RemoteCol: 0}},
 	})
@@ -118,7 +119,7 @@ func TestCatalogValidation(t *testing.T) {
 		t.Error("out-of-range remote column must error")
 	}
 	// Unknown remote table.
-	err = c.MapFragment("patients", &Fragment{
+	err = c.MapFragment(context.Background(), "patients", &Fragment{
 		Source: "hospA", RemoteTable: "ghost",
 		Columns: make([]ColumnMapping, 4),
 	})
@@ -126,7 +127,7 @@ func TestCatalogValidation(t *testing.T) {
 		t.Error("unknown remote table must error")
 	}
 	// Affine over strings.
-	err = c.MapFragment("patients", &Fragment{
+	err = c.MapFragment(context.Background(), "patients", &Fragment{
 		Source: "hospA", RemoteTable: "pat",
 		Columns: []ColumnMapping{
 			{RemoteCol: 0},
@@ -252,7 +253,7 @@ func TestNegativeScaleFlipsComparison(t *testing.T) {
 	c := New()
 	c.AddSource(st)
 	c.DefineTable("g", types.NewSchema(types.Column{Name: "v", Type: types.KindFloat}))
-	if err := c.MapFragment("g", &Fragment{
+	if err := c.MapFragment(context.Background(), "g", &Fragment{
 		Source: "flip", RemoteTable: "t",
 		Columns: []ColumnMapping{{RemoteCol: 0, Scale: -1}},
 	}); err != nil {
@@ -320,7 +321,7 @@ func TestPartitionPruning(t *testing.T) {
 	c.AddSource(st)
 	c.DefineTable("g", types.NewSchema(types.Column{Name: "id", Type: types.KindInt}))
 	// Fragment holds id < 100.
-	err := c.MapFragment("g", &Fragment{
+	err := c.MapFragment(context.Background(), "g", &Fragment{
 		Source: "p", RemoteTable: "t",
 		Columns: []ColumnMapping{{RemoteCol: 0}},
 		Where:   expr.NewBinary(expr.OpLt, expr.NewColRef("", "id"), expr.NewConst(types.NewInt(100))),
@@ -367,7 +368,7 @@ func TestMapSimple(t *testing.T) {
 		types.Column{Name: "a", Type: types.KindInt},
 		types.Column{Name: "b", Type: types.KindString},
 	))
-	if err := c.MapSimple("g", "s", "t"); err != nil {
+	if err := c.MapSimple(context.Background(), "g", "s", "t"); err != nil {
 		t.Fatal(err)
 	}
 	tab, _ := c.Table("g")

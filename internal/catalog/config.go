@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -80,10 +81,11 @@ func MarshalConfig(c *Config) ([]byte, error) {
 
 // Apply defines every table of the config on the catalog. Sources named
 // by the fragments must already be registered (the caller dials them).
+// ctx governs the remote metadata fetches behind each fragment mapping.
 // parsePred parses the fragments' SQL partition predicates; pass
 // sql.ParseExpr (taken as a parameter to keep this package independent
 // of the SQL front end). It may be nil when no fragment uses Where.
-func (c *Catalog) Apply(cfg *Config, parsePred func(string) (expr.Expr, error)) error {
+func (c *Catalog) Apply(ctx context.Context, cfg *Config, parsePred func(string) (expr.Expr, error)) error {
 	for _, tc := range cfg.Tables {
 		cols := make([]types.Column, len(tc.Columns))
 		for i, cc := range tc.Columns {
@@ -129,7 +131,7 @@ func (c *Catalog) Apply(cfg *Config, parsePred func(string) (expr.Expr, error)) 
 				}
 				frag.Where = pred
 			}
-			if err := c.MapFragment(tc.Name, frag); err != nil {
+			if err := c.MapFragment(ctx, tc.Name, frag); err != nil {
 				return err
 			}
 		}

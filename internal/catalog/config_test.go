@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestConfigApply(t *testing.T) {
 	if len(cfg.Sources) != 1 || cfg.Sources[0].Name != "hospA" {
 		t.Errorf("sources = %+v", cfg.Sources)
 	}
-	if err := c.Apply(cfg, sql.ParseExpr); err != nil {
+	if err := c.Apply(context.Background(), cfg, sql.ParseExpr); err != nil {
 		t.Fatal(err)
 	}
 	tab, err := c.Table("patients")
@@ -88,7 +89,7 @@ func TestConfigApply(t *testing.T) {
 func TestConfigExportRoundTrip(t *testing.T) {
 	c := newConfigFixture(t)
 	cfg, _ := ParseConfig([]byte(testConfig))
-	if err := c.Apply(cfg, sql.ParseExpr); err != nil {
+	if err := c.Apply(context.Background(), cfg, sql.ParseExpr); err != nil {
 		t.Fatal(err)
 	}
 	out, err := c.Export()
@@ -105,7 +106,7 @@ func TestConfigExportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Apply(cfg2, sql.ParseExpr); err != nil {
+	if err := c2.Apply(context.Background(), cfg2, sql.ParseExpr); err != nil {
 		t.Fatalf("re-apply exported config: %v\n%s", err, data)
 	}
 	tab, _ := c2.Table("patients")
@@ -122,26 +123,26 @@ func TestConfigErrors(t *testing.T) {
 	// Unknown type.
 	bad := strings.Replace(testConfig, `"type": "int"`, `"type": "frobnicate"`, 1)
 	cfg, _ := ParseConfig([]byte(bad))
-	if err := c.Apply(cfg, sql.ParseExpr); err == nil {
+	if err := c.Apply(context.Background(), cfg, sql.ParseExpr); err == nil {
 		t.Error("unknown type must error")
 	}
 	// Where without parser.
 	c2 := newConfigFixture(t)
 	cfg2, _ := ParseConfig([]byte(testConfig))
-	if err := c2.Apply(cfg2, nil); err == nil {
+	if err := c2.Apply(context.Background(), cfg2, nil); err == nil {
 		t.Error("Where without parser must error")
 	}
 	// Bad predicate.
 	c3 := newConfigFixture(t)
 	badWhere := strings.Replace(testConfig, `"id < 1000"`, `"id <"`, 1)
 	cfg3, _ := ParseConfig([]byte(badWhere))
-	if err := c3.Apply(cfg3, sql.ParseExpr); err == nil {
+	if err := c3.Apply(context.Background(), cfg3, sql.ParseExpr); err == nil {
 		t.Error("bad predicate must error")
 	}
 	// Unknown source.
 	c4 := New()
 	cfg4, _ := ParseConfig([]byte(testConfig))
-	if err := c4.Apply(cfg4, sql.ParseExpr); err == nil {
+	if err := c4.Apply(context.Background(), cfg4, sql.ParseExpr); err == nil {
 		t.Error("unknown source must error")
 	}
 }

@@ -1,16 +1,11 @@
 package catalog
 
 import (
-	"context"
 	"fmt"
 
 	"gis/internal/expr"
 	"gis/internal/types"
 )
-
-// contextTODO isolates the catalog's internal metadata fetches (they run
-// during registration, not on a query path).
-func contextTODO() context.Context { return context.Background() }
 
 // TranslateConjunct rewrites one conjunct of a global-schema predicate
 // into the fragment's remote schema for pushdown. ok is false when the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ func TestApplyConfigEndToEnd(t *testing.T) {
 		if _, err := st.Insert(ctx, "log", rows); err != nil {
 			t.Fatal(err)
 		}
-		srv, err := wire.Serve("127.0.0.1:0", st)
+		srv, err := wire.Serve(context.Background(), "127.0.0.1:0", st)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestApplyConfigEndToEnd(t *testing.T) {
 		}
 		return cl, err
 	}
-	if err := e.ApplyConfig([]byte(cfg), dial); err != nil {
+	if err := e.ApplyConfig(context.Background(), []byte(cfg), dial); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {

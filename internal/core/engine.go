@@ -501,9 +501,10 @@ func (e *Engine) substituteSubqueries(ctx context.Context, ex expr.Expr) (expr.E
 
 // ApplyConfig loads a JSON federation description (catalog.Config) into
 // the engine: it dials every listed source over the wire protocol and
-// defines the global tables. Used by tools; library callers usually
-// register sources directly.
-func (e *Engine) ApplyConfig(data []byte, dial func(catalog.SourceConfig) (source.Source, error)) error {
+// defines the global tables. ctx bounds the remote metadata fetches
+// performed while mapping fragments. Used by tools; library callers
+// usually register sources directly.
+func (e *Engine) ApplyConfig(ctx context.Context, data []byte, dial func(catalog.SourceConfig) (source.Source, error)) error {
 	cfg, err := catalog.ParseConfig(data)
 	if err != nil {
 		return err
@@ -520,7 +521,7 @@ func (e *Engine) ApplyConfig(data []byte, dial func(catalog.SourceConfig) (sourc
 			return err
 		}
 	}
-	return e.cat.Apply(cfg, sql.ParseExpr)
+	return e.cat.Apply(ctx, cfg, sql.ParseExpr)
 }
 
 // CreateView registers a named view after validating that its body

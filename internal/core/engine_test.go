@@ -125,7 +125,7 @@ func newTestEngine(t testing.TB) *Engine {
 	)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cat.MapSimple("customers", "ny", "customers"); err != nil {
+	if err := cat.MapSimple(context.Background(), "customers", "ny", "customers"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -138,13 +138,13 @@ func newTestEngine(t testing.TB) *Engine {
 		t.Fatal(err)
 	}
 	idCols := []catalog.ColumnMapping{{RemoteCol: 0}, {RemoteCol: 1}, {RemoteCol: 2}, {RemoteCol: 3}}
-	if err := cat.MapFragment("orders", &catalog.Fragment{
+	if err := cat.MapFragment(context.Background(), "orders", &catalog.Fragment{
 		Source: "ny", RemoteTable: "orders", Columns: idCols,
 		Where: expr.NewBinary(expr.OpLt, expr.NewColRef("", "oid"), expr.NewConst(types.NewInt(100))),
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cat.MapFragment("orders", &catalog.Fragment{
+	if err := cat.MapFragment(context.Background(), "orders", &catalog.Fragment{
 		Source: "eu", RemoteTable: "orders", Columns: idCols,
 		Where: expr.NewBinary(expr.OpGe, expr.NewColRef("", "oid"), expr.NewConst(types.NewInt(100))),
 	}); err != nil {
@@ -158,7 +158,7 @@ func newTestEngine(t testing.TB) *Engine {
 	)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cat.MapSimple("products", "kv", "products"); err != nil {
+	if err := cat.MapSimple(context.Background(), "products", "kv", "products"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -169,7 +169,7 @@ func newTestEngine(t testing.TB) *Engine {
 	)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cat.MapSimple("suppliers", "files", "suppliers"); err != nil {
+	if err := cat.MapSimple(context.Background(), "suppliers", "files", "suppliers"); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"regexp"
@@ -26,7 +27,7 @@ func traceFederation(t *testing.T, a, b string) *Engine {
 	t.Helper()
 	mk := func(name string) (*relstore.Store, *wire.Server) {
 		st := relstore.New(name)
-		srv, err := wire.Serve("127.0.0.1:0", st)
+		srv, err := wire.Serve(context.Background(), "127.0.0.1:0", st)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func traceFederation(t *testing.T, a, b string) *Engine {
 		}
 		return cl, err
 	}
-	if err := e.ApplyConfig([]byte(cfg), dial); err != nil {
+	if err := e.ApplyConfig(context.Background(), []byte(cfg), dial); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {

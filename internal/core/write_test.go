@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func newMediatedEngine(t *testing.T) (*Engine, *relstore.Store) {
 		t.Fatal(err)
 	}
 	site := types.NewString("legacy")
-	if err := e.Catalog().MapFragment("items", &catalog.Fragment{
+	if err := e.Catalog().MapFragment(context.Background(), "items", &catalog.Fragment{
 		Source: "legacy", RemoteTable: "t",
 		Columns: []catalog.ColumnMapping{
 			{RemoteCol: 0},

@@ -91,9 +91,9 @@ func ratio(a, b time.Duration) string {
 }
 
 // queryOnce drains one query.
-func queryOnce(e *core.Engine, q string) func() error {
+func queryOnce(ctx context.Context, e *core.Engine, q string) func() error {
 	return func() error {
-		_, err := e.Query(context.Background(), q)
+		_, err := e.Query(ctx, q)
 		return err
 	}
 }
@@ -124,9 +124,9 @@ func (s Scale) n(base int) int {
 
 // T1Pushdown measures selection pushdown vs ship-everything across
 // selectivities (Table 1).
-func T1Pushdown(sc Scale) (*Table, error) {
+func T1Pushdown(ctx context.Context, sc Scale) (*Table, error) {
 	rows := sc.n(20000)
-	f, err := workload.TwoTable(100, rows, true, sc.Link)
+	f, err := workload.TwoTable(ctx, 100, rows, true, sc.Link)
 	if err != nil {
 		return nil, err
 	}
@@ -143,12 +143,12 @@ func T1Pushdown(sc Scale) (*Table, error) {
 		bound := sel * 1000
 		q := fmt.Sprintf("SELECT oid, amount FROM orders WHERE amount < %g", bound)
 		f.Engine.PlanOptions().PushFilters = true
-		push, err := median(sc.Reps, queryOnce(f.Engine, q))
+		push, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			return nil, err
 		}
 		f.Engine.PlanOptions().PushFilters = false
-		ship, err := median(sc.Reps, queryOnce(f.Engine, q))
+		ship, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			return nil, err
 		}
@@ -162,10 +162,10 @@ func T1Pushdown(sc Scale) (*Table, error) {
 
 // T2JoinStrategies compares ship-all, semijoin, and bind join at three
 // left-side sizes (Table 2).
-func T2JoinStrategies(sc Scale) (*Table, error) {
+func T2JoinStrategies(ctx context.Context, sc Scale) (*Table, error) {
 	nCust := sc.n(2000)
 	nOrd := sc.n(20000)
-	f, err := workload.TwoTable(nCust, nOrd, true, sc.Link)
+	f, err := workload.TwoTable(ctx, nCust, nOrd, true, sc.Link)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func T2JoinStrategies(sc Scale) (*Table, error) {
 		times := map[plan.Strategy]time.Duration{}
 		for _, strat := range []plan.Strategy{plan.StrategyShipAll, plan.StrategySemiJoin, plan.StrategyBind} {
 			f.Engine.PlanOptions().ForceStrategy = strat
-			d, err := median(sc.Reps, queryOnce(f.Engine, q))
+			d, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", strat, err)
 			}
@@ -213,7 +213,7 @@ func T2JoinStrategies(sc Scale) (*Table, error) {
 
 // F3JoinOrder measures plan quality and optimization time of the three
 // join-order algorithms on star queries of growing size (Figure 3).
-func F3JoinOrder(sc Scale) (*Table, error) {
+func F3JoinOrder(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		ID:     "F3",
 		Title:  "Join-order search: plan cost (C_out) and optimize time",
@@ -255,7 +255,7 @@ func F3JoinOrder(sc Scale) (*Table, error) {
 
 // T4FanOut measures parallel vs sequential fragment fetch as the number
 // of partitions grows (Table 4).
-func T4FanOut(sc Scale) (*Table, error) {
+func T4FanOut(ctx context.Context, sc Scale) (*Table, error) {
 	total := sc.n(16000)
 	t := &Table{
 		ID:     "T4",
@@ -264,19 +264,19 @@ func T4FanOut(sc Scale) (*Table, error) {
 		Notes:  fmt.Sprintf("%d total rows, link=%v", total, sc.Link.Latency),
 	}
 	for _, k := range []int{1, 2, 4, 8, 16} {
-		f, err := workload.Partitioned(k, total/k, true, sc.Link)
+		f, err := workload.Partitioned(ctx, k, total/k, true, sc.Link)
 		if err != nil {
 			return nil, err
 		}
 		q := "SELECT SUM(amount) FROM events"
 		f.Engine.PlanOptions().ParallelFragments = false
-		seq, err := median(sc.Reps, queryOnce(f.Engine, q))
+		seq, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
 		f.Engine.PlanOptions().ParallelFragments = true
-		par, err := median(sc.Reps, queryOnce(f.Engine, q))
+		par, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -292,9 +292,9 @@ func T4FanOut(sc Scale) (*Table, error) {
 // F5Mediation measures the overhead of representation translation
 // (Figure 5): the same physical data queried through an identity mapping
 // vs a value-mapped/unit-converted/constant-extended mapping.
-func F5Mediation(sc Scale) (*Table, error) {
+func F5Mediation(ctx context.Context, sc Scale) (*Table, error) {
 	rows := sc.n(50000)
-	f, err := workload.Heterogeneous(rows, false, workload.Link{})
+	f, err := workload.Heterogeneous(ctx, rows, false, workload.Link{})
 	if err != nil {
 		return nil, err
 	}
@@ -315,11 +315,11 @@ func F5Mediation(sc Scale) (*Table, error) {
 		{"sum", "SELECT SUM(cents) FROM orders_native", "SELECT SUM(amount) FROM orders_mediated"},
 	}
 	for _, c := range cases {
-		nat, err := median(sc.Reps, queryOnce(f.Engine, c.native))
+		nat, err := median(sc.Reps, queryOnce(ctx, f.Engine, c.native))
 		if err != nil {
 			return nil, err
 		}
-		med, err := median(sc.Reps, queryOnce(f.Engine, c.mediated))
+		med, err := median(sc.Reps, queryOnce(ctx, f.Engine, c.mediated))
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +331,7 @@ func F5Mediation(sc Scale) (*Table, error) {
 
 // T6Commit measures two-phase commit cost vs the unsafe one-round
 // baseline as participants grow (Table 6).
-func T6Commit(sc Scale) (*Table, error) {
+func T6Commit(ctx context.Context, sc Scale) (*Table, error) {
 	t := &Table{
 		ID:     "T6",
 		Title:  "Atomic commitment: 2PC vs uncoordinated per-source commits",
@@ -339,12 +339,12 @@ func T6Commit(sc Scale) (*Table, error) {
 		Notes:  fmt.Sprintf("global UPDATE touching every participant, link=%v", sc.Link.Latency),
 	}
 	for _, n := range []int{1, 2, 4, 8} {
-		f, err := workload.TxnStores(n, 50, true, sc.Link)
+		f, err := workload.TxnStores(ctx, n, 50, true, sc.Link)
 		if err != nil {
 			return nil, err
 		}
 		two, err := median(sc.Reps, func() error {
-			_, err := f.Engine.Exec(context.Background(), "UPDATE accounts SET balance = balance + 1")
+			_, err := f.Engine.Exec(ctx, "UPDATE accounts SET balance = balance + 1")
 			return err
 		})
 		if err != nil {
@@ -357,7 +357,7 @@ func T6Commit(sc Scale) (*Table, error) {
 			for p := 0; p < n; p++ {
 				lo, hi := p*rowsPer, (p+1)*rowsPer
 				q := fmt.Sprintf("UPDATE accounts SET balance = balance + 1 WHERE id >= %d AND id < %d", lo, hi)
-				if _, err := f.Engine.Exec(context.Background(), q); err != nil {
+				if _, err := f.Engine.Exec(ctx, q); err != nil {
 					return err
 				}
 			}
@@ -376,10 +376,10 @@ func T6Commit(sc Scale) (*Table, error) {
 
 // F7SemijoinCrossover sweeps the left-side fraction to locate where
 // ship-all overtakes semijoin (Figure 7).
-func F7SemijoinCrossover(sc Scale) (*Table, error) {
+func F7SemijoinCrossover(ctx context.Context, sc Scale) (*Table, error) {
 	nCust := sc.n(5000)
 	nOrd := sc.n(20000)
-	f, err := workload.TwoTable(nCust, nOrd, true, sc.Link)
+	f, err := workload.TwoTable(ctx, nCust, nOrd, true, sc.Link)
 	if err != nil {
 		return nil, err
 	}
@@ -397,12 +397,12 @@ func F7SemijoinCrossover(sc Scale) (*Table, error) {
 		}
 		q := fmt.Sprintf(`SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < %d`, limit)
 		f.Engine.PlanOptions().ForceStrategy = plan.StrategySemiJoin
-		semi, err := median(sc.Reps, queryOnce(f.Engine, q))
+		semi, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			return nil, err
 		}
 		f.Engine.PlanOptions().ForceStrategy = plan.StrategyShipAll
-		ship, err := median(sc.Reps, queryOnce(f.Engine, q))
+		ship, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			return nil, err
 		}
@@ -420,9 +420,9 @@ func F7SemijoinCrossover(sc Scale) (*Table, error) {
 
 // T8Capability runs the same query against wrappers of descending
 // capability and reports the latency of compensation (Table 8).
-func T8Capability(sc Scale) (*Table, error) {
+func T8Capability(ctx context.Context, sc Scale) (*Table, error) {
 	rows := sc.n(20000)
-	f, err := workload.Capability(rows)
+	f, err := workload.Capability(ctx, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -444,12 +444,12 @@ func T8Capability(sc Scale) (*Table, error) {
 	}
 	for _, w := range wrappers {
 		aggQ := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM %s WHERE region = 'north'", w.table)
-		agg, err := median(sc.Reps, queryOnce(f.Engine, aggQ))
+		agg, err := median(sc.Reps, queryOnce(ctx, f.Engine, aggQ))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.table, err)
 		}
 		pointQ := fmt.Sprintf("SELECT amount FROM %s WHERE oid = %d", w.table, rows/2)
-		point, err := median(sc.Reps, queryOnce(f.Engine, pointQ))
+		point, err := median(sc.Reps, queryOnce(ctx, f.Engine, pointQ))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.table, err)
 		}
@@ -460,10 +460,10 @@ func T8Capability(sc Scale) (*Table, error) {
 
 // F9Ablation disables one optimizer rule at a time on a representative
 // federated query (Figure 9).
-func F9Ablation(sc Scale) (*Table, error) {
+func F9Ablation(ctx context.Context, sc Scale) (*Table, error) {
 	nCust := sc.n(2000)
 	nOrd := sc.n(20000)
-	f, err := workload.TwoTable(nCust, nOrd, true, sc.Link)
+	f, err := workload.TwoTable(ctx, nCust, nOrd, true, sc.Link)
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +494,7 @@ func F9Ablation(sc Scale) (*Table, error) {
 		opts := plan.DefaultOptions()
 		m.tweak(opts)
 		*f.Engine.PlanOptions() = *opts
-		d, err := median(sc.Reps, queryOnce(f.Engine, q))
+		d, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m.name, err)
 		}
@@ -507,10 +507,10 @@ func F9Ablation(sc Scale) (*Table, error) {
 }
 
 // All runs every experiment at the given scale.
-func All(sc Scale) ([]*Table, error) {
+func All(ctx context.Context, sc Scale) ([]*Table, error) {
 	type exp struct {
 		id string
-		fn func(Scale) (*Table, error)
+		fn func(context.Context, Scale) (*Table, error)
 	}
 	exps := []exp{
 		{"T1", T1Pushdown},
@@ -525,7 +525,7 @@ func All(sc Scale) ([]*Table, error) {
 	}
 	var out []*Table
 	for _, e := range exps {
-		t, err := e.fn(sc)
+		t, err := e.fn(ctx, sc)
 		if err != nil {
 			return out, fmt.Errorf("experiment %s: %w", e.id, err)
 		}
@@ -535,26 +535,26 @@ func All(sc Scale) ([]*Table, error) {
 }
 
 // ByID runs one experiment.
-func ByID(id string, sc Scale) (*Table, error) {
+func ByID(ctx context.Context, id string, sc Scale) (*Table, error) {
 	switch strings.ToUpper(id) {
 	case "T1":
-		return T1Pushdown(sc)
+		return T1Pushdown(ctx, sc)
 	case "T2":
-		return T2JoinStrategies(sc)
+		return T2JoinStrategies(ctx, sc)
 	case "F3":
-		return F3JoinOrder(sc)
+		return F3JoinOrder(ctx, sc)
 	case "T4":
-		return T4FanOut(sc)
+		return T4FanOut(ctx, sc)
 	case "F5":
-		return F5Mediation(sc)
+		return F5Mediation(ctx, sc)
 	case "T6":
-		return T6Commit(sc)
+		return T6Commit(ctx, sc)
 	case "F7":
-		return F7SemijoinCrossover(sc)
+		return F7SemijoinCrossover(ctx, sc)
 	case "T8":
-		return T8Capability(sc)
+		return T8Capability(ctx, sc)
 	case "F9":
-		return F9Ablation(sc)
+		return F9Ablation(ctx, sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (T1,T2,F3,T4,F5,T6,F7,T8,F9)", id)
 	}

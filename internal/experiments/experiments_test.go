@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func tinyScale() Scale {
 // runExperiment checks basic table integrity.
 func runExperiment(t *testing.T, id string, minRows int) *Table {
 	t.Helper()
-	tab, err := ByID(id, tinyScale())
+	tab, err := ByID(context.Background(), id, tinyScale())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -70,7 +71,7 @@ func TestT8(t *testing.T) { runExperiment(t, "T8", 4) }
 func TestF9(t *testing.T) { runExperiment(t, "F9", 7) }
 
 func TestByIDUnknown(t *testing.T) {
-	if _, err := ByID("T99", tinyScale()); err == nil {
+	if _, err := ByID(context.Background(), "T99", tinyScale()); err == nil {
 		t.Error("unknown experiment id must error")
 	}
 }
@@ -79,7 +80,7 @@ func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
-	tabs, err := All(tinyScale())
+	tabs, err := All(context.Background(), tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}

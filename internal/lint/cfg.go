@@ -1,0 +1,435 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds function-level control-flow graphs from go/ast alone.
+// Blocks hold only atomic nodes — simple statements and the expressions
+// a composite statement evaluates before branching (if/switch conditions,
+// range subjects) — never whole bodies, so analyzers can walk a block's
+// nodes without re-implementing control flow.
+
+// Block is one basic block: a maximal run of atomic nodes executed
+// without internal control transfer.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Cond is set when the block ends in a two-way conditional branch;
+	// TrueTo and FalseTo (both also listed in Succs) are the successors
+	// taken when Cond evaluates true respectively false. Dataflow edge
+	// refinement uses this to sharpen facts like "err != nil here".
+	Cond    ast.Expr
+	TrueTo  *Block
+	FalseTo *Block
+}
+
+// CFG is the control-flow graph of one function body. Entry begins the
+// body; Exit is a synthetic block reached by every return and by falling
+// off the end. Calls to panic and os.Exit get no Exit edge, so a fact
+// holding at Exit holds on some normal return path.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:      &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmt(body)
+	if b.cur != nil {
+		b.link(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+// cfgFrame is one enclosing breakable statement (loop, switch, select).
+type cfgFrame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block // nil while the current point is unreachable
+	labels map[string]*Block
+	frames []cfgFrame
+	// pendingLabel names the label directly wrapping the next statement,
+	// so loop/switch frames can serve labeled break and continue.
+	pendingLabel string
+	// fallTarget is the next case body while building a switch case.
+	fallTarget *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an atomic node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.ensure()
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// ensure revives the current point with a fresh (unreachable) block so
+// statements after a return still land somewhere — a later goto label
+// may make them reachable.
+func (b *cfgBuilder) ensure() {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+}
+
+// labelBlock returns the target block for a label, creating it on first
+// mention so forward gotos resolve.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if bl, ok := b.labels[name]; ok {
+		return bl
+	}
+	bl := b.newBlock()
+	b.labels[name] = bl
+	return bl
+}
+
+func (b *cfgBuilder) breakTarget(label *ast.Ident) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == nil || f.label == label.Name {
+			return f.brk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) continueTarget(label *ast.Ident) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f.cont
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	b.ensure()
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		t := b.labelBlock(s.Label.Name)
+		b.link(b.cur, t)
+		b.cur = t
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		thenB := b.newBlock()
+		b.link(head, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		afterThen := b.cur
+		var afterElse *Block
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(head, elseB)
+			head.Cond, head.TrueTo, head.FalseTo = s.Cond, thenB, elseB
+			b.cur = elseB
+			b.stmt(s.Else)
+			afterElse = b.cur
+		}
+		join := b.newBlock()
+		if s.Else == nil {
+			head.Cond, head.TrueTo, head.FalseTo = s.Cond, thenB, join
+			b.link(head, join)
+		}
+		if afterThen != nil {
+			b.link(afterThen, join)
+		}
+		if afterElse != nil {
+			b.link(afterElse, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		exitB := b.newBlock()
+		var post *Block
+		cont := head
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		body := b.newBlock()
+		if s.Cond != nil {
+			b.cur = head
+			b.add(s.Cond)
+			head.Cond, head.TrueTo, head.FalseTo = s.Cond, body, exitB
+			b.link(head, body)
+			b.link(head, exitB)
+		} else {
+			b.link(head, body)
+		}
+		b.frames = append(b.frames, cfgFrame{label: label, brk: exitB, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.link(b.cur, cont)
+		}
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.link(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exitB
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		body := b.newBlock()
+		exitB := b.newBlock()
+		b.link(head, body)
+		b.link(head, exitB)
+		b.frames = append(b.frames, cfgFrame{label: label, brk: exitB, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exitB
+
+	case *ast.SwitchStmt:
+		b.switchLike(label, s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(label, s.Init, nil, s.Assign, s.Body, true)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, cfgFrame{label: label, brk: join})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			cb := b.newBlock()
+			b.link(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			if b.cur != nil {
+				b.link(b.cur, join)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select blocks until some case proceeds, so there is no
+		// direct head→join edge even without a default clause.
+		b.cur = join
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(s.Label); t != nil {
+				b.link(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.continueTarget(s.Label); t != nil {
+				b.link(b.cur, t)
+			}
+		case token.GOTO:
+			b.link(b.cur, b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.link(b.cur, b.fallTarget)
+			}
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if neverReturns(s.X) {
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, decl, defer, go, send, inc/dec: atomic.
+		b.add(s)
+	}
+}
+
+// switchLike builds value and type switches: head evaluates init plus
+// tag (or the type-switch assign), each case clause gets its own block,
+// fallthrough links consecutive case bodies, and a missing default adds
+// a head→join edge.
+func (b *cfgBuilder) switchLike(label string, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, _ bool) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	join := b.newBlock()
+	clauses := body.List
+	caseBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.link(head, caseBlocks[i])
+	}
+	hasDefault := false
+	b.frames = append(b.frames, cfgFrame{label: label, brk: join})
+	savedFall := b.fallTarget
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(caseBlocks) {
+			b.fallTarget = caseBlocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			b.link(b.cur, join)
+		}
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.link(head, join)
+	}
+	b.cur = join
+}
+
+// neverReturns recognizes (syntactically) calls that terminate the
+// goroutine or process: panic, os.Exit, log.Fatal*.
+func neverReturns(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fn.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// funcScope is one analyzable function: a declaration or a literal. The
+// flow analyzers treat each literal as its own scope — a variable
+// captured by a nested literal escapes the outer one.
+type funcScope struct {
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+	name string
+}
+
+// FuncScopes returns every function body in the package, declarations
+// and function literals alike.
+func (p *Pass) FuncScopes() []funcScope {
+	var out []funcScope
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, funcScope{typ: fn.Type, body: fn.Body, name: fn.Name.Name})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcScope{typ: fn.Type, body: fn.Body, name: "func literal"})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// walkNode visits n's subtree in syntactic order, pruning descent when
+// visit returns false. Nested function literals are not descended into —
+// they are separate scopes — but each is reported to lit so callers can
+// model captures.
+func walkNode(n ast.Node, visit func(ast.Node) bool, lit func(*ast.FuncLit)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if fl, ok := m.(*ast.FuncLit); ok {
+			if lit != nil {
+				lit(fl)
+			}
+			return false
+		}
+		return visit(m)
+	})
+}

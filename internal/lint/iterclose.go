@@ -6,29 +6,28 @@ import (
 	"go/types"
 )
 
-// IterClose enforces the Volcano-iterator contract: a RowIter obtained
-// from a call inside a function must either be closed in that function
-// (directly or via defer) or handed off — returned, passed as an
-// argument, or stored into a longer-lived location. An iterator whose
-// only uses are Next calls leaks its source cursor / connection.
+// IterClose enforces the Volcano-iterator contract, path-sensitively: a
+// RowIter obtained from a call must be closed (directly or via defer) or
+// handed off — returned, passed as an argument, stored, captured — on
+// EVERY path out of the opening function. The dataflow tracks each
+// iterator through branches, so closing on one arm of an if while
+// leaking on the other is flagged, unlike the old whole-body heuristic
+// that accepted any Close anywhere. Error-return idioms are understood:
+// on the edge where the paired error is known non-nil, the iterator is
+// invalid by the Source contract and carries no obligation, and a
+// `it == nil` guard likewise discharges the nil arm.
 func IterClose() *Analyzer {
 	a := &Analyzer{
 		Name: "iterclose",
-		Doc:  "exec/source iterators must be closed or handed off before the opening function returns",
+		Doc:  "exec/source iterators must be closed or handed off on every path out of the opening function",
 	}
 	a.Run = func(pass *Pass) {
 		iface := rowIterInterface(pass)
 		if iface == nil {
 			return // package never touches the iterator model
 		}
-		for _, f := range pass.Pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				checkIterClose(pass, iface, fd.Body)
-			}
+		for _, fs := range pass.FuncScopes() {
+			checkIterClose(pass, iface, fs)
 		}
 	}
 	return a
@@ -44,95 +43,195 @@ func rowIterInterface(pass *Pass) *types.Interface {
 	return iface
 }
 
-// iterCandidate is one locally-opened iterator variable.
+// iterCandidate is one locally-opened iterator variable, paired with the
+// error variable assigned alongside it (if any) so error edges can
+// discharge the obligation.
 type iterCandidate struct {
 	obj *types.Var
 	def *ast.Ident
+	err *types.Var
 }
 
-func checkIterClose(pass *Pass, iface *types.Interface, body *ast.BlockStmt) {
-	// Phase 1: every `x := <call>` (including multi-value) whose static
-	// type implements RowIter opens an iterator this function owns.
-	var cands []*iterCandidate
+const (
+	iterDone    uint8 = 1 // closed, handed off, or invalid on this path
+	iterPending uint8 = 2 // open, obligation live, paired error already decided
+	iterFresh   uint8 = 3 // open, paired error not yet inspected
+)
+
+func checkIterClose(pass *Pass, iface *types.Interface, fs funcScope) {
+	g := BuildCFG(fs.body)
+
+	// Gen sites: `x := <call>` (including multi-value) whose static type
+	// implements RowIter opens an iterator this function owns.
 	byObj := make(map[*types.Var]*iterCandidate)
-	ast.Inspect(body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
-			return true
+	byErr := make(map[*types.Var][]*iterCandidate)
+	var cands []*iterCandidate
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			walkNode(n, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
+					return true
+				}
+				if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+					return true
+				}
+				var iters []*iterCandidate
+				var errVar *types.Var
+				for _, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj, ok := pass.Pkg.Info.Defs[id].(*types.Var)
+					if !ok || obj == nil {
+						// `it, err := ...` redeclaring err resolves via Uses.
+						obj, ok = pass.Pkg.Info.Uses[id].(*types.Var)
+						if !ok || obj == nil {
+							continue
+						}
+					}
+					if implementsIter(obj.Type(), iface) {
+						if _, seen := byObj[obj]; !seen {
+							c := &iterCandidate{obj: obj, def: id}
+							iters = append(iters, c)
+						}
+					} else if isErrorType(obj.Type()) {
+						errVar = obj
+					}
+				}
+				for _, c := range iters {
+					c.err = errVar
+					byObj[c.obj] = c
+					cands = append(cands, c)
+					if errVar != nil {
+						byErr[errVar] = append(byErr[errVar], c)
+					}
+				}
+				return true
+			}, nil)
 		}
-		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
-			return true
-		}
-		for _, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok || id.Name == "_" {
-				continue
-			}
-			obj, ok := pass.Pkg.Info.Defs[id].(*types.Var)
-			if !ok || obj == nil {
-				continue
-			}
-			if !implementsIter(obj.Type(), iface) {
-				continue
-			}
-			c := &iterCandidate{obj: obj, def: id}
-			cands = append(cands, c)
-			byObj[obj] = c
-		}
-		return true
-	})
+	}
 	if len(cands) == 0 {
 		return
 	}
 
-	// Phase 2: classify every other use of each candidate. Close
-	// references discharge the obligation; so does any escape (return,
-	// argument, store, address-of, channel send). Only Next calls and
-	// nil comparisons leave it pending.
-	closed := make(map[*types.Var]bool)
-	escaped := make(map[*types.Var]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
-		if !ok {
-			return true
-		}
-		c, tracked := byObj[obj]
-		if !tracked || id == c.def {
-			return true
-		}
-		switch parent := pass.Parent(id).(type) {
-		case *ast.SelectorExpr:
-			if parent.X == ast.Expr(id) {
-				if parent.Sel.Name == "Close" {
-					closed[obj] = true
+	transfer := func(bl *Block, s map[*types.Var]uint8) {
+		for _, n := range bl.Nodes {
+			walkNode(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					// Writing an error variable invalidates the pairing
+					// of any still-fresh iterator that rode on it: a
+					// later `if err != nil` no longer says anything
+					// about the earlier open.
+					for _, lhs := range m.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						v, _ := pass.ObjectOf(id).(*types.Var)
+						if v == nil {
+							continue
+						}
+						for _, c := range byErr[v] {
+							if s[c.obj] == iterFresh {
+								s[c.obj] = iterPending
+							}
+						}
+					}
+					// Gen: (re-)establish obligations this statement opens.
+					if m.Tok == token.DEFINE && len(m.Rhs) == 1 {
+						if _, isCall := ast.Unparen(m.Rhs[0]).(*ast.CallExpr); isCall {
+							for _, lhs := range m.Lhs {
+								id, ok := lhs.(*ast.Ident)
+								if !ok {
+									continue
+								}
+								v, _ := pass.ObjectOf(id).(*types.Var)
+								if c, tracked := byObj[v]; tracked && id == c.def {
+									if c.err != nil {
+										s[v] = iterFresh
+									} else {
+										s[v] = iterPending
+									}
+								}
+							}
+						}
+					}
+				case *ast.Ident:
+					v, ok := pass.Pkg.Info.Uses[m].(*types.Var)
+					if !ok {
+						return true
+					}
+					c, tracked := byObj[v]
+					if !tracked || m == c.def {
+						return true
+					}
+					switch parent := pass.Parent(m).(type) {
+					case *ast.SelectorExpr:
+						if parent.X == ast.Expr(m) {
+							if parent.Sel.Name == "Close" {
+								s[v] = iterDone
+							}
+							return true // Next etc. keeps the obligation
+						}
+						s[v] = iterDone
+					case *ast.BinaryExpr:
+						// Comparisons (it == nil) neither close nor hand off.
+					case *ast.AssignStmt:
+						for _, lhs := range parent.Lhs {
+							if lhs == ast.Expr(m) {
+								s[v] = iterDone // overwritten (it = nil, wrap)
+								return true
+							}
+						}
+						s[v] = iterDone // appears on the RHS: stored somewhere
+					default:
+						// Argument, return value, composite literal, &x,
+						// channel send, range subject: ownership moved.
+						s[v] = iterDone
+					}
 				}
-				return true // method use (Next etc.) keeps the obligation
-			}
-			escaped[obj] = true
-		case *ast.BinaryExpr:
-			// Comparisons (it == nil) neither close nor hand off.
-		case *ast.AssignStmt:
-			for _, lhs := range parent.Lhs {
-				if lhs == ast.Expr(id) {
-					return true // reassignment target, not a hand-off
+				return true
+			}, func(fl *ast.FuncLit) {
+				captured := make(map[*types.Var]struct{}, len(byObj))
+				for v := range byObj {
+					captured[v] = struct{}{}
 				}
-			}
-			escaped[obj] = true // appears on the RHS: stored somewhere
-		default:
-			// Argument, return value, composite literal, &x, channel
-			// send, range subject, ...: ownership moved elsewhere.
-			escaped[obj] = true
+				markCaptured(pass, fl, captured, s)
+			})
 		}
-		return true
-	})
+	}
 
+	refine := func(from, to *Block, s map[*types.Var]uint8) {
+		v, nilOnTrue, ok := nilCompare(pass, from.Cond)
+		if !ok {
+			return
+		}
+		nilEdge := (to == from.TrueTo) == nilOnTrue
+		if _, isIter := byObj[v]; isIter && nilEdge {
+			s[v] = iterDone // a nil iterator carries no Close obligation
+		}
+		if !nilEdge {
+			// Error known non-nil: the contract says the paired iterator
+			// was not handed to the caller in a usable state.
+			for _, c := range byErr[v] {
+				if s[c.obj] == iterFresh {
+					s[c.obj] = iterDone
+				}
+			}
+		}
+	}
+
+	in := fixpoint(g, map[*types.Var]uint8{}, transfer, refine)
+	exit, ok := in[g.Exit]
+	if !ok {
+		return
+	}
 	for _, c := range cands {
-		if !closed[c.obj] && !escaped[c.obj] {
-			pass.Reportf(c.def.Pos(), "iterator %s is opened here but never closed or handed off; call %s.Close (or defer it), return it, or pass it on",
+		if exit[c.obj] >= iterPending {
+			pass.Reportf(c.def.Pos(), "iterator %s is opened here but not closed or handed off on some path to return; call %s.Close (or defer it) on every path, return it, or pass it on",
 				c.def.Name, c.def.Name)
 		}
 	}

@@ -1,10 +1,14 @@
 // Package lint is a stdlib-only static-analysis framework enforcing the
 // mediator's cross-layer invariants — the contracts that Go's type
 // system cannot express but that the federation's correctness depends
-// on: Volcano iterators must be closed or handed off, errors must not be
+// on. Syntactic analyzers check single sites: errors must not be
 // silently dropped, heterogeneous Values must never be compared with raw
 // ==, and switches over plan/expr/kind enumerations must stay exhaustive
-// as node types are added.
+// as node types are added. Flow-sensitive analyzers check paths over a
+// function-level CFG (cfg.go) with forward dataflow (dataflow.go):
+// Volcano iterators must be closed or handed off on every path, obs
+// spans must reach End on every path, contexts must propagate into
+// blocking calls, and no mutex may be held across a blocking operation.
 //
 // The framework deliberately avoids golang.org/x/tools: packages are
 // parsed with go/parser, type-checked with go/types, and analyzed over
@@ -16,6 +20,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -50,6 +55,9 @@ func All() []*Analyzer {
 		ErrDrop(),
 		ValueCompare(),
 		Exhaustive(),
+		SpanFinish(),
+		CtxFlow(),
+		LockHeld(),
 	}
 }
 
@@ -145,8 +153,10 @@ func (p *Pass) Parent(n ast.Node) ast.Node {
 	return p.parents[n]
 }
 
-// Run executes analyzers over packages in parallel and returns the
-// findings sorted by position.
+// Run executes analyzers over packages in parallel, applies lint:ignore
+// suppressions, and returns the findings sorted by position. Malformed
+// suppressions (no analyzer, no reason) surface as findings of the
+// pseudo-analyzer "suppress".
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var (
 		mu  sync.Mutex
@@ -154,7 +164,7 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		wg  sync.WaitGroup
 		// Bound the fan-out: one goroutine per (package, analyzer) pair
 		// is wasteful for big module trees.
-		sem = make(chan struct{}, 8)
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -176,6 +186,14 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	wg.Wait()
+	sites, bad := collectSuppressions(l.Fset, pkgs)
+	kept := out[:0]
+	for _, d := range out {
+		if !suppressed(sites, d) {
+			kept = append(kept, d)
+		}
+	}
+	out = append(kept, bad...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

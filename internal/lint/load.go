@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -43,6 +45,9 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+
+	parsedMu sync.Mutex
+	parsed   map[string]*ast.File
 }
 
 // NewLoader locates the module enclosing dir and returns a loader for it.
@@ -62,7 +67,70 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.Default(),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		parsed:     make(map[string]*ast.File),
 	}, nil
+}
+
+// Preparse parses the Go sources of every dir concurrently with a
+// bounded worker pool, priming the parse cache that load reuses.
+// Type-checking stays sequential (package dependencies impose an
+// order), but parsing dominates cold-load time and parallelizes
+// cleanly: token.FileSet is safe for concurrent AddFile. workers <= 0
+// means one per CPU. The first parse error is returned, matching what
+// a sequential load would have hit.
+func (l *Loader) Preparse(dirs []string, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if e.IsDir() || !isSourceFile(e.Name()) {
+				continue
+			}
+			name := filepath.Join(dir, e.Name())
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				l.parsedMu.Lock()
+				l.parsed[name] = f
+				l.parsedMu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parseFile returns the cached AST from Preparse or parses on demand.
+func (l *Loader) parseFile(name string) (*ast.File, error) {
+	l.parsedMu.Lock()
+	f, ok := l.parsed[name]
+	l.parsedMu.Unlock()
+	if ok {
+		return f, nil
+	}
+	return parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
 }
 
 // findModuleRoot walks up from dir to the directory containing go.mod.
@@ -236,7 +304,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if e.IsDir() || !isSourceFile(e.Name()) {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := l.parseFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, err
 		}

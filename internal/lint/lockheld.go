@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags a sync.Mutex/RWMutex held across an operation that can
+// block indefinitely — a module-internal RPC-shaped call (anything
+// taking a context), a channel send/receive, a select without default,
+// or WaitGroup.Wait. This is the classic 2PC fan-out deadlock shape: a
+// participant's lock held across a wire round-trip stalls every other
+// goroutine needing that lock for as long as the slowest (or dead)
+// source takes to answer. The analysis is per-function and path
+// sensitive: locking, calling, then unlocking on every path is still
+// flagged at the call, while lock/unlock pairs that bracket only
+// in-memory work are fine.
+func LockHeld() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld",
+		Doc:  "no mutex held across a blocking operation (RPC-shaped call, channel op, Wait)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fs := range pass.FuncScopes() {
+			checkLockHeld(pass, fs)
+		}
+	}
+	return a
+}
+
+// lockRef identifies one mutex by the root object of its access path
+// plus the rendered path ("c.mu"), so shadowing cannot alias two locks.
+type lockRef struct {
+	root types.Object
+	path string
+}
+
+const lockHeldState uint8 = 1
+
+func checkLockHeld(pass *Pass, fs funcScope) {
+	g := BuildCFG(fs.body)
+
+	// Cheap pre-scan: functions that never lock need no dataflow.
+	locks := false
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			walkNode(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if op, _, ok := syncLockOp(pass, call); ok && (op == "Lock" || op == "RLock") {
+						locks = true
+					}
+				}
+				return !locks
+			}, nil)
+		}
+	}
+	if !locks {
+		return
+	}
+
+	apply := func(bl *Block, s map[lockRef]uint8, report bool) {
+		for _, n := range bl.Nodes {
+			walkNode(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					if _, isDefer := pass.Parent(m).(*ast.DeferStmt); isDefer {
+						// `defer mu.Unlock()` releases at return, so the
+						// lock stays held through the body; deferred
+						// calls themselves run after the last statement.
+						return true
+					}
+					if op, ref, ok := syncLockOp(pass, m); ok {
+						switch op {
+						case "Lock", "RLock":
+							s[ref] = lockHeldState
+						case "Unlock", "RUnlock":
+							delete(s, ref)
+						}
+						return true
+					}
+					if report && len(s) > 0 {
+						if _, isGo := pass.Parent(m).(*ast.GoStmt); isGo {
+							return true // spawned work blocks its own goroutine
+						}
+						if desc, ok := blockingCall(pass, m); ok {
+							reportHeld(pass, m.Pos(), s, desc)
+						}
+					}
+				case *ast.SendStmt:
+					if report && len(s) > 0 && !inSelectWithDefault(pass, m) {
+						reportHeld(pass, m.Pos(), s, "a channel send")
+					}
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW && report && len(s) > 0 && !inSelectWithDefault(pass, m) {
+						reportHeld(pass, m.Pos(), s, "a channel receive")
+					}
+				case ast.Expr:
+					// Range subjects over channels block per iteration.
+					if report && len(s) > 0 {
+						if _, isRange := pass.Parent(m).(*ast.RangeStmt); isRange {
+							if t := pass.TypeOf(m); t != nil {
+								if _, isChan := t.Underlying().(*types.Chan); isChan {
+									reportHeld(pass, m.Pos(), s, "a channel range loop")
+								}
+							}
+						}
+					}
+				}
+				return true
+			}, nil)
+		}
+	}
+
+	in := fixpoint(g, map[lockRef]uint8{},
+		func(bl *Block, s map[lockRef]uint8) { apply(bl, s, false) }, nil)
+	for _, bl := range g.Blocks {
+		s, ok := in[bl]
+		if !ok {
+			continue
+		}
+		apply(bl, cloneFacts(s), true)
+	}
+}
+
+func reportHeld(pass *Pass, pos token.Pos, s map[lockRef]uint8, desc string) {
+	var names []string
+	for ref := range s {
+		names = append(names, ref.path)
+	}
+	sort.Strings(names)
+	pass.Reportf(pos, "%s is held across %s, which can block indefinitely and stall every goroutine contending for the lock; unlock before blocking",
+		strings.Join(names, ", "), desc)
+}
+
+// syncLockOp matches mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// and returns the operation plus the lock's identity.
+func syncLockOp(pass *Pass, call *ast.CallExpr) (string, lockRef, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockRef{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", lockRef{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockRef{}, false
+	}
+	ref, ok := lockPath(pass, sel.X)
+	if !ok {
+		return "", lockRef{}, false
+	}
+	return fn.Name(), ref, true
+}
+
+// lockPath renders a receiver chain like c.mu into a stable key; complex
+// receivers (map index, call result) are not tracked.
+func lockPath(pass *Pass, e ast.Expr) (lockRef, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		if obj == nil {
+			return lockRef{}, false
+		}
+		return lockRef{root: obj, path: e.Name}, true
+	case *ast.SelectorExpr:
+		r, ok := lockPath(pass, e.X)
+		if !ok {
+			return lockRef{}, false
+		}
+		return lockRef{root: r.root, path: r.path + "." + e.Sel.Name}, true
+	case *ast.StarExpr:
+		return lockPath(pass, e.X)
+	}
+	return lockRef{}, false
+}
+
+// blockingCall classifies calls that can block indefinitely: module
+// internal context-taking functions in the federation's I/O layers, and
+// sync.WaitGroup.Wait.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named := derefNamed(sig.Recv().Type()); named != nil && named.Obj().Name() == "WaitGroup" {
+				return "WaitGroup.Wait", true
+			}
+		}
+		return "", false // Cond.Wait releases the lock; not our shape
+	}
+	if mfn := moduleCtxCallee(pass, call); mfn != nil && inIOLayer(pass, mfn.Pkg().Path()) {
+		return fmt.Sprintf("the call to %s", mfn.Name()), true
+	}
+	return "", false
+}
+
+// inIOLayer reports whether a module package performs source/wire I/O,
+// fan-out, or coordination — the layers whose context-taking calls can
+// stall on a remote.
+func inIOLayer(pass *Pass, path string) bool {
+	for _, suffix := range []string{
+		"/internal/source", "/internal/wire", "/internal/txn",
+		"/internal/core", "/internal/catalog", "/internal/exec",
+	} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// derefNamed unwraps pointers to a named type.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// inSelectWithDefault reports whether n is the communication of a select
+// case in a select that has a default clause (then the op cannot block).
+func inSelectWithDefault(pass *Pass, n ast.Node) bool {
+	cur := ast.Node(n)
+	for i := 0; i < 4 && cur != nil; i++ {
+		parent := pass.Parent(cur)
+		if cc, ok := parent.(*ast.CommClause); ok {
+			// The clause's parent is the select's body block.
+			body, ok := pass.Parent(cc).(*ast.BlockStmt)
+			if !ok {
+				return false
+			}
+			sel, ok := pass.Parent(body).(*ast.SelectStmt)
+			if !ok {
+				return false
+			}
+			for _, cl := range sel.Body.List {
+				if c, ok := cl.(*ast.CommClause); ok && c.Comm == nil {
+					return true
+				}
+			}
+			return false
+		}
+		cur = parent
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression comments let a human override an analyzer at one site:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory — a suppression without a recorded why is
+// itself a finding, because six months later nobody can tell a
+// deliberate exception from a silenced bug. A suppression covers
+// diagnostics of the named analyzers on the comment's own line and on
+// the line directly below it (so it works both inline and as a lead-in
+// comment). Unknown analyzer names are accepted: fixtures and future
+// analyzers must not turn old suppressions into load failures.
+
+const ignorePrefix = "//lint:ignore"
+
+// suppressSite is one parsed lint:ignore comment.
+type suppressSite struct {
+	analyzers map[string]bool
+}
+
+// collectSuppressions parses every lint:ignore comment in pkgs. It
+// returns the suppression map keyed by filename then line, plus a
+// diagnostic for each malformed (reason-less or analyzer-less) comment;
+// those diagnostics carry the pseudo-analyzer name "suppress" and make
+// the driver fail like any other finding.
+func collectSuppressions(fset *token.FileSet, pkgs []*Package) (map[string]map[int]suppressSite, []Diagnostic) {
+	sites := make(map[string]map[int]suppressSite)
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "suppress",
+							Message:  "lint:ignore needs an analyzer name and a reason (//lint:ignore <analyzer> <why>); bare suppressions are rejected",
+						})
+						continue
+					}
+					names := make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							names[name] = true
+						}
+					}
+					if sites[pos.Filename] == nil {
+						sites[pos.Filename] = make(map[int]suppressSite)
+					}
+					sites[pos.Filename][pos.Line] = suppressSite{analyzers: names}
+				}
+			}
+		}
+	}
+	return sites, bad
+}
+
+// suppressed reports whether d is covered by a suppression on its own
+// line or the line above.
+func suppressed(sites map[string]map[int]suppressSite, d Diagnostic) bool {
+	byLine, ok := sites[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if site, ok := byLine[line]; ok && site.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Package ctxflow is a gislint test fixture: context propagation
+// patterns. Lines carrying a want comment must produce a diagnostic
+// containing the quoted substring; unmarked lines must not.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// fetch stands in for a module-internal RPC-shaped call.
+func fetch(ctx context.Context, table string) error {
+	_ = table
+	return ctx.Err()
+}
+
+// freshRoot builds its context from scratch instead of accepting one.
+func freshRoot() error {
+	ctx := context.Background() // want "context.Background outside package main"
+	return fetch(ctx, "t")
+}
+
+// freshTODO reaches for TODO, which is just as severed.
+func freshTODO() {
+	ctx := context.TODO() // want "context.TODO outside package main"
+	_ = fetch(ctx, "t")
+}
+
+// ignoresParam takes a context and then roots a fresh one anyway.
+func ignoresParam(ctx context.Context, table string) error {
+	bg := context.Background() // want "context.Background outside package main"
+	return fetch(bg, table)    // want "fetch receives bg, which is rooted at a fresh context"
+}
+
+// wrappedFresh hides the fresh root behind a deadline wrapper.
+func wrappedFresh(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(context.Background(), time.Second) // want "context.Background outside package main"
+	defer cancel()
+	return fetch(tctx, "t") // want "fetch receives tctx, which is rooted at a fresh context"
+}
+
+// threads passes the parameter straight through.
+func threads(ctx context.Context) error {
+	return fetch(ctx, "t")
+}
+
+// derivedOK scopes the caller's context with a deadline — still derived.
+func derivedOK(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return fetch(tctx, "t")
+}
+
+// healed overwrites the fresh context with the parameter before the
+// call, so only the Background construction itself is flagged.
+func healed(ctx context.Context) error {
+	c := context.Background() // want "context.Background outside package main"
+	c = ctx
+	return fetch(c, "t")
+}

@@ -1,0 +1,109 @@
+// Package lockheld is a gislint test fixture: mutexes held (and not
+// held) across blocking operations. Lines carrying a want comment must
+// produce a diagnostic containing the quoted substring; unmarked lines
+// must not.
+package lockheld
+
+import (
+	"context"
+	"sync"
+
+	"gis/internal/source"
+)
+
+// cache guards a table-info map and talks to a remote source.
+type cache struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	src source.Source
+	val map[string]*source.TableInfo
+}
+
+// rpcUnderLock holds mu across a wire round-trip — the 2PC fan-out
+// deadlock shape.
+func (c *cache) rpcUnderLock(ctx context.Context, table string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, err := c.src.TableInfo(ctx, table) // want "c.mu is held across the call to TableInfo"
+	if err != nil {
+		return err
+	}
+	c.val[table] = info
+	return nil
+}
+
+// rlockUnderLock shows read locks count too.
+func (c *cache) rlockUnderLock(ctx context.Context, table string) (*source.TableInfo, error) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.src.TableInfo(ctx, table) // want "c.rw is held across the call to TableInfo"
+}
+
+// sendUnderLock performs an unbuffered-channel send with the lock held.
+func (c *cache) sendUnderLock(ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want "c.mu is held across a channel send"
+	c.mu.Unlock()
+}
+
+// recvUnderLock blocks on a receive with the lock held.
+func (c *cache) recvUnderLock(ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch // want "c.mu is held across a channel receive"
+}
+
+// waitUnderLock joins a WaitGroup while holding the lock.
+func (c *cache) waitUnderLock(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want "c.mu is held across WaitGroup.Wait"
+	c.mu.Unlock()
+}
+
+// rangeUnderLock drains a channel while holding the lock.
+func (c *cache) rangeUnderLock(ch chan int) int {
+	total := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for v := range ch { // want "c.mu is held across a channel range loop"
+		total += v
+	}
+	return total
+}
+
+// unlockFirst releases before the round-trip: lookup under lock, fetch
+// outside it.
+func (c *cache) unlockFirst(ctx context.Context, table string) (*source.TableInfo, error) {
+	c.mu.Lock()
+	cached := c.val[table]
+	c.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	return c.src.TableInfo(ctx, table)
+}
+
+// nonBlockingSelect cannot stall: the default arm makes the send
+// best-effort.
+func (c *cache) nonBlockingSelect(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// spawnUnderLock blocks a spawned goroutine, not the lock holder.
+func (c *cache) spawnUnderLock(ctx context.Context, table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go c.src.TableInfo(ctx, table)
+}
+
+// inMemoryOnly brackets pure map access — the intended use.
+func (c *cache) inMemoryOnly(table string, info *source.TableInfo) {
+	c.mu.Lock()
+	c.val[table] = info
+	c.mu.Unlock()
+}

@@ -92,7 +92,7 @@ func newPlanFixture(t testing.TB) *catalog.Catalog {
 		if err := cat.DefineTable(def.name, def.sch); err != nil {
 			t.Fatal(err)
 		}
-		if err := cat.MapSimple(def.name, def.src, def.tbl); err != nil {
+		if err := cat.MapSimple(context.Background(), def.name, def.src, def.tbl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -439,7 +439,7 @@ func newPartitionedFixture(t testing.TB) *catalog.Catalog {
 		if err := cat.AddSource(st); err != nil {
 			t.Fatal(err)
 		}
-		if err := cat.MapSimple("events", name, "ev"); err != nil {
+		if err := cat.MapSimple(context.Background(), "events", name, "ev"); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -40,7 +41,7 @@ func TestRaceStressConcurrentClients(t *testing.T) {
 	if testing.Short() {
 		t.Skip("race stress test")
 	}
-	srv, err := Serve("127.0.0.1:0", stressStore(t, 400))
+	srv, err := Serve(context.Background(), "127.0.0.1:0", stressStore(t, 400))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRaceStressServerCloseUnderLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("race stress test")
 	}
-	srv, err := Serve("127.0.0.1:0", stressStore(t, 3000))
+	srv, err := Serve(context.Background(), "127.0.0.1:0", stressStore(t, 3000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,8 +50,11 @@ type Server struct {
 }
 
 // Serve starts serving src on addr (e.g. "127.0.0.1:0") and returns the
-// running server. Use Addr to discover the bound address.
-func Serve(addr string, src source.Source) (*Server, error) {
+// running server. Use Addr to discover the bound address. ctx is the
+// server's root context: every source call made on behalf of a client
+// request derives from it, so cancelling it unblocks handlers stuck in
+// a slow source (the listener itself is stopped with Close).
+func Serve(ctx context.Context, addr string, src source.Source) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -62,7 +65,7 @@ func Serve(addr string, src source.Source) (*Server, error) {
 		lm:      newLinkMetrics("server", src.Name()),
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop(ctx)
 	return s, nil
 }
 
@@ -83,7 +86,7 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ctx context.Context) {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
@@ -102,7 +105,7 @@ func (s *Server) acceptLoop() {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			err := s.serveConn(conn)
+			err := s.serveConn(ctx, conn)
 			if err != nil && !errors.Is(err, io.EOF) && !s.closed.Load() && !benignNetErr(err) {
 				s.Logf("wire server %s: connection error: %v", s.src.Name(), err)
 			}
@@ -115,14 +118,16 @@ type connState struct {
 	txs map[string]source.Tx
 }
 
-func (s *Server) serveConn(conn net.Conn) error {
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	fc := newFrameConn(conn, SimLink{}, SimLink{})
 	fc.metrics = s.lm
 	st := &connState{txs: make(map[string]source.Tx)}
 	defer func() {
-		// Abort any transaction the client abandoned.
+		// Abort any transaction the client abandoned. The abort must run
+		// even when the server's root context is already cancelled, so it
+		// uses a context detached from ctx's cancellation.
 		for _, tx := range st.txs {
-			_ = tx.Abort(context.Background())
+			_ = tx.Abort(context.WithoutCancel(ctx))
 		}
 	}()
 	for {
@@ -130,7 +135,7 @@ func (s *Server) serveConn(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
-		if err := s.handle(fc, st, tag, payload); err != nil {
+		if err := s.handle(ctx, fc, st, tag, payload); err != nil {
 			return err
 		}
 	}
@@ -142,8 +147,7 @@ func sendErr(fc *frameConn, err error) error {
 	return fc.writeFrame(msgErr, e.Bytes())
 }
 
-func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) error {
-	ctx := context.Background()
+func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag byte, payload []byte) error {
 	d := NewDecoder(payload)
 	switch tag {
 	case msgTables:
@@ -271,7 +275,7 @@ func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) 
 		return fc.writeFrame(msgOK, e.Bytes())
 
 	case msgInsert:
-		return s.handleWrite(fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
+		return s.handleWrite(ctx, fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
 			n, err := d.Uvarint()
 			if err != nil {
 				return 0, err
@@ -286,7 +290,7 @@ func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) 
 		})
 
 	case msgUpdate:
-		return s.handleWrite(fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
+		return s.handleWrite(ctx, fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
 			filter, err := d.Expr()
 			if err != nil {
 				return 0, err
@@ -323,7 +327,7 @@ func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) 
 		})
 
 	case msgDelete:
-		return s.handleWrite(fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
+		return s.handleWrite(ctx, fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
 			filter, err := d.Expr()
 			if err != nil {
 				return 0, err
@@ -372,9 +376,8 @@ func (s *Server) handle(fc *frameConn, st *connState, tag byte, payload []byte) 
 // handleWrite decodes the shared (txid, table) prefix of write requests,
 // resolves the writer (transactional or autocommit), runs op, and sends
 // the affected-row count.
-func (s *Server) handleWrite(fc *frameConn, st *connState, d *Decoder,
+func (s *Server) handleWrite(ctx context.Context, fc *frameConn, st *connState, d *Decoder,
 	op func(context.Context, source.Writer, string, *Decoder) (int64, error)) error {
-	ctx := context.Background()
 	txid, err := d.String()
 	if err != nil {
 		return sendErr(fc, err)

@@ -39,7 +39,7 @@ func startRelServer(t *testing.T, n int, opts ...Option) (*relstore.Store, *Clie
 	if _, err := st.Insert(ctx, "items", rows); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := Serve("127.0.0.1:0", st)
+	srv, err := Serve(context.Background(), "127.0.0.1:0", st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestServerShutdownDuringStream(t *testing.T) {
 		rows = append(rows, types.Row{types.NewInt(int64(i))})
 	}
 	st.Insert(ctx, "t", rows)
-	srv, err := Serve("127.0.0.1:0", st)
+	srv, err := Serve(context.Background(), "127.0.0.1:0", st)
 	if err != nil {
 		t.Fatal(err)
 	}

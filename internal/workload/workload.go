@@ -46,14 +46,14 @@ type Link = wire.SimLink
 
 // attach registers a store with the engine either in-process or through
 // a TCP wire server with the simulated link.
-func (f *Fixture) attach(st source.Source, remote bool, link Link) (source.Source, error) {
+func (f *Fixture) attach(ctx context.Context, st source.Source, remote bool, link Link) (source.Source, error) {
 	if !remote {
 		if err := f.Engine.Catalog().AddSource(st); err != nil {
 			return nil, err
 		}
 		return st, nil
 	}
-	srv, err := wire.Serve("127.0.0.1:0", st)
+	srv, err := wire.Serve(ctx, "127.0.0.1:0", st)
 	if err != nil {
 		return nil, err
 	}
@@ -126,46 +126,46 @@ func GenCustomers(n int, seed int64) []types.Row {
 //	orders    (nOrd rows, cust_id ∈ [0,nCust)) on source "src_o"
 //
 // remote serves both stores over TCP with the given link.
-func TwoTable(nCust, nOrd int, remote bool, link Link) (*Fixture, error) {
+func TwoTable(ctx context.Context, nCust, nOrd int, remote bool, link Link) (*Fixture, error) {
 	f := &Fixture{Engine: core.New(), Stores: map[string]*relstore.Store{}}
 
 	cStore := relstore.New("src_c")
 	if err := cStore.CreateTable("customers", customersSchema(), 0); err != nil {
 		return nil, err
 	}
-	if _, err := cStore.Insert(context.Background(), "customers", GenCustomers(nCust, 1)); err != nil {
+	if _, err := cStore.Insert(ctx, "customers", GenCustomers(nCust, 1)); err != nil {
 		return nil, err
 	}
 	oStore := relstore.New("src_o")
 	if err := oStore.CreateTable("orders", ordersSchema(), 0); err != nil {
 		return nil, err
 	}
-	if _, err := oStore.Insert(context.Background(), "orders", GenOrders(nOrd, max(nCust, 1), 2)); err != nil {
+	if _, err := oStore.Insert(ctx, "orders", GenOrders(nOrd, max(nCust, 1), 2)); err != nil {
 		return nil, err
 	}
 	f.Stores["src_c"] = cStore
 	f.Stores["src_o"] = oStore
 
-	if _, err := f.attach(cStore, remote, link); err != nil {
+	if _, err := f.attach(ctx, cStore, remote, link); err != nil {
 		return nil, err
 	}
-	if _, err := f.attach(oStore, remote, link); err != nil {
+	if _, err := f.attach(ctx, oStore, remote, link); err != nil {
 		return nil, err
 	}
 	cat := f.Engine.Catalog()
 	if err := cat.DefineTable("customers", customersSchema()); err != nil {
 		return nil, err
 	}
-	if err := cat.MapSimple("customers", "src_c", "customers"); err != nil {
+	if err := cat.MapSimple(ctx, "customers", "src_c", "customers"); err != nil {
 		return nil, err
 	}
 	if err := cat.DefineTable("orders", ordersSchema()); err != nil {
 		return nil, err
 	}
-	if err := cat.MapSimple("orders", "src_o", "orders"); err != nil {
+	if err := cat.MapSimple(ctx, "orders", "src_o", "orders"); err != nil {
 		return nil, err
 	}
-	if err := f.Engine.Analyze(context.Background()); err != nil {
+	if err := f.Engine.Analyze(ctx); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -173,7 +173,7 @@ func TwoTable(nCust, nOrd int, remote bool, link Link) (*Fixture, error) {
 
 // Partitioned builds a table horizontally split over k sources with
 // rowsPer rows each (T4 fan-out).
-func Partitioned(k, rowsPer int, remote bool, link Link) (*Fixture, error) {
+func Partitioned(ctx context.Context, k, rowsPer int, remote bool, link Link) (*Fixture, error) {
 	f := &Fixture{Engine: core.New(), Stores: map[string]*relstore.Store{}}
 	cat := f.Engine.Catalog()
 	if err := cat.DefineTable("events", ordersSchema()); err != nil {
@@ -191,18 +191,18 @@ func Partitioned(k, rowsPer int, remote bool, link Link) (*Fixture, error) {
 		for i := range rows {
 			rows[i][0] = types.NewInt(lo + int64(i))
 		}
-		if _, err := st.Insert(context.Background(), "events", rows); err != nil {
+		if _, err := st.Insert(ctx, "events", rows); err != nil {
 			return nil, err
 		}
 		f.Stores[name] = st
-		if _, err := f.attach(st, remote, link); err != nil {
+		if _, err := f.attach(ctx, st, remote, link); err != nil {
 			return nil, err
 		}
 		hiBound := lo + int64(rowsPer)
 		part := expr.NewBinary(expr.OpAnd,
 			expr.NewBinary(expr.OpGe, expr.NewColRef("", "oid"), expr.NewConst(types.NewInt(lo))),
 			expr.NewBinary(expr.OpLt, expr.NewColRef("", "oid"), expr.NewConst(types.NewInt(hiBound))))
-		if err := cat.MapFragment("events", &catalog.Fragment{
+		if err := cat.MapFragment(ctx, "events", &catalog.Fragment{
 			Source: name, RemoteTable: "events",
 			Columns: []catalog.ColumnMapping{{RemoteCol: 0}, {RemoteCol: 1}, {RemoteCol: 2}, {RemoteCol: 3}},
 			Where:   part,
@@ -210,7 +210,7 @@ func Partitioned(k, rowsPer int, remote bool, link Link) (*Fixture, error) {
 			return nil, err
 		}
 	}
-	if err := f.Engine.Analyze(context.Background()); err != nil {
+	if err := f.Engine.Analyze(ctx); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -220,7 +220,7 @@ func Partitioned(k, rowsPer int, remote bool, link Link) (*Fixture, error) {
 // "orders_native" maps identity, "orders_mediated" goes through a value
 // map on region, an affine conversion on amount (cents → currency), and
 // a constant site column (F5 mediation overhead).
-func Heterogeneous(nOrd int, remote bool, link Link) (*Fixture, error) {
+func Heterogeneous(ctx context.Context, nOrd int, remote bool, link Link) (*Fixture, error) {
 	f := &Fixture{Engine: core.New(), Stores: map[string]*relstore.Store{}}
 	st := relstore.New("legacy")
 	// The legacy store keeps region codes and integer cents.
@@ -239,11 +239,11 @@ func Heterogeneous(nOrd int, remote bool, link Link) (*Fixture, error) {
 		rows[i][2] = types.NewFloat(rows[i][2].Float() * 100) // cents
 		rows[i][3] = types.NewString(codes[rows[i][3].Str()])
 	}
-	if _, err := st.Insert(context.Background(), "orders", rows); err != nil {
+	if _, err := st.Insert(ctx, "orders", rows); err != nil {
 		return nil, err
 	}
 	f.Stores["legacy"] = st
-	if _, err := f.attach(st, remote, link); err != nil {
+	if _, err := f.attach(ctx, st, remote, link); err != nil {
 		return nil, err
 	}
 	cat := f.Engine.Catalog()
@@ -251,7 +251,7 @@ func Heterogeneous(nOrd int, remote bool, link Link) (*Fixture, error) {
 	if err := cat.DefineTable("orders_native", legacySchema); err != nil {
 		return nil, err
 	}
-	if err := cat.MapSimple("orders_native", "legacy", "orders"); err != nil {
+	if err := cat.MapSimple(ctx, "orders_native", "legacy", "orders"); err != nil {
 		return nil, err
 	}
 	// Mediated view: currency units, spelled-out regions, site tag.
@@ -266,7 +266,7 @@ func Heterogeneous(nOrd int, remote bool, link Link) (*Fixture, error) {
 	if err := cat.DefineTable("orders_mediated", mediated); err != nil {
 		return nil, err
 	}
-	if err := cat.MapFragment("orders_mediated", &catalog.Fragment{
+	if err := cat.MapFragment(ctx, "orders_mediated", &catalog.Fragment{
 		Source: "legacy", RemoteTable: "orders",
 		Columns: []catalog.ColumnMapping{
 			{RemoteCol: 0},
@@ -278,7 +278,7 @@ func Heterogeneous(nOrd int, remote bool, link Link) (*Fixture, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := f.Engine.Analyze(context.Background()); err != nil {
+	if err := f.Engine.Analyze(ctx); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -288,7 +288,7 @@ func Heterogeneous(nOrd int, remote bool, link Link) (*Fixture, error) {
 // descending capability (T8): full SQL (relstore), keyed (kvstore),
 // documents (docstore), flat file (filestore). Tables are named
 // orders_rel / orders_kv / orders_doc / orders_file.
-func Capability(nOrd int) (*Fixture, error) {
+func Capability(ctx context.Context, nOrd int) (*Fixture, error) {
 	f := &Fixture{Engine: core.New(), Stores: map[string]*relstore.Store{}}
 	cat := f.Engine.Catalog()
 	rows := GenOrders(nOrd, 1000, 11)
@@ -298,7 +298,7 @@ func Capability(nOrd int) (*Fixture, error) {
 	if err := rs.CreateTable("orders", schema, 0); err != nil {
 		return nil, err
 	}
-	if _, err := rs.Insert(context.Background(), "orders", rows); err != nil {
+	if _, err := rs.Insert(ctx, "orders", rows); err != nil {
 		return nil, err
 	}
 	f.Stores["cap_rel"] = rs
@@ -307,7 +307,7 @@ func Capability(nOrd int) (*Fixture, error) {
 	if err := kv.CreateBucket("orders", schema, 0); err != nil {
 		return nil, err
 	}
-	if _, err := kv.Insert(context.Background(), "orders", rows); err != nil {
+	if _, err := kv.Insert(ctx, "orders", rows); err != nil {
 		return nil, err
 	}
 
@@ -353,11 +353,11 @@ func Capability(nOrd int) (*Fixture, error) {
 		if err := cat.DefineTable(name, schema); err != nil {
 			return nil, err
 		}
-		if err := cat.MapSimple(name, src, "orders"); err != nil {
+		if err := cat.MapSimple(ctx, name, src, "orders"); err != nil {
 			return nil, err
 		}
 	}
-	if err := f.Engine.Analyze(context.Background()); err != nil {
+	if err := f.Engine.Analyze(ctx); err != nil {
 		return nil, err
 	}
 	return f, nil
@@ -366,7 +366,7 @@ func Capability(nOrd int) (*Fixture, error) {
 // TxnStores builds n transactional relstores each holding an "acct"
 // table mapped into a partitioned global table (participant i owns ids
 // [i*rows, (i+1)*rows)). Used by the atomic-commitment experiment (T6).
-func TxnStores(n, rowsPer int, remote bool, link Link) (*Fixture, error) {
+func TxnStores(ctx context.Context, n, rowsPer int, remote bool, link Link) (*Fixture, error) {
 	f := &Fixture{Engine: core.New(), Stores: map[string]*relstore.Store{}}
 	cat := f.Engine.Catalog()
 	schema := types.NewSchema(
@@ -389,15 +389,15 @@ func TxnStores(n, rowsPer int, remote bool, link Link) (*Fixture, error) {
 				types.NewFloat(1000),
 			}
 		}
-		if _, err := st.Insert(context.Background(), "acct", rows); err != nil {
+		if _, err := st.Insert(ctx, "acct", rows); err != nil {
 			return nil, err
 		}
 		f.Stores[name] = st
-		if _, err := f.attach(st, remote, link); err != nil {
+		if _, err := f.attach(ctx, st, remote, link); err != nil {
 			return nil, err
 		}
 		lo, hi := int64(p*rowsPer), int64((p+1)*rowsPer)
-		if err := cat.MapFragment("accounts", &catalog.Fragment{
+		if err := cat.MapFragment(ctx, "accounts", &catalog.Fragment{
 			Source: name, RemoteTable: "acct",
 			Columns: []catalog.ColumnMapping{{RemoteCol: 0}, {RemoteCol: 1}},
 			Where: expr.NewBinary(expr.OpAnd,

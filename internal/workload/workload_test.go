@@ -9,7 +9,7 @@ import (
 var ctx = context.Background()
 
 func TestTwoTableLocal(t *testing.T) {
-	f, err := TwoTable(100, 1000, false, Link{})
+	f, err := TwoTable(context.Background(), 100, 1000, false, Link{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestTwoTableLocal(t *testing.T) {
 }
 
 func TestTwoTableRemote(t *testing.T) {
-	f, err := TwoTable(50, 200, true, Link{Latency: time.Millisecond})
+	f, err := TwoTable(context.Background(), 50, 200, true, Link{Latency: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestTwoTableRemote(t *testing.T) {
 }
 
 func TestPartitionedFixture(t *testing.T) {
-	f, err := Partitioned(4, 250, false, Link{})
+	f, err := Partitioned(context.Background(), 4, 250, false, Link{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestPartitionedFixture(t *testing.T) {
 }
 
 func TestHeterogeneousViewsAgree(t *testing.T) {
-	f, err := Heterogeneous(500, false, Link{})
+	f, err := Heterogeneous(context.Background(), 500, false, Link{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestHeterogeneousViewsAgree(t *testing.T) {
 }
 
 func TestCapabilityWrappersAgree(t *testing.T) {
-	f, err := Capability(300)
+	f, err := Capability(context.Background(), 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func replaceTable(q, tbl string) string {
 }
 
 func TestTxnStoresFixture(t *testing.T) {
-	f, err := TxnStores(4, 10, false, Link{})
+	f, err := TxnStores(context.Background(), 4, 10, false, Link{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,13 @@
 #
 #   1. gofmt      — no unformatted files
 #   2. go vet     — stdlib static checks
-#   3. gislint    — project invariant analyzers (iterclose, errdrop,
-#                   valuecompare, exhaustive); see DESIGN.md
+#   3. gislint    — project invariant analyzers, both syntactic
+#                   (errdrop, valuecompare, exhaustive) and CFG-based
+#                   flow-sensitive (iterclose, spanfinish, ctxflow,
+#                   lockheld); see DESIGN.md
+#   3b. fixtures  — each analyzer must still fire on its fixture
+#                   package (an analyzer that stops finding its own
+#                   fixture has gone blind)
 #   4. go build   — everything compiles
 #   5. go test    — full suite under the race detector, including the
 #                   race-stress tests (skipped under -short)
@@ -30,6 +35,9 @@ go vet ./...
 
 echo '== gislint =='
 go run ./cmd/gislint ./...
+
+echo '== gislint fixtures =='
+go test ./internal/lint -run 'TestFixtures|TestSuppressions' -count=1
 
 echo '== go build =='
 go build ./...
