@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures fmt vet check bench
+.PHONY: build test race lint lint-fixtures fmt vet check chaos bench
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ vet:
 # The full gate: gofmt, vet, gislint, build, race-enabled tests.
 check:
 	sh scripts/check.sh
+
+# Seeded fault-injection stress tests: wire, union, bind-join, 2PC
+# (see DESIGN.md "Resilience & fault model").
+chaos:
+	$(GO) test -race -run TestChaos ./...
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"gis/internal/faults"
 	"gis/internal/obs"
 	"gis/internal/relstore"
 	"gis/internal/types"
@@ -54,6 +55,7 @@ func main() {
 		name      = flag.String("name", "gisd", "source name reported to mediators")
 		debugAddr = flag.String("debug-addr", "", "serve metrics/pprof/sessions on this address (e.g. 127.0.0.1:6060)")
 		slowQuery = flag.Duration("slow-query", 250*time.Millisecond, "retain sub-queries slower than this on /slow")
+		faultPlan = flag.String("fault-plan", "", `seeded fault-injection plan, e.g. "seed=7;*:err=0.05,stall=50ms,stallp=0.1"`)
 		tables    tableFlag
 	)
 	flag.Var(&tables, "table", "table definition: name=path:col:type[,col:type...] (repeatable)")
@@ -75,7 +77,16 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	srv, err := wire.Serve(ctx, *listen, store)
+	var srvOpts []wire.ServerOption
+	if *faultPlan != "" {
+		fp, err := faults.ParsePlan(*faultPlan)
+		if err != nil {
+			log.Fatalf("gisd: -fault-plan: %v", err)
+		}
+		srvOpts = append(srvOpts, wire.WithServerFaults(fp))
+		log.Printf("gisd: fault injection armed: %s", *faultPlan)
+	}
+	srv, err := wire.Serve(ctx, *listen, store, srvOpts...)
 	if err != nil {
 		log.Fatalf("gisd: %v", err)
 	}

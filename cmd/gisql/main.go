@@ -28,8 +28,10 @@ import (
 
 	"gis/internal/catalog"
 	"gis/internal/core"
+	"gis/internal/faults"
 	"gis/internal/obs"
 	"gis/internal/relstore"
+	"gis/internal/resilience"
 	"gis/internal/source"
 	"gis/internal/types"
 	"gis/internal/wire"
@@ -52,12 +54,41 @@ func main() {
 		oneShot   = flag.String("e", "", "execute one statement and exit")
 		noTrace   = flag.Bool("no-trace", false, "disable per-statement tracing")
 		debugAddr = flag.String("debug-addr", "", "serve metrics/pprof/sessions on this address")
+		resil     = flag.Bool("resilience", true, "retry idempotent reads and shed load from failing sources (circuit breakers)")
+		partial   = flag.Bool("partial", false, "degrade to partial results when a non-essential source fails")
+		faultPlan = flag.String("fault-plan", "", `client-side seeded fault-injection plan, e.g. "seed=7;ny:err=0.05"`)
+		retries   = flag.Int("retries", 2, "retry attempts for idempotent reads (with -resilience)")
+		callTO    = flag.Duration("call-timeout", 2*time.Second, "per-attempt deadline for metadata calls (with -resilience)")
+		brkThresh = flag.Int("breaker-threshold", 4, "consecutive failures before a source's breaker opens (0 disables)")
+		brkCool   = flag.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker rejects calls before probing")
+		dialTO    = flag.Duration("connect-timeout", wire.DefaultDialTimeout, "TCP connect timeout for component systems")
 	)
 	flag.Var(&sources, "source", "component system: name=host:port (repeatable)")
 	flag.Parse()
 
 	e := core.New()
 	e.SetTracing(!*noTrace)
+	e.SetPartialResults(*partial)
+	if *resil {
+		p := resilience.DefaultPolicy()
+		p.MaxRetries = *retries
+		p.CallTimeout = *callTO
+		p.BreakerThreshold = *brkThresh
+		p.BreakerCooldown = *brkCool
+		if err := e.Catalog().SetResilience(p); err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *faultPlan != "" {
+		fp, err := faults.ParsePlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: -fault-plan: %v\n", err)
+			os.Exit(1)
+		}
+		clientFaults = fp
+	}
+	connectTimeout = *dialTO
 	ctx := context.Background()
 
 	if *debugAddr != "" {
@@ -111,18 +142,33 @@ func main() {
 	repl(ctx, e)
 }
 
+// clientFaults, when set by -fault-plan, injects faults on every
+// client-side link; connectTimeout bounds the TCP dial.
+var (
+	clientFaults   *faults.Plan
+	connectTimeout = wire.DefaultDialTimeout
+)
+
+// dialOpts assembles the wire options shared by every outbound dial.
+func dialOpts(name string) []wire.Option {
+	opts := []wire.Option{wire.WithName(name), wire.WithConnectTimeout(connectTimeout)}
+	if clientFaults != nil {
+		opts = append(opts, wire.WithFaultPlan(clientFaults))
+	}
+	return opts
+}
+
 // dialSource connects one config-declared component system, applying
 // any simulated link parameters it specifies.
-func dialSource(sc catalog.SourceConfig) (source.Source, error) {
-	var opts []wire.Option
-	opts = append(opts, wire.WithName(sc.Name))
+func dialSource(ctx context.Context, sc catalog.SourceConfig) (source.Source, error) {
+	opts := dialOpts(sc.Name)
 	if sc.LatencyMS > 0 || sc.BandwidthMBps > 0 {
 		opts = append(opts, wire.WithSimLink(wire.SimLink{
 			Latency:     time.Duration(sc.LatencyMS) * time.Millisecond,
 			BytesPerSec: int64(sc.BandwidthMBps) << 20,
 		}))
 	}
-	return wire.Dial(sc.Addr, opts...)
+	return wire.DialContext(ctx, sc.Addr, opts...)
 }
 
 // attachSource dials a gisd endpoint and imports every remote table into
@@ -134,19 +180,29 @@ func attachSource(ctx context.Context, e *core.Engine, def string) error {
 		return fmt.Errorf("bad -source %q: want name=addr", def)
 	}
 	name, addr := def[:eq], def[eq+1:]
-	cl, err := wire.Dial(addr, wire.WithName(name))
+	cl, err := wire.DialContext(ctx, addr, dialOpts(name)...)
 	if err != nil {
 		return err
 	}
 	if err := e.Catalog().AddSource(cl); err != nil {
 		return err
 	}
-	tables, err := cl.Tables(ctx)
+	// Fetch metadata through the catalog's registered source, not the
+	// raw client: with -resilience the registered source retries
+	// transient failures, so setup survives an unreliable link.
+	src, err := e.Catalog().Source(cl.Name())
+	if err != nil {
+		return err
+	}
+	tables, err := src.Tables(ctx)
 	if err != nil {
 		return err
 	}
 	for _, tbl := range tables {
-		info, err := cl.TableInfo(ctx, tbl)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		info, err := src.TableInfo(ctx, tbl)
 		if err != nil {
 			return err
 		}
@@ -289,7 +345,7 @@ func command(ctx context.Context, e *core.Engine, line string) bool {
 			if err != nil {
 				continue
 			}
-			fmt.Printf("%s [%s]\n", s, src.Capabilities())
+			fmt.Printf("%s [%s] %s\n", s, src.Capabilities(), e.Catalog().Health().For(s).Describe())
 		}
 	case strings.HasPrefix(line, "\\explain "):
 		out, err := e.Explain(ctx, strings.TrimPrefix(line, "\\explain "))
@@ -332,5 +388,11 @@ func runStatement(ctx context.Context, e *core.Engine, stmt string) error {
 	}
 	fmt.Print(res.String())
 	fmt.Printf("(%d row(s))\n", len(res.Rows))
+	if res.Partial != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", res.Partial)
+		for _, o := range res.Partial.Failed() {
+			fmt.Fprintf(os.Stderr, "  %s (%s): %v\n", o.Source, o.Op, o.Err)
+		}
+	}
 	return nil
 }

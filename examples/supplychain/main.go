@@ -50,7 +50,8 @@ func main() {
 	for _, s := range []struct{ name, addr string }{
 		{"wh_east", eastAddr}, {"wh_west", westAddr}, {"partsdb", partsAddr},
 	} {
-		cl, err := wire.Dial(s.addr, wire.WithSimLink(link), wire.WithName(s.name))
+		must(ctx.Err())
+		cl, err := wire.DialContext(ctx, s.addr, wire.WithSimLink(link), wire.WithName(s.name))
 		must(err)
 		closers = append(closers, cl.Close)
 		must(cat.AddSource(cl))

@@ -100,6 +100,9 @@ func (c *Catalog) Apply(ctx context.Context, cfg *Config, parsePred func(string)
 			return err
 		}
 		for fi, fc := range tc.Fragments {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			frag := &Fragment{Source: fc.Source, RemoteTable: fc.RemoteTable}
 			for ci, mc := range fc.Columns {
 				m := ColumnMapping{

@@ -64,7 +64,7 @@ func TestApplyConfigEndToEnd(t *testing.T) {
 
 	e := New()
 	var clients []*wire.Client
-	dial := func(sc catalog.SourceConfig) (source.Source, error) {
+	dial := func(ctx context.Context, sc catalog.SourceConfig) (source.Source, error) {
 		var opts []wire.Option
 		opts = append(opts, wire.WithName(sc.Name))
 		if sc.LatencyMS > 0 {
@@ -72,7 +72,7 @@ func TestApplyConfigEndToEnd(t *testing.T) {
 				Latency: time.Duration(sc.LatencyMS) * time.Millisecond,
 			}))
 		}
-		cl, err := wire.Dial(sc.Addr, opts...)
+		cl, err := wire.DialContext(ctx, sc.Addr, opts...)
 		if err == nil {
 			clients = append(clients, cl)
 		}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"gis/internal/expr"
 	"gis/internal/obs"
 	"gis/internal/plan"
+	"gis/internal/resilience"
 	"gis/internal/source"
 	"gis/internal/sql"
 	"gis/internal/stats"
@@ -39,7 +41,15 @@ type Engine struct {
 	// qlog tracks in-flight statements and retains slow ones with their
 	// traces (served by the debug endpoint).
 	qlog *obs.QueryLog
+	// partial, when set, lets SELECTs survive non-essential source
+	// failures: a failed union branch or key-shipped-join fragment is
+	// recorded instead of failing the query, and the Result carries a
+	// typed PartialResultError describing what is missing.
+	partial atomic.Bool
 }
+
+// mPartialQueries counts top-level SELECTs that completed degraded.
+var mPartialQueries = obs.Default().Counter("core.partial_queries")
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -64,6 +74,20 @@ func New(opts ...Option) *Engine {
 	}
 	return e
 }
+
+// WithPartialResults enables graceful degradation from construction.
+func WithPartialResults() Option {
+	return func(e *Engine) { e.partial.Store(true) }
+}
+
+// SetPartialResults toggles graceful degradation for SELECTs. Off by
+// default: every source failure fails the query. On, a failed fan-out
+// branch yields a Result with Partial set (unless every branch failed,
+// which is still a hard error). Writes are never degraded.
+func (e *Engine) SetPartialResults(on bool) { e.partial.Store(on) }
+
+// PartialResults reports whether graceful degradation is enabled.
+func (e *Engine) PartialResults() bool { return e.partial.Load() }
 
 // SetTracing toggles per-statement tracing. Off by default: with it off
 // the only per-query cost is the query-log bookkeeping.
@@ -123,11 +147,15 @@ func (e *Engine) Coordinator() *txn.Coordinator { return e.coord }
 // the harness to toggle rules between runs).
 func (e *Engine) PlanOptions() *plan.Options { return e.opts }
 
-// Result is a materialized query result.
+// Result is a materialized query result. Partial, set only when the
+// engine runs with partial results enabled, describes source branches
+// that failed and were degraded to empty contributions; it is nil for a
+// complete result.
 type Result struct {
 	Columns []string
 	Schema  *types.Schema
 	Rows    []types.Row
+	Partial *resilience.PartialResultError
 }
 
 // String renders the result as an aligned text table.
@@ -201,6 +229,10 @@ func (e *Engine) parse(ctx context.Context, text string, params ...types.Value) 
 // schema describes the stream.
 func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Value) (*types.Schema, source.RowIter, error) {
 	ctx, finish := e.instrument(ctx, text)
+	var outc *resilience.Outcomes
+	if e.partial.Load() && resilience.OutcomesFrom(ctx) == nil {
+		ctx, outc = resilience.WithOutcomes(ctx)
+	}
 	_, pspan := obs.StartSpan(ctx, obs.SpanParse, "")
 	sel, err := sql.ParseSelect(text, params...)
 	pspan.End()
@@ -219,18 +251,36 @@ func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Val
 		return nil, nil, err
 	}
 	// The statement is live until the stream is closed.
-	return p.Schema(), &finishIter{in: it, fn: finish}, nil
+	return p.Schema(), &finishIter{in: it, fn: finish, outc: outc}, nil
 }
 
 // finishIter completes a streamed statement's instrumentation when the
-// consumer closes the stream.
+// consumer closes the stream, and carries the degradation collector for
+// streamed partial results.
 type finishIter struct {
 	in   source.RowIter
 	fn   func(error)
+	outc *resilience.Outcomes
 	done bool
 }
 
-func (f *finishIter) Next() (types.Row, error) { return f.in.Next() }
+func (f *finishIter) Next() (types.Row, error) {
+	r, err := f.in.Next()
+	if err == io.EOF {
+		// A stream where every fan-out branch degraded answered nothing;
+		// surface that as the failure it is rather than an empty result.
+		if pre := f.outc.Partial(); pre != nil && pre.AllFailed() {
+			return nil, pre
+		}
+	}
+	return r, err
+}
+
+// Partial returns the partial-result description once the stream has
+// ended, or nil when the result is complete (or degradation is off).
+func (f *finishIter) Partial() *resilience.PartialResultError {
+	return f.outc.Partial()
+}
 
 func (f *finishIter) Close() error {
 	err := f.in.Close()
@@ -242,6 +292,14 @@ func (f *finishIter) Close() error {
 }
 
 func (e *Engine) runSelect(ctx context.Context, sel *sql.SelectStmt) (*Result, error) {
+	// Arm the degradation collector once per top-level statement: nested
+	// runSelect calls (subqueries) find it already in the context and
+	// record into it, so a degraded subquery surfaces on the outer
+	// statement's result instead of vanishing with the inner one.
+	var outc *resilience.Outcomes
+	if e.partial.Load() && resilience.OutcomesFrom(ctx) == nil {
+		ctx, outc = resilience.WithOutcomes(ctx)
+	}
 	p, err := e.planSelect(ctx, sel)
 	if err != nil {
 		return nil, err
@@ -255,7 +313,16 @@ func (e *Engine) runSelect(ctx context.Context, sel *sql.SelectStmt) (*Result, e
 	for i, c := range schema.Columns {
 		cols[i] = c.Name
 	}
-	return &Result{Columns: cols, Schema: schema, Rows: rows}, nil
+	res := &Result{Columns: cols, Schema: schema, Rows: rows}
+	if pre := outc.Partial(); pre != nil {
+		if pre.AllFailed() {
+			// Nothing answered: that is a failed query, not a result.
+			return nil, pre
+		}
+		mPartialQueries.Inc()
+		res.Partial = pre
+	}
+	return res, nil
 }
 
 // planSelect materializes subqueries and produces an optimized plan.
@@ -358,11 +425,17 @@ func (e *Engine) Exec(ctx context.Context, text string, params ...types.Value) (
 // scanning the remote table.
 func (e *Engine) Analyze(ctx context.Context) error {
 	for _, name := range e.cat.Tables() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tab, err := e.cat.Table(name)
 		if err != nil {
 			return err
 		}
 		for _, frag := range tab.Fragments {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			src, err := e.cat.Source(frag.Source)
 			if err != nil {
 				return err
@@ -398,6 +471,9 @@ func (e *Engine) Analyze(ctx context.Context) error {
 // fails, surfacing a clear error).
 func (e *Engine) materializeSubqueries(ctx context.Context, sel *sql.SelectStmt) error {
 	for cur := sel; cur != nil; cur = cur.Union {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Derived tables first (they may contain subqueries).
 		if cur.From != nil {
 			if err := e.materializeFromSubqueries(ctx, cur.From); err != nil {
@@ -418,6 +494,9 @@ func (e *Engine) materializeSubqueries(ctx context.Context, sel *sql.SelectStmt)
 			}
 		}
 		for i := range cur.Items {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if cur.Items[i].Expr == nil {
 				continue
 			}
@@ -504,16 +583,19 @@ func (e *Engine) substituteSubqueries(ctx context.Context, ex expr.Expr) (expr.E
 // defines the global tables. ctx bounds the remote metadata fetches
 // performed while mapping fragments. Used by tools; library callers
 // usually register sources directly.
-func (e *Engine) ApplyConfig(ctx context.Context, data []byte, dial func(catalog.SourceConfig) (source.Source, error)) error {
+func (e *Engine) ApplyConfig(ctx context.Context, data []byte, dial func(context.Context, catalog.SourceConfig) (source.Source, error)) error {
 	cfg, err := catalog.ParseConfig(data)
 	if err != nil {
 		return err
 	}
 	for _, sc := range cfg.Sources {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if dial == nil {
 			return fmt.Errorf("core: config lists sources but no dialer was supplied")
 		}
-		src, err := dial(sc)
+		src, err := dial(ctx, sc)
 		if err != nil {
 			return fmt.Errorf("core: dialing source %s (%s): %w", sc.Name, sc.Addr, err)
 		}

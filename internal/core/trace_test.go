@@ -101,8 +101,8 @@ func traceFederation(t *testing.T, a, b string) *Engine {
 
 	e := New()
 	var clients []*wire.Client
-	dial := func(sc catalog.SourceConfig) (source.Source, error) {
-		cl, err := wire.Dial(sc.Addr, wire.WithName(sc.Name))
+	dial := func(ctx context.Context, sc catalog.SourceConfig) (source.Source, error) {
+		cl, err := wire.DialContext(ctx, sc.Addr, wire.WithName(sc.Name))
 		if err == nil {
 			clients = append(clients, cl)
 		}

@@ -226,6 +226,9 @@ func (e *Engine) execUpdate(ctx context.Context, upd *sql.UpdateStmt) (int64, er
 	}
 	sets := make([]setClause, len(upd.Set))
 	for i, a := range upd.Set {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		col, err := tab.Schema.IndexOf("", a.Column)
 		if err != nil {
 			return 0, err
@@ -367,6 +370,10 @@ func (e *Engine) applyWrites(ctx context.Context, writes map[*catalog.Fragment]*
 	g := e.coord.Begin()
 	var total int64
 	for name, fws := range bySource {
+		if err := ctx.Err(); err != nil {
+			_ = g.Abort(ctx) // best-effort rollback; the original error wins
+			return 0, err
+		}
 		src, err := e.cat.Source(name)
 		if err != nil {
 			_ = g.Abort(ctx) // best-effort rollback; the original error wins
@@ -388,6 +395,10 @@ func (e *Engine) applyWrites(ctx context.Context, writes map[*catalog.Fragment]*
 			return 0, err
 		}
 		for _, fw := range fws {
+			if err := ctx.Err(); err != nil {
+				_ = g.Abort(ctx) // best-effort rollback; the original error wins
+				return 0, err
+			}
 			n, err := apply(ctx, tx, fw)
 			total += n
 			if err != nil {

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"strings"
+
+	"gis/internal/plan"
+)
+
+// srcLabel names the sources feeding a plan subtree, for partial-result
+// outcome records: the distinct FragScan source names joined with "+",
+// or "?" when the subtree touches no remote fragment.
+func srcLabel(n plan.Node) string {
+	var names []string
+	seen := map[string]bool{}
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		switch t := n.(type) {
+		case *plan.FragScan:
+			if !seen[t.Frag.Source] {
+				seen[t.Frag.Source] = true
+				names = append(names, t.Frag.Source)
+			}
+		case *plan.Filter:
+			walk(t.Input)
+		case *plan.Project:
+			walk(t.Input)
+		case *plan.Aggregate:
+			walk(t.Input)
+		case *plan.Sort:
+			walk(t.Input)
+		case *plan.Limit:
+			walk(t.Input)
+		case *plan.Distinct:
+			walk(t.Input)
+		case *plan.Union:
+			for _, in := range t.Inputs {
+				walk(in)
+			}
+		case *plan.Join:
+			walk(t.L)
+			walk(t.R)
+		default:
+			// Values and GlobalScan feed no remote source.
+		}
+	}
+	walk(n)
+	if len(names) == 0 {
+		return "?"
+	}
+	return strings.Join(names, "+")
+}

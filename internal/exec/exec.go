@@ -15,6 +15,7 @@ import (
 	"gis/internal/expr"
 	"gis/internal/obs"
 	"gis/internal/plan"
+	"gis/internal/resilience"
 	"gis/internal/source"
 	"gis/internal/types"
 )
@@ -303,30 +304,70 @@ type unionIter struct {
 	inputs []plan.Node
 	cur    source.RowIter
 	idx    int
+	rows   int64 // rows delivered by the current input
 }
 
 func (u *unionIter) Next() (types.Row, error) {
 	for {
+		if err := u.ctx.Err(); err != nil {
+			return nil, err
+		}
 		if u.cur == nil {
 			if u.idx >= len(u.inputs) {
 				return nil, io.EOF
 			}
-			it, err := Run(u.ctx, u.inputs[u.idx])
+			in := u.inputs[u.idx]
+			u.idx++
+			u.rows = 0
+			it, err := Run(u.ctx, in)
 			if err != nil {
+				if u.degrade(in, err) {
+					continue
+				}
 				return nil, err
 			}
 			u.cur = it
-			u.idx++
 		}
 		r, err := u.cur.Next()
 		if err == io.EOF {
-			if cerr := u.cur.Close(); cerr != nil {
+			cerr := u.cur.Close()
+			u.cur = nil
+			if cerr != nil {
 				return nil, cerr
 			}
-			u.cur = nil
+			u.record(u.inputs[u.idx-1], nil)
 			continue
 		}
-		return r, err
+		if err != nil {
+			_ = u.cur.Close()
+			u.cur = nil
+			if u.degrade(u.inputs[u.idx-1], err) {
+				continue
+			}
+			return nil, err
+		}
+		u.rows++
+		return r, nil
+	}
+}
+
+// degrade reports whether a failed union input may be absorbed as a
+// partial result: the engine armed an outcome collector and the query
+// itself is still live. Rows the input delivered before failing stay in
+// the union (UNION ALL semantics make that well-defined).
+func (u *unionIter) degrade(n plan.Node, err error) bool {
+	outc := resilience.OutcomesFrom(u.ctx)
+	if outc == nil || u.ctx.Err() != nil {
+		return false
+	}
+	mUnionDegraded.Inc()
+	u.record(n, err)
+	return true
+}
+
+func (u *unionIter) record(n plan.Node, err error) {
+	if outc := resilience.OutcomesFrom(u.ctx); outc != nil {
+		outc.Record(resilience.SourceOutcome{Source: srcLabel(n), Op: "union", Rows: u.rows, Err: err})
 	}
 }
 
@@ -341,6 +382,7 @@ func (u *unionIter) Close() error {
 // they arrive (order across inputs is unspecified, as for UNION ALL).
 func runParallelUnion(ctx context.Context, u *plan.Union) (source.RowIter, error) {
 	mUnionBranches.Add(int64(len(u.Inputs)))
+	outc := resilience.OutcomesFrom(ctx)
 	cctx, cancel := context.WithCancel(ctx)
 	ch := make(chan rowOrErr, 64)
 	var wg sync.WaitGroup
@@ -348,26 +390,45 @@ func runParallelUnion(ctx context.Context, u *plan.Union) (source.RowIter, error
 		wg.Add(1)
 		go func(n plan.Node) {
 			defer wg.Done()
-			it, err := Run(cctx, n)
-			if err != nil {
+			var rows int64
+			// fail absorbs a branch failure as a recorded partial
+			// outcome when the engine armed a collector and the union
+			// itself is still live (cctx covers both the parent query
+			// deadline and an early Close of the merge iterator);
+			// otherwise the error fails the whole union.
+			fail := func(err error) {
+				if outc != nil && cctx.Err() == nil {
+					mUnionDegraded.Inc()
+					outc.Record(resilience.SourceOutcome{Source: srcLabel(n), Op: "union", Rows: rows, Err: err})
+					return
+				}
 				select {
 				case ch <- rowOrErr{err: err}:
 				case <-cctx.Done():
 				}
+			}
+			it, err := Run(cctx, n)
+			if err != nil {
+				fail(err)
 				return
 			}
 			defer it.Close()
 			for {
 				r, err := it.Next()
 				if err == io.EOF {
-					return
-				}
-				select {
-				case ch <- rowOrErr{row: r, err: err}:
-				case <-cctx.Done():
+					if outc != nil {
+						outc.Record(resilience.SourceOutcome{Source: srcLabel(n), Op: "union", Rows: rows})
+					}
 					return
 				}
 				if err != nil {
+					fail(err)
+					return
+				}
+				select {
+				case ch <- rowOrErr{row: r}:
+					rows++
+				case <-cctx.Done():
 					return
 				}
 			}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"gis/internal/catalog"
 	"gis/internal/expr"
 	"gis/internal/plan"
+	"gis/internal/resilience"
 	"gis/internal/source"
 	"gis/internal/types"
 )
@@ -349,8 +351,16 @@ func runKeyShippedJoin(ctx context.Context, j *plan.Join, chunk int) (source.Row
 	if scans == nil {
 		return nil, fmt.Errorf("exec: %s strategy requires fragment scans on the right side", j.Strategy)
 	}
+	op := "semijoin"
+	if j.Strategy == plan.StrategyBind {
+		op = "bind-join"
+	}
+	outc := resilience.OutcomesFrom(ctx)
 	// Ship the keys to every fragment concurrently (each fetch is an
-	// independent round trip to a different source).
+	// independent round trip to a different source). cctx lets the first
+	// failure cancel sibling fetches when no degradation is possible.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	perScan := make([][]types.Row, len(scans))
 	errs := make([]error, len(scans))
 	var wg sync.WaitGroup
@@ -365,24 +375,34 @@ func runKeyShippedJoin(ctx context.Context, j *plan.Join, chunk int) (source.Row
 			gcol := fs.Cols[fs.Out[j.EquiR[0]]]
 			mapping := &fs.Frag.Columns[gcol]
 			rtype := fs.Frag.Info().Schema.Columns[remoteCol].Type
+			fail := func(err error) {
+				errs[si] = err
+				if outc == nil {
+					cancel() // whole join fails anyway; stop the siblings
+				}
+			}
 			for start := 0; start < len(keys); start += chunk {
+				if err := cctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				end := start + chunk
 				if end > len(keys) {
 					end = len(keys)
 				}
 				pred, err := buildKeyPredicate(mapping, remoteCol, rtype, keys[start:end])
 				if err != nil {
-					errs[si] = err
+					fail(err)
 					return
 				}
-				it, err := runFragScan(ctx, fs, pred)
+				it, err := runFragScan(cctx, fs, pred)
 				if err != nil {
-					errs[si] = err
+					fail(err)
 					return
 				}
 				rows, err := source.Drain(it)
 				if err != nil {
-					errs[si] = err
+					fail(err)
 					return
 				}
 				perScan[si] = append(perScan[si], rows...)
@@ -390,12 +410,33 @@ func runKeyShippedJoin(ctx context.Context, j *plan.Join, chunk int) (source.Row
 		}(si, fs, remoteCol)
 	}
 	wg.Wait()
+	degrade := outc != nil && ctx.Err() == nil
 	var right []types.Row
-	for si := range scans {
-		if errs[si] != nil {
-			return nil, errs[si]
+	var hardErr error
+	for si, fs := range scans {
+		if err := errs[si]; err != nil {
+			if degrade {
+				// A failed fragment contributes nothing: unlike the
+				// union, its partial rows never left this function, so
+				// dropping them keeps each fragment's contribution
+				// all-or-nothing.
+				mJoinDegraded.Inc()
+				outc.Record(resilience.SourceOutcome{Source: fs.Frag.Source, Op: op, Err: err})
+				continue
+			}
+			// Prefer the root cause over the cancellations it caused.
+			if hardErr == nil || errors.Is(hardErr, context.Canceled) {
+				hardErr = err
+			}
+			continue
+		}
+		if outc != nil {
+			outc.Record(resilience.SourceOutcome{Source: fs.Frag.Source, Op: op, Rows: int64(len(perScan[si]))})
 		}
 		right = append(right, perScan[si]...)
+	}
+	if hardErr != nil {
+		return nil, hardErr
 	}
 	return runLocalJoinMaterialized(ctx, j, leftRows, right)
 }

@@ -19,6 +19,8 @@ var (
 	mAggInputRows  = obs.Default().Counter("exec.agg.input_rows")
 	mAggGroups     = obs.Default().Counter("exec.agg.groups")
 	mUnionBranches = obs.Default().Counter("exec.union.parallel_branches")
+	mUnionDegraded = obs.Default().Counter("exec.union.degraded_branches")
+	mJoinDegraded  = obs.Default().Counter("exec.join.degraded_fragments")
 	mShipLatency   = obs.Default().Histogram("exec.source.ship_seconds", obs.LatencyBuckets)
 )
 

@@ -355,6 +355,9 @@ func T6Commit(ctx context.Context, sc Scale) (*Table, error) {
 		rowsPer := 50
 		uncoord, err := median(sc.Reps, func() error {
 			for p := 0; p < n; p++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				lo, hi := p*rowsPer, (p+1)*rowsPer
 				q := fmt.Sprintf("UPDATE accounts SET balance = balance + 1 WHERE id >= %d AND id < %d", lo, hi)
 				if _, err := f.Engine.Exec(ctx, q); err != nil {

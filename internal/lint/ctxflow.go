@@ -6,7 +6,7 @@ import (
 )
 
 // CtxFlow enforces context propagation, the backbone of cancellation
-// across the mediator's fan-out layers. Two rules:
+// across the mediator's fan-out layers. Three rules:
 //
 //  1. context.Background() and context.TODO() are reserved for package
 //     main (process roots own their contexts). Anywhere else they sever
@@ -18,32 +18,89 @@ import (
 //     locally. The dataflow tracks context variables through
 //     assignments, WithTimeout/WithValue-style wrappers, and
 //     StartSpan's returned context.
+//  3. A loop that re-enters the I/O layer (a module-internal,
+//     context-taking call into source/wire/exec/txn/...) must consult
+//     its context between iterations — a direct ctx.Err() call or a
+//     ctx.Done() receive in the loop body — so a cancelled query stops
+//     retrying instead of hammering a dead source until the attempt
+//     budget runs out.
 func CtxFlow() *Analyzer {
 	a := &Analyzer{
 		Name: "ctxflow",
-		Doc:  "no context.Background/TODO outside main; context params must flow into blocking calls",
+		Doc:  "no context.Background/TODO outside main; context params must flow into blocking calls; retry loops must consult ctx between attempts",
 	}
 	a.Run = func(pass *Pass) {
 		isMain := pass.Pkg.Types.Name() == "main"
-		if !isMain {
-			for _, f := range pass.Pkg.Files {
-				ast.Inspect(f, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if !isMain {
+						if name, ok := freshContextCall(pass, n); ok {
+							pass.Reportf(n.Pos(), "context.%s outside package main severs cancellation and deadlines; accept a context.Context and thread it here", name)
+						}
 					}
-					if name, ok := freshContextCall(pass, call); ok {
-						pass.Reportf(call.Pos(), "context.%s outside package main severs cancellation and deadlines; accept a context.Context and thread it here", name)
-					}
-					return true
-				})
-			}
+				case *ast.ForStmt:
+					checkRetryLoop(pass, n.Body)
+				case *ast.RangeStmt:
+					checkRetryLoop(pass, n.Body)
+				}
+				return true
+			})
 		}
 		for _, fs := range pass.FuncScopes() {
 			checkCtxFlow(pass, fs, isMain)
 		}
 	}
 	return a
+}
+
+// checkRetryLoop implements rule 3 over one loop body. Nested function
+// literals run on their own stack (typically a spawned goroutine with
+// its own select) and nested loops are checked on their own, so both are
+// opaque here: neither their I/O calls nor their consults count for the
+// enclosing loop.
+func checkRetryLoop(pass *Pass, body *ast.BlockStmt) {
+	var ioCall *ast.CallExpr
+	var ioFn *types.Func
+	consulted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			if ctxConsult(pass, m) {
+				consulted = true
+				return true
+			}
+			if _, isGo := pass.Parent(m).(*ast.GoStmt); isGo {
+				return true // spawned work; the loop itself does not block on it
+			}
+			if fn := moduleCtxCallee(pass, m); fn != nil && inIOLayer(pass, fn.Pkg().Path()) && ioFn == nil {
+				ioCall, ioFn = m, fn
+			}
+		}
+		return !consulted || ioFn == nil
+	})
+	if ioFn != nil && !consulted {
+		pass.Reportf(ioCall.Pos(), "loop re-enters the I/O layer via %s without consulting ctx.Err() (or receiving from ctx.Done()) between iterations; a cancelled query must stop retrying", ioFn.Name())
+	}
+}
+
+// ctxConsult matches direct context liveness checks: ctx.Err() and
+// ctx.Done() (the latter is only useful as a receive, so any use
+// counts).
+func ctxConsult(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Err" || fn.Name() == "Done"
 }
 
 const (

@@ -1,0 +1,100 @@
+// Retry-loop fixtures for ctxflow rule 3: a loop that re-enters the
+// I/O layer must consult its context between iterations.
+package ctxflow
+
+import (
+	"context"
+
+	"gis/internal/source"
+)
+
+// retryNoConsult hammers the source until the attempt budget runs out,
+// even after the caller's context is cancelled.
+func retryNoConsult(ctx context.Context, src source.Source) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err = src.TableInfo(ctx, "t") // want "loop re-enters the I/O layer via TableInfo"
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// rangeNoConsult re-dials every table with no liveness check.
+func rangeNoConsult(ctx context.Context, src source.Source, tables []string) error {
+	for _, t := range tables {
+		_, err := src.TableInfo(ctx, t) // want "loop re-enters the I/O layer via TableInfo"
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retryWithErrConsult checks ctx.Err() each pass — compliant.
+func retryWithErrConsult(ctx context.Context, src source.Source) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		_, err = src.TableInfo(ctx, "t")
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// retryWithDoneConsult selects on ctx.Done() between attempts —
+// compliant.
+func retryWithDoneConsult(ctx context.Context, src source.Source) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		_, err = src.TableInfo(ctx, "t")
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// spawnLoop launches goroutines; the loop itself never blocks on the
+// I/O layer, so it is not a retry loop.
+func spawnLoop(ctx context.Context, src source.Source, tables []string) {
+	for _, t := range tables {
+		go func(t string) {
+			_, _ = src.TableInfo(ctx, t)
+		}(t)
+	}
+}
+
+// funcLitLoop builds thunks; the I/O call runs on another stack with
+// its own select, so the loop body is clean.
+func funcLitLoop(ctx context.Context, src source.Source, tables []string) []func() error {
+	var thunks []func() error
+	for _, t := range tables {
+		thunks = append(thunks, func() error {
+			_, err := src.TableInfo(ctx, t)
+			return err
+		})
+	}
+	return thunks
+}
+
+// localLoop never leaves the package; rule 3 only watches the I/O
+// layer.
+func localLoop(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if err := fetch(ctx, "t"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

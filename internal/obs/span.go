@@ -36,6 +36,11 @@ const (
 	SpanPrepare
 	SpanCommit
 	SpanAbort
+	// SpanRetry marks a resilience-layer retry attempt; SpanBreaker marks
+	// a circuit-breaker state transition. Both are zero-width event
+	// markers attached under whatever span was active at the time.
+	SpanRetry
+	SpanBreaker
 )
 
 func (k SpanKind) String() string {
@@ -64,6 +69,10 @@ func (k SpanKind) String() string {
 		return "commit"
 	case SpanAbort:
 		return "abort"
+	case SpanRetry:
+		return "retry"
+	case SpanBreaker:
+		return "breaker"
 	default:
 		return fmt.Sprintf("SpanKind(%d)", uint8(k))
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gis/internal/obs"
+	"gis/internal/resilience"
 	"gis/internal/source"
 )
 
@@ -97,6 +98,10 @@ type Coordinator struct {
 	// CommitRetries bounds the retry loop for participants whose Commit
 	// acknowledgement is lost. Default 3.
 	CommitRetries int
+	// RetryBackoff paces the commit-retry loop (jittered, context-aware).
+	// Retrying the instant an acknowledgement is lost mostly re-hits the
+	// same partition; nil disables the pause.
+	RetryBackoff *resilience.Policy
 	// Parallel drives prepare/commit rounds concurrently (the default);
 	// sequential mode exists for the T6 ablation.
 	Parallel bool
@@ -104,7 +109,12 @@ type Coordinator struct {
 
 // NewCoordinator returns a coordinator with an empty decision log.
 func NewCoordinator() *Coordinator {
-	return &Coordinator{log: &Log{}, CommitRetries: 3, Parallel: true}
+	return &Coordinator{
+		log:           &Log{},
+		CommitRetries: 3,
+		RetryBackoff:  &resilience.Policy{BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond},
+		Parallel:      true,
+	}
 }
 
 // Log exposes the decision log (read-mostly; used by recovery tooling
@@ -242,6 +252,19 @@ func (g *GlobalTx) Commit(ctx context.Context) error {
 		start := time.Now()
 		var err error
 		for attempt := 0; attempt <= g.coord.CommitRetries; attempt++ {
+			if attempt > 0 {
+				// The decision is already logged and irrevocable, so only
+				// the caller vanishing stops the retry loop early — the
+				// participant stays in-doubt and the decision log resolves
+				// it. The jittered pause keeps retries from hammering the
+				// same partition window.
+				if ctx.Err() != nil {
+					break
+				}
+				if serr := resilience.SleepBackoff(ctx, g.coord.RetryBackoff, attempt); serr != nil {
+					break
+				}
+			}
 			if err = g.txs[i].Commit(ctx); err == nil {
 				if attempt > 0 {
 					cs.SetInt("retries", int64(attempt))

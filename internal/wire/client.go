@@ -7,12 +7,19 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"gis/internal/expr"
+	"gis/internal/faults"
 	"gis/internal/source"
 	"gis/internal/stats"
 	"gis/internal/types"
 )
+
+// DefaultDialTimeout bounds the TCP connect when the dialing context
+// carries no tighter deadline. A federation mediator must never block
+// unboundedly on a dead component system's SYN.
+const DefaultDialTimeout = 5 * time.Second
 
 // Client is a remote source: it implements source.Source, source.Writer,
 // and source.Transactional over the wire protocol. A client multiplexes
@@ -25,17 +32,31 @@ type Client struct {
 	up   SimLink // client → server
 	down SimLink // server → client
 
-	mu   sync.Mutex
-	pool []*frameConn
-	// ctrl is the dedicated connection for metadata and transactions.
-	ctrl *frameConn
+	connectTimeout time.Duration
+	plan           *faults.Plan
+	// inj is this link's fault injector, shared by every connection so
+	// the plan's decision sequence is per-link, not per-conn.
+	inj *faults.Injector
+
+	// baseCtx detaches long-lived background calls (the one-shot
+	// capability fetch) from the dialing context's cancellation.
+	baseCtx context.Context
+
+	mu     sync.Mutex
+	pool   []*frameConn
+	closed bool
+	// ctrl is the dedicated connection for metadata and transactions;
+	// ctrlSem serializes its use (and keeps waiting cancellable, which
+	// a mutex would not).
+	ctrl    *frameConn
+	ctrlSem chan struct{}
 
 	capsOnce sync.Once
 	caps     source.Capabilities
 	capsErr  error
 
 	// lm counts this link's frames/bytes/round trips under
-	// wire.client.<name>.*; set once in Dial after options resolve.
+	// wire.client.<name>.*; set once in DialContext after options resolve.
 	lm *linkMetrics
 }
 
@@ -54,14 +75,33 @@ func WithName(name string) Option {
 	return func(c *Client) { c.name = name }
 }
 
-// Dial connects to a wire server.
-func Dial(addr string, opts ...Option) (*Client, error) {
-	c := &Client{addr: addr, name: addr}
+// WithFaultPlan injects the plan's faults for this client's link (keyed
+// by the client name, falling back to the plan's "*" entry).
+func WithFaultPlan(p *faults.Plan) Option {
+	return func(c *Client) { c.plan = p }
+}
+
+// WithConnectTimeout overrides DefaultDialTimeout for TCP connects.
+func WithConnectTimeout(d time.Duration) Option {
+	return func(c *Client) { c.connectTimeout = d }
+}
+
+// DialContext connects to a wire server, bounding the connect by ctx
+// and by the connect timeout (DefaultDialTimeout unless overridden).
+func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		addr:           addr,
+		name:           addr,
+		connectTimeout: DefaultDialTimeout,
+		ctrlSem:        make(chan struct{}, 1),
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	c.lm = newLinkMetrics("client", c.name)
-	ctrl, err := c.dial()
+	c.inj = c.plan.Link(c.name)
+	c.baseCtx = context.WithoutCancel(ctx)
+	ctrl, err := c.dial(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -69,18 +109,23 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-func (c *Client) dial() (*frameConn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+func (c *Client) dial(ctx context.Context) (*frameConn, error) {
+	if err := c.inj.Inject(ctx, faults.OpConnect); err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	nd := net.Dialer{Timeout: c.connectTimeout}
+	conn, err := nd.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
 	fc := newFrameConn(conn, c.up, c.down)
 	fc.metrics = c.lm
+	fc.inj = c.inj
 	return fc, nil
 }
 
 // getConn returns a pooled or fresh connection for a result stream.
-func (c *Client) getConn() (*frameConn, error) {
+func (c *Client) getConn(ctx context.Context) (*frameConn, error) {
 	c.mu.Lock()
 	if n := len(c.pool); n > 0 {
 		fc := c.pool[n-1]
@@ -89,11 +134,16 @@ func (c *Client) getConn() (*frameConn, error) {
 		return fc, nil
 	}
 	c.mu.Unlock()
-	return c.dial()
+	return c.dial(ctx)
 }
 
 func (c *Client) putConn(fc *frameConn) {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.discard(fc)
+		return
+	}
 	c.pool = append(c.pool, fc)
 	c.mu.Unlock()
 }
@@ -102,6 +152,7 @@ func (c *Client) putConn(fc *frameConn) {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	var first error
 	close := func(fc *frameConn) {
 		if cl, ok := fc.rw.(io.Closer); ok {
@@ -112,6 +163,7 @@ func (c *Client) Close() error {
 	}
 	if c.ctrl != nil {
 		close(c.ctrl)
+		c.ctrl = nil
 	}
 	for _, fc := range c.pool {
 		close(fc)
@@ -123,12 +175,46 @@ func (c *Client) Close() error {
 // Name implements source.Source.
 func (c *Client) Name() string { return c.name }
 
-// ctrlCall performs a request/response on the control connection.
-func (c *Client) ctrlCall(tag byte, payload []byte) ([]byte, error) {
+// ctrlCall performs a request/response on the control connection,
+// re-dialing it if a previous transport error left it broken.
+func (c *Client) ctrlCall(ctx context.Context, tag byte, payload []byte) ([]byte, error) {
+	select {
+	case c.ctrlSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.ctrlSem }()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	respTag, resp, err := c.ctrl.call(tag, payload)
+	if c.closed {
+		c.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	fc := c.ctrl
+	c.mu.Unlock()
+	if fc == nil {
+		var err error
+		if fc, err = c.dial(ctx); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			c.discard(fc)
+			return nil, net.ErrClosed
+		}
+		c.ctrl = fc
+		c.mu.Unlock()
+	}
+	respTag, resp, err := fc.call(ctx, tag, payload)
 	if err != nil {
+		// The control conn's protocol state is unknown after a
+		// transport error: discard it; the next call re-dials.
+		c.mu.Lock()
+		if c.ctrl == fc {
+			c.ctrl = nil
+		}
+		c.mu.Unlock()
+		c.discard(fc)
 		return nil, err
 	}
 	return checkResp(respTag, resp)
@@ -154,7 +240,7 @@ func (c *Client) Tables(ctx context.Context) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp, err := c.ctrlCall(msgTables, nil)
+	resp, err := c.ctrlCall(ctx, msgTables, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +265,7 @@ func (c *Client) TableInfo(ctx context.Context, table string) (*source.TableInfo
 	}
 	var e Encoder
 	e.String(table)
-	resp, err := c.ctrlCall(msgTableInfo, e.Bytes())
+	resp, err := c.ctrlCall(ctx, msgTableInfo, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -201,10 +287,11 @@ func (c *Client) TableInfo(ctx context.Context, table string) (*source.TableInfo
 }
 
 // Capabilities implements source.Source. The remote capability vector is
-// fetched once and cached.
+// fetched once and cached; the fetch runs under the client's base
+// context (detached from any one query's cancellation).
 func (c *Client) Capabilities() source.Capabilities {
 	c.capsOnce.Do(func() {
-		resp, err := c.ctrlCall(msgCaps, nil)
+		resp, err := c.ctrlCall(c.baseCtx, msgCaps, nil)
 		if err != nil {
 			c.capsErr = err
 			return
@@ -227,7 +314,7 @@ func (c *Client) Capabilities() source.Capabilities {
 func (c *Client) Stats(table string) (*stats.TableStats, error) {
 	var e Encoder
 	e.String(table)
-	resp, err := c.ctrlCall(msgStats, e.Bytes())
+	resp, err := c.ctrlCall(c.baseCtx, msgStats, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -244,11 +331,11 @@ func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, 
 	if err := e.Query(q); err != nil {
 		return nil, err
 	}
-	fc, err := c.getConn()
+	fc, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	tag, resp, err := fc.call(msgExecute, e.Bytes())
+	tag, resp, err := fc.call(ctx, msgExecute, e.Bytes())
 	if err != nil {
 		c.discard(fc)
 		return nil, err
@@ -295,7 +382,13 @@ func (it *streamIter) Next() (types.Row, error) {
 		it.fail(err)
 		return nil, err
 	}
-	tag, payload, err := it.fc.readFrame()
+	// Mid-stream fault point: injected drops sever the stream here,
+	// modelling a source dying while rows are in flight.
+	if err := it.fc.injure(it.ctx, faults.OpRead); err != nil {
+		it.fail(err)
+		return nil, err
+	}
+	tag, payload, err := it.fc.readFrame(it.ctx)
 	if err != nil {
 		it.fail(err)
 		return nil, err
@@ -370,7 +463,7 @@ func (c *Client) insert(ctx context.Context, txid, table string, rows []types.Ro
 	for _, r := range rows {
 		e.Row(r)
 	}
-	return c.affected(c.ctrlCall(msgInsert, e.Bytes()))
+	return c.affected(c.ctrlCall(ctx, msgInsert, e.Bytes()))
 }
 
 // Update implements source.Writer (autocommit).
@@ -395,7 +488,7 @@ func (c *Client) update(ctx context.Context, txid, table string, filter expr.Exp
 			return 0, err
 		}
 	}
-	return c.affected(c.ctrlCall(msgUpdate, e.Bytes()))
+	return c.affected(c.ctrlCall(ctx, msgUpdate, e.Bytes()))
 }
 
 // Delete implements source.Writer (autocommit).
@@ -413,7 +506,7 @@ func (c *Client) delete(ctx context.Context, txid, table string, filter expr.Exp
 	if err := e.Expr(filter); err != nil {
 		return 0, err
 	}
-	return c.affected(c.ctrlCall(msgDelete, e.Bytes()))
+	return c.affected(c.ctrlCall(ctx, msgDelete, e.Bytes()))
 }
 
 func (c *Client) affected(resp []byte, err error) (int64, error) {
@@ -430,7 +523,7 @@ func (c *Client) BeginTx(ctx context.Context) (source.Tx, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp, err := c.ctrlCall(msgBeginTx, nil)
+	resp, err := c.ctrlCall(ctx, msgBeginTx, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -468,7 +561,7 @@ func (t *remoteTx) protocol(ctx context.Context, tag byte) error {
 	}
 	var e Encoder
 	e.String(t.id)
-	_, err := t.c.ctrlCall(tag, e.Bytes())
+	_, err := t.c.ctrlCall(ctx, tag, e.Bytes())
 	return err
 }
 

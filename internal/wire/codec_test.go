@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -189,22 +190,39 @@ func TestRowRoundTripProperty(t *testing.T) {
 func TestSimLinkDelay(t *testing.T) {
 	l := SimLink{Latency: 10 * time.Millisecond}
 	start := time.Now()
-	l.delay(100)
+	if err := l.delay(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
 	if d := time.Since(start); d < 10*time.Millisecond {
 		t.Errorf("latency not applied: %v", d)
 	}
 	// Bandwidth: 1 KiB at 1 MiB/s ≈ 1ms.
 	l = SimLink{BytesPerSec: 1 << 20}
 	start = time.Now()
-	l.delay(1 << 10)
+	if err := l.delay(ctx, 1<<10); err != nil {
+		t.Fatal(err)
+	}
 	if d := time.Since(start); d < 900*time.Microsecond {
 		t.Errorf("bandwidth not applied: %v", d)
 	}
 	// Zero link must not sleep measurably.
 	l = SimLink{}
 	start = time.Now()
-	l.delay(1 << 20)
+	if err := l.delay(ctx, 1<<20); err != nil {
+		t.Fatal(err)
+	}
 	if d := time.Since(start); d > 5*time.Millisecond {
 		t.Errorf("zero link slept: %v", d)
+	}
+	// A cancelled context stops the sleep immediately.
+	l = SimLink{Latency: 5 * time.Second}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	start = time.Now()
+	if err := l.delay(cctx, 100); err == nil {
+		t.Error("delay ignored the cancelled context")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled delay still slept %v", d)
 	}
 }

@@ -56,7 +56,7 @@ func TestRaceStressConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := Dial(srv.Addr())
+			cl, err := DialContext(ctx, srv.Addr())
 			if err != nil {
 				errs <- err
 				return
@@ -119,7 +119,7 @@ func TestRaceStressServerCloseUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := Dial(srv.Addr())
+			cl, err := DialContext(ctx, srv.Addr())
 			if err != nil {
 				started <- struct{}{}
 				return // the server may already be gone: fine

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gis/internal/expr"
+	"gis/internal/faults"
 	"gis/internal/obs"
 	"gis/internal/source"
 	"gis/internal/stats"
@@ -47,6 +48,21 @@ type Server struct {
 
 	// lm counts this server's frames/bytes under wire.server.<name>.*.
 	lm *linkMetrics
+
+	// inj injects server-side faults (gisd -fault-plan); shared across
+	// connections so the plan's decision sequence is per-link.
+	inj *faults.Injector
+}
+
+// ServerOption configures a server before it starts accepting.
+type ServerOption func(*Server)
+
+// WithServerFaults makes the server inject the plan's faults for its
+// own link (keyed by the source name, falling back to "*"): requests
+// rejected with transient errors, connections dropped mid-stream,
+// stalls, and partition windows — all seeded and reproducible.
+func WithServerFaults(p *faults.Plan) ServerOption {
+	return func(s *Server) { s.inj = p.Link(s.src.Name()) }
 }
 
 // Serve starts serving src on addr (e.g. "127.0.0.1:0") and returns the
@@ -54,7 +70,7 @@ type Server struct {
 // server's root context: every source call made on behalf of a client
 // request derives from it, so cancelling it unblocks handlers stuck in
 // a slow source (the listener itself is stopped with Close).
-func Serve(ctx context.Context, addr string, src source.Source) (*Server, error) {
+func Serve(ctx context.Context, addr string, src source.Source, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -63,6 +79,9 @@ func Serve(ctx context.Context, addr string, src source.Source) (*Server, error)
 		src: src, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf,
 		Queries: obs.NewQueryLog(250*time.Millisecond, 64),
 		lm:      newLinkMetrics("server", src.Name()),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
@@ -121,17 +140,22 @@ type connState struct {
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	fc := newFrameConn(conn, SimLink{}, SimLink{})
 	fc.metrics = s.lm
+	fc.inj = s.inj
 	st := &connState{txs: make(map[string]source.Tx)}
 	defer func() {
 		// Abort any transaction the client abandoned. The abort must run
 		// even when the server's root context is already cancelled, so it
 		// uses a context detached from ctx's cancellation.
 		for _, tx := range st.txs {
+			//lint:ignore ctxflow every abandoned transaction must be aborted even after the server context is cancelled; the loop is bounded by the connection's transaction count
 			_ = tx.Abort(context.WithoutCancel(ctx))
 		}
 	}()
 	for {
-		tag, payload, err := fc.readFrame()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tag, payload, err := fc.readFrame(ctx)
 		if err != nil {
 			return err
 		}
@@ -141,41 +165,50 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	}
 }
 
-func sendErr(fc *frameConn, err error) error {
+func sendErr(ctx context.Context, fc *frameConn, err error) error {
 	var e Encoder
 	e.String(err.Error())
-	return fc.writeFrame(msgErr, e.Bytes())
+	return fc.writeFrame(ctx, msgErr, e.Bytes())
 }
 
 func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag byte, payload []byte) error {
+	// Server-side fault point: transient injections are reported to the
+	// client as protocol errors (the conn survives); drops and
+	// partitions kill the connection like a crashed component system.
+	if err := fc.injure(ctx, classOfTag(tag)); err != nil {
+		if errors.Is(err, faults.ErrInjected) {
+			return sendErr(ctx, fc, err)
+		}
+		return err
+	}
 	d := NewDecoder(payload)
 	switch tag {
 	case msgTables:
 		names, err := s.src.Tables(ctx)
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		var e Encoder
 		e.Uvarint(uint64(len(names)))
 		for _, n := range names {
 			e.String(n)
 		}
-		return fc.writeFrame(msgOK, e.Bytes())
+		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgTableInfo:
 		table, err := d.String()
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		info, err := s.src.TableInfo(ctx, table)
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		var e Encoder
 		e.Schema(info.Schema)
 		e.IntSlice(info.KeyColumns)
 		e.Varint(info.RowCount)
-		return fc.writeFrame(msgOK, e.Bytes())
+		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgCaps:
 		c := s.src.Capabilities()
@@ -187,53 +220,56 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 		e.Bool(c.Limit)
 		e.Bool(c.Write)
 		e.Bool(c.Txn)
-		return fc.writeFrame(msgOK, e.Bytes())
+		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgStats:
 		table, err := d.String()
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		sp, ok := s.src.(StatsProvider)
 		if !ok {
-			return sendErr(fc, fmt.Errorf("source %s does not provide statistics", s.src.Name()))
+			return sendErr(ctx, fc, fmt.Errorf("source %s does not provide statistics", s.src.Name()))
 		}
 		ts, err := sp.Stats(table)
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		var e Encoder
 		encodeStats(&e, ts)
-		return fc.writeFrame(msgOK, e.Bytes())
+		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgExecute:
 		q, err := d.Query()
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		if err := s.rebindQuery(ctx, q); err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		qid := s.Queries.Begin(q.String())
 		it, err := s.src.Execute(ctx, q)
 		if err != nil {
 			s.Queries.Finish(qid, err, nil)
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		defer it.Close()
 		defer func() { s.Queries.Finish(qid, nil, nil) }()
-		if err := fc.writeFrame(msgOK, nil); err != nil {
+		if err := fc.writeFrame(ctx, msgOK, nil); err != nil {
 			return err
 		}
 		var e Encoder
 		batch := 0
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			row, err := it.Next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
-				return sendErr(fc, err)
+				return sendErr(ctx, fc, err)
 			}
 			if batch == 0 {
 				e.Reset()
@@ -241,8 +277,17 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 			e.Row(row)
 			batch++
 			if batch == rowBatchSize {
+				// Mid-stream fault point: a transient injection aborts
+				// just this stream, a drop severs the connection with
+				// rows in flight.
+				if err := fc.injure(ctx, faults.OpRead); err != nil {
+					if errors.Is(err, faults.ErrInjected) {
+						return sendErr(ctx, fc, err)
+					}
+					return err
+				}
 				hdr := prependCount(e.Bytes(), batch)
-				if err := fc.writeFrame(msgRows, hdr); err != nil {
+				if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
 					return err
 				}
 				batch = 0
@@ -250,20 +295,20 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 		}
 		if batch > 0 {
 			hdr := prependCount(e.Bytes(), batch)
-			if err := fc.writeFrame(msgRows, hdr); err != nil {
+			if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
 				return err
 			}
 		}
-		return fc.writeFrame(msgEnd, nil)
+		return fc.writeFrame(ctx, msgEnd, nil)
 
 	case msgBeginTx:
 		t, ok := s.src.(source.Transactional)
 		if !ok {
-			return sendErr(fc, fmt.Errorf("source %s is not transactional", s.src.Name()))
+			return sendErr(ctx, fc, fmt.Errorf("source %s is not transactional", s.src.Name()))
 		}
 		tx, err := t.BeginTx(ctx)
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		s.mu.Lock()
 		s.nextTx++
@@ -272,7 +317,7 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 		st.txs[id] = tx
 		var e Encoder
 		e.String(id)
-		return fc.writeFrame(msgOK, e.Bytes())
+		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgInsert:
 		return s.handleWrite(ctx, fc, st, d, func(ctx context.Context, w source.Writer, table string, d *Decoder) (int64, error) {
@@ -345,11 +390,11 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 	case msgPrepare, msgCommit, msgAbort:
 		id, err := d.String()
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
 		tx, ok := st.txs[id]
 		if !ok {
-			return sendErr(fc, fmt.Errorf("unknown transaction %q", id))
+			return sendErr(ctx, fc, fmt.Errorf("unknown transaction %q", id))
 		}
 		switch tag {
 		case msgPrepare:
@@ -364,12 +409,12 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 			delete(st.txs, id)
 		}
 		if err != nil {
-			return sendErr(fc, err)
+			return sendErr(ctx, fc, err)
 		}
-		return fc.writeFrame(msgOK, nil)
+		return fc.writeFrame(ctx, msgOK, nil)
 
 	default:
-		return sendErr(fc, fmt.Errorf("wire: unknown message tag %d", tag))
+		return sendErr(ctx, fc, fmt.Errorf("wire: unknown message tag %d", tag))
 	}
 }
 
@@ -380,33 +425,33 @@ func (s *Server) handleWrite(ctx context.Context, fc *frameConn, st *connState, 
 	op func(context.Context, source.Writer, string, *Decoder) (int64, error)) error {
 	txid, err := d.String()
 	if err != nil {
-		return sendErr(fc, err)
+		return sendErr(ctx, fc, err)
 	}
 	table, err := d.String()
 	if err != nil {
-		return sendErr(fc, err)
+		return sendErr(ctx, fc, err)
 	}
 	var w source.Writer
 	if txid != "" {
 		tx, ok := st.txs[txid]
 		if !ok {
-			return sendErr(fc, fmt.Errorf("unknown transaction %q", txid))
+			return sendErr(ctx, fc, fmt.Errorf("unknown transaction %q", txid))
 		}
 		w = tx
 	} else {
 		sw, ok := s.src.(source.Writer)
 		if !ok {
-			return sendErr(fc, fmt.Errorf("source %s is not writable", s.src.Name()))
+			return sendErr(ctx, fc, fmt.Errorf("source %s is not writable", s.src.Name()))
 		}
 		w = sw
 	}
 	n, err := op(ctx, w, table, d)
 	if err != nil {
-		return sendErr(fc, err)
+		return sendErr(ctx, fc, err)
 	}
 	var e Encoder
 	e.Varint(n)
-	return fc.writeFrame(msgOK, e.Bytes())
+	return fc.writeFrame(ctx, msgOK, e.Bytes())
 }
 
 // rebindQuery re-binds the decoded filter against the target table's

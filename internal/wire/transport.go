@@ -1,11 +1,14 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"gis/internal/faults"
 	"gis/internal/obs"
 )
 
@@ -34,6 +37,24 @@ const (
 // rowBatchSize is how many rows travel per msgRows frame.
 const rowBatchSize = 256
 
+// classOfTag maps request tags to fault-injection op classes, which
+// mirror retry semantics: reads are idempotent, writes and 2PC messages
+// are not. Response tags (and anything unknown) classify as reads.
+func classOfTag(tag byte) faults.OpClass {
+	switch tag {
+	case msgInsert, msgUpdate, msgDelete, msgBeginTx:
+		return faults.OpWrite
+	case msgPrepare:
+		return faults.OpPrepare
+	case msgCommit:
+		return faults.OpCommit
+	case msgAbort:
+		return faults.OpAbort
+	default:
+		return faults.OpRead
+	}
+}
+
 // SimLink models one direction of a simulated wide-area link. The zero
 // value is a perfect link (no delay, infinite bandwidth).
 type SimLink struct {
@@ -43,17 +64,27 @@ type SimLink struct {
 	BytesPerSec int64
 }
 
-// delay sleeps for the simulated transfer time of n bytes.
-func (l SimLink) delay(n int) {
+// delay sleeps for the simulated transfer time of n bytes. The sleep is
+// context-aware: a cancelled query stops paying simulated RTT
+// immediately instead of serving out the remaining link time.
+func (l SimLink) delay(ctx context.Context, n int) error {
 	if l.Latency == 0 && l.BytesPerSec == 0 {
-		return
+		return nil
 	}
 	d := l.Latency
 	if l.BytesPerSec > 0 {
 		d += time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
 	}
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -87,15 +118,34 @@ type frameConn struct {
 	send, recv SimLink
 	// metrics, when set, counts frames/bytes per direction.
 	metrics *linkMetrics
-	hdr     [5]byte
+	// inj, when set, injects faults per operation (see injure).
+	inj *faults.Injector
+	hdr [5]byte
 }
 
 func newFrameConn(rw io.ReadWriter, send, recv SimLink) *frameConn {
 	return &frameConn{rw: rw, send: send, recv: recv}
 }
 
+// injure consults the fault injector for one operation of the given
+// class. Injected drops and partitions kill the underlying connection —
+// the peer sees a mid-stream close, exactly like a crashed process —
+// while transient errors leave it usable.
+func (f *frameConn) injure(ctx context.Context, class faults.OpClass) error {
+	err := f.inj.Inject(ctx, class)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, faults.ErrDropped) || errors.Is(err, faults.ErrPartitioned) {
+		if cl, ok := f.rw.(io.Closer); ok {
+			_ = cl.Close() // the injected drop is the error that matters
+		}
+	}
+	return err
+}
+
 // writeFrame sends one frame, applying uplink simulation.
-func (f *frameConn) writeFrame(tag byte, payload []byte) error {
+func (f *frameConn) writeFrame(ctx context.Context, tag byte, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
@@ -103,7 +153,9 @@ func (f *frameConn) writeFrame(tag byte, payload []byte) error {
 		m.framesOut.Inc()
 		m.bytesOut.Add(int64(len(payload) + 5))
 	}
-	f.send.delay(len(payload) + 5)
+	if err := f.send.delay(ctx, len(payload)+5); err != nil {
+		return err
+	}
 	binary.BigEndian.PutUint32(f.hdr[:4], uint32(len(payload)))
 	f.hdr[4] = tag
 	if _, err := f.rw.Write(f.hdr[:]); err != nil {
@@ -118,7 +170,7 @@ func (f *frameConn) writeFrame(tag byte, payload []byte) error {
 }
 
 // readFrame receives one frame, applying downlink simulation.
-func (f *frameConn) readFrame() (byte, []byte, error) {
+func (f *frameConn) readFrame(ctx context.Context) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(f.rw, hdr[:]); err != nil {
 		return 0, nil, err
@@ -135,17 +187,23 @@ func (f *frameConn) readFrame() (byte, []byte, error) {
 		m.framesIn.Inc()
 		m.bytesIn.Add(int64(n) + 5)
 	}
-	f.recv.delay(int(n) + 5)
+	if err := f.recv.delay(ctx, int(n)+5); err != nil {
+		return 0, nil, err
+	}
 	return hdr[4], payload, nil
 }
 
-// call performs one request/response round trip.
-func (f *frameConn) call(tag byte, payload []byte) (byte, []byte, error) {
-	start := time.Now()
-	if err := f.writeFrame(tag, payload); err != nil {
+// call performs one request/response round trip, consulting the fault
+// injector with the request's op class first.
+func (f *frameConn) call(ctx context.Context, tag byte, payload []byte) (byte, []byte, error) {
+	if err := f.injure(ctx, classOfTag(tag)); err != nil {
 		return 0, nil, err
 	}
-	tag, resp, err := f.readFrame()
+	start := time.Now()
+	if err := f.writeFrame(ctx, tag, payload); err != nil {
+		return 0, nil, err
+	}
+	tag, resp, err := f.readFrame(ctx)
 	if err == nil && f.metrics != nil {
 		f.metrics.rtt.ObserveSince(start)
 	}

@@ -44,7 +44,7 @@ func startRelServer(t *testing.T, n int, opts ...Option) (*relstore.Store, *Clie
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	cl, err := Dial(srv.Addr(), opts...)
+	cl, err := DialContext(ctx, srv.Addr(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestServerShutdownDuringStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := Dial(srv.Addr())
+	cl, err := DialContext(ctx, srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestServerShutdownDuringStream(t *testing.T) {
 }
 
 func TestClientDialFailure(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1"); err == nil {
+	if _, err := DialContext(ctx, "127.0.0.1:1"); err == nil {
 		t.Error("dialing a dead address must error")
 	}
 }

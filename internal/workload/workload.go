@@ -58,7 +58,7 @@ func (f *Fixture) attach(ctx context.Context, st source.Source, remote bool, lin
 		return nil, err
 	}
 	f.closers = append(f.closers, srv.Close)
-	cl, err := wire.Dial(srv.Addr(), wire.WithSimLink(link), wire.WithName(st.Name()))
+	cl, err := wire.DialContext(ctx, srv.Addr(), wire.WithSimLink(link), wire.WithName(st.Name()))
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +180,9 @@ func Partitioned(ctx context.Context, k, rowsPer int, remote bool, link Link) (*
 		return nil, err
 	}
 	for p := 0; p < k; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		name := fmt.Sprintf("part%02d", p)
 		st := relstore.New(name)
 		if err := st.CreateTable("events", ordersSchema(), 0); err != nil {
@@ -350,6 +353,9 @@ func Capability(ctx context.Context, nOrd int) (*Fixture, error) {
 		"orders_rel": "cap_rel", "orders_kv": "cap_kv",
 		"orders_doc": "cap_doc", "orders_file": "cap_file",
 	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := cat.DefineTable(name, schema); err != nil {
 			return nil, err
 		}
@@ -377,6 +383,9 @@ func TxnStores(ctx context.Context, n, rowsPer int, remote bool, link Link) (*Fi
 		return nil, err
 	}
 	for p := 0; p < n; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		name := fmt.Sprintf("bank%02d", p)
 		st := relstore.New(name)
 		if err := st.CreateTable("acct", schema, 0); err != nil {

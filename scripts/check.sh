@@ -13,7 +13,12 @@
 #                   fixture has gone blind)
 #   4. go build   — everything compiles
 #   5. go test    — full suite under the race detector, including the
-#                   race-stress tests (skipped under -short)
+#                   race-stress and seeded-chaos tests (both skipped
+#                   under -short)
+#   5b. chaos     — the TestChaos* fault-injection suite once more in
+#                   isolation (wire, parallel union, bind join, 2PC,
+#                   breaker shedding; see DESIGN.md "Resilience &
+#                   fault model")
 #   6. gisbench   — quick JSON smoke run, schema-validated by
 #                   scripts/benchjson (see EXPERIMENTS.md)
 #
@@ -44,6 +49,9 @@ go build ./...
 
 echo '== go test -race =='
 go test -race ./...
+
+echo '== chaos (seeded fault injection) =='
+go test -race -run TestChaos -count=1 ./internal/wire ./internal/core
 
 echo '== gisbench -json -quick =='
 go run ./cmd/gisbench -json -quick | go run ./scripts/benchjson
