@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures fmt vet check chaos bench
+.PHONY: build test race lint lint-fixtures lint-stats fmt vet check chaos bench
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,16 @@ lint:
 	$(GO) run ./cmd/gislint ./...
 
 # Assert every analyzer still fires on its fixture package (guards
-# against an analyzer silently going blind).
+# against an analyzer silently going blind). Covers the interprocedural
+# fixtures and the sqlship/goleak suites; any unexpected-finding diff is
+# a hard failure.
 lint-fixtures:
-	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions' -count=1
+	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph' -count=1
+
+# Findings-by-analyzer counts plus call-graph/SCC dimensions over the
+# whole module (one run is recorded in EXPERIMENTS.md).
+lint-stats:
+	$(GO) run ./cmd/gislint -stats ./...
 
 fmt:
 	gofmt -w .

@@ -68,7 +68,10 @@ func main() {
 	}
 
 	store := relstore.New(*name)
+	// Bounded startup loop over the -table flags; no query context exists
+	// yet and the in-process store's txns cannot block on a wire.
 	for _, def := range tables {
+		//lint:ignore ctxflow bounded CLI startup loop before any server context exists; loadTable hits only the local store
 		if err := loadTable(store, def); err != nil {
 			log.Fatalf("gisd: %v", err)
 		}

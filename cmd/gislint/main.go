@@ -9,10 +9,12 @@
 //	spanfinish   obs spans reach End on every path out of the starter
 //	ctxflow      no context.Background/TODO outside main; contexts flow
 //	lockheld     no mutex held across an RPC, channel op, or Wait
+//	sqlship      shipped SQL text comes from builders/constants, not assembly
+//	goleak       library goroutines carry a cancellation path
 //
 // Usage:
 //
-//	gislint [-only name[,name]] [-skip name[,name]] [-json] [-list] [packages]
+//	gislint [-only name[,name]] [-skip name[,name]] [-json|-sarif] [-v] [-stats] [-list] [packages]
 //
 // Packages are directory patterns ("./...", "./internal/exec"); the
 // default is ./... from the current directory. Diagnostics print as
@@ -44,8 +46,15 @@ func run(args []string) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	skip := fs.String("skip", "", "comma-separated analyzer names to exclude")
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	asSARIF := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
+	verbose := fs.Bool("v", false, "report per-analyzer wall time on stderr")
+	stats := fs.Bool("stats", false, "report findings per analyzer and call-graph size on stderr")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(os.Stderr, "gislint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -95,16 +104,25 @@ func run(args []string) int {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := lint.Run(loader, pkgs, analyzers)
-	if *asJSON {
+	diags, info := lint.RunWithInfo(loader, pkgs, analyzers)
+	switch {
+	case *asJSON:
 		if err := writeJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "gislint:", err)
 			return 2
 		}
-	} else {
+	case *asSARIF:
+		if err := writeSARIF(os.Stdout, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "gislint:", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
+	}
+	if *verbose || *stats {
+		printRunInfo(os.Stderr, info, *verbose, *stats)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 	if len(diags) > 0 {
@@ -115,6 +133,27 @@ func run(args []string) int {
 	fmt.Fprintf(os.Stderr, "gislint: clean, %d package(s), %d analyzer(s), %s\n",
 		len(pkgs), len(analyzers), elapsed)
 	return 0
+}
+
+// printRunInfo renders -v (per-analyzer wall time) and -stats (findings
+// per analyzer plus the shared call graph's dimensions). Analyzer walls
+// are summed over concurrent package passes, so they can exceed — and
+// together far exceed — the end-to-end elapsed time.
+func printRunInfo(w *os.File, info *lint.RunInfo, verbose, stats bool) {
+	for _, s := range info.Analyzers {
+		switch {
+		case verbose && stats:
+			fmt.Fprintf(w, "gislint: %-14s %8s  %d finding(s)\n", s.Name, s.Wall.Round(time.Microsecond), s.Findings)
+		case verbose:
+			fmt.Fprintf(w, "gislint: %-14s %8s\n", s.Name, s.Wall.Round(time.Microsecond))
+		default:
+			fmt.Fprintf(w, "gislint: %-14s %d finding(s)\n", s.Name, s.Findings)
+		}
+	}
+	if stats {
+		fmt.Fprintf(w, "gislint: call graph: %d function(s), %d resolved edge(s), %d SCC(s), largest SCC %d, built in %s\n",
+			info.GraphFuncs, info.GraphEdges, info.GraphSCCs, info.GraphMaxSCC, info.InterprocTime.Round(time.Microsecond))
+	}
 }
 
 // filterAnalyzers applies -only then -skip; unknown names are an error

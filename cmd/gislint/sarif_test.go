@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"gis/internal/lint"
+)
+
+// TestWriteSARIF pins the log shape review tooling depends on: schema
+// and version markers, one rule per analyzer, and per-result rule
+// binding plus physical location.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := lint.All()
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/core/engine.go", Line: 42, Column: 7},
+			Analyzer: "sqlship",
+			Message:  "sql text reaching Parse is assembled from query literals and runtime values",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/exec/join.go", Line: 9, Column: 2},
+			Analyzer: "goleak",
+			Message:  "goroutine has no cancellation path",
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, analyzers, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("missing $schema")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "gislint" {
+		t.Errorf("driver name = %q, want gislint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) < len(analyzers) {
+		t.Errorf("rules = %d, want >= %d (one per analyzer)", len(run.Tool.Driver.Rules), len(analyzers))
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if r.RuleID != diags[i].Analyzer {
+			t.Errorf("result %d ruleId = %q, want %q", i, r.RuleID, diags[i].Analyzer)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %d ruleIndex %d does not bind to rule %q", i, r.RuleIndex, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine != diags[i].Pos.Line {
+			t.Errorf("result %d location = %+v, want line %d", i, loc, diags[i].Pos.Line)
+		}
+	}
+}
+
+// TestFilterAnalyzers pins the -only/-skip contract, including the
+// unknown-name error path.
+func TestFilterAnalyzers(t *testing.T) {
+	all := lint.All()
+	sel, ok := filterAnalyzers(all, "sqlship,goleak", "")
+	if !ok || len(sel) != 2 {
+		t.Fatalf("-only sqlship,goleak selected %d analyzers (ok=%v)", len(sel), ok)
+	}
+	sel, ok = filterAnalyzers(all, "", "sqlship")
+	if !ok || len(sel) != len(all)-1 {
+		t.Fatalf("-skip sqlship kept %d analyzers (ok=%v)", len(sel), ok)
+	}
+	if _, ok := filterAnalyzers(all, "nosuch", ""); ok {
+		t.Error("-only with an unknown name must fail")
+	}
+}

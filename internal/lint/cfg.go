@@ -396,23 +396,29 @@ type funcScope struct {
 }
 
 // FuncScopes returns every function body in the package, declarations
-// and function literals alike.
-func (p *Pass) FuncScopes() []funcScope {
-	var out []funcScope
-	for _, f := range p.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					out = append(out, funcScope{typ: fn.Type, body: fn.Body, name: fn.Name.Name})
+// and function literals alike (built once per package, shared by every
+// analyzer pass).
+func (p *Pass) FuncScopes() []funcScope { return p.Pkg.FuncScopes() }
+
+// FuncScopes implements the package-level scope cache behind
+// Pass.FuncScopes.
+func (p *Package) FuncScopes() []funcScope {
+	p.scopesOnce.Do(func() {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						p.scopes = append(p.scopes, funcScope{typ: fn.Type, body: fn.Body, name: fn.Name.Name})
+					}
+				case *ast.FuncLit:
+					p.scopes = append(p.scopes, funcScope{typ: fn.Type, body: fn.Body, name: "func literal"})
 				}
-			case *ast.FuncLit:
-				out = append(out, funcScope{typ: fn.Type, body: fn.Body, name: "func literal"})
-			}
-			return true
-		})
-	}
-	return out
+				return true
+			})
+		}
+	})
+	return p.scopes
 }
 
 // walkNode visits n's subtree in syntactic order, pruning descent when

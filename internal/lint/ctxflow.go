@@ -62,7 +62,7 @@ func CtxFlow() *Analyzer {
 // enclosing loop.
 func checkRetryLoop(pass *Pass, body *ast.BlockStmt) {
 	var ioCall *ast.CallExpr
-	var ioFn *types.Func
+	var ioName string
 	consulted := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if n == body {
@@ -78,17 +78,33 @@ func checkRetryLoop(pass *Pass, body *ast.BlockStmt) {
 				consulted = true
 				return true
 			}
+			ip := pass.Interproc()
+			// A helper whose summary consults the context on every
+			// resolved body counts: the loop's liveness check may live
+			// one call down.
+			if ip != nil && ip.ConsultingCall(m) {
+				consulted = true
+				return true
+			}
 			if _, isGo := pass.Parent(m).(*ast.GoStmt); isGo {
 				return true // spawned work; the loop itself does not block on it
 			}
-			if fn := moduleCtxCallee(pass, m); fn != nil && inIOLayer(pass, fn.Pkg().Path()) && ioFn == nil {
-				ioCall, ioFn = m, fn
+			if ioCall == nil {
+				if fn := moduleCtxCallee(pass, m); fn != nil && ioLayerPath(fn.Pkg().Path()) {
+					ioCall, ioName = m, fn.Name()
+				} else if ip != nil {
+					// Interprocedural extension: a local wrapper around
+					// the I/O layer re-enters it all the same.
+					if name, _, ok := ip.WireIOCall(m); ok {
+						ioCall, ioName = m, name
+					}
+				}
 			}
 		}
-		return !consulted || ioFn == nil
+		return !consulted || ioCall == nil
 	})
-	if ioFn != nil && !consulted {
-		pass.Reportf(ioCall.Pos(), "loop re-enters the I/O layer via %s without consulting ctx.Err() (or receiving from ctx.Done()) between iterations; a cancelled query must stop retrying", ioFn.Name())
+	if ioCall != nil && !consulted {
+		pass.Reportf(ioCall.Pos(), "loop re-enters the I/O layer via %s without consulting ctx.Err() (or receiving from ctx.Done()) between iterations; a cancelled query must stop retrying", ioName)
 	}
 }
 

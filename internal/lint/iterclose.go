@@ -73,7 +73,13 @@ func checkIterClose(pass *Pass, iface *types.Interface, fs funcScope) {
 				if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
 					return true
 				}
-				if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+				call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if borrowedIterCall(pass, call) {
+					// Every resolved body returns an iterator it does
+					// not own (a field, a parameter): no obligation.
 					return true
 				}
 				var iters []*iterCandidate
@@ -187,9 +193,17 @@ func checkIterClose(pass *Pass, iface *types.Interface, fs funcScope) {
 							}
 						}
 						s[v] = iterDone // appears on the RHS: stored somewhere
+					case *ast.CallExpr:
+						// Argument pass: a hand-off unless every resolved
+						// body only reads the iterator, in which case
+						// Close stays owed here.
+						if argKeepsObligation(pass, parent, m, false) {
+							return true
+						}
+						s[v] = iterDone
 					default:
-						// Argument, return value, composite literal, &x,
-						// channel send, range subject: ownership moved.
+						// Return value, composite literal, &x, channel
+						// send, range subject: ownership moved.
 						s[v] = iterDone
 					}
 				}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Diagnostic is one analyzer finding.
@@ -58,6 +59,8 @@ func All() []*Analyzer {
 		SpanFinish(),
 		CtxFlow(),
 		LockHeld(),
+		SQLShip(),
+		GoLeak(),
 	}
 }
 
@@ -68,11 +71,9 @@ type Pass struct {
 	Fset     *token.FileSet
 
 	loader *Loader
+	ip     *Interproc
 	mu     *sync.Mutex
 	out    *[]Diagnostic
-
-	parentsOnce sync.Once
-	parents     map[ast.Node]ast.Node
 }
 
 // Reportf records a finding at pos.
@@ -88,20 +89,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // TypeOf returns the type of e, or nil when the checker recorded none.
-func (p *Pass) TypeOf(e ast.Expr) types.Type {
-	if tv, ok := p.Pkg.Info.Types[e]; ok {
-		return tv.Type
-	}
-	return nil
-}
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.TypeOf(e) }
 
 // ObjectOf resolves an identifier to its object (use or definition).
-func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
-	if o := p.Pkg.Info.Uses[id]; o != nil {
-		return o
-	}
-	return p.Pkg.Info.Defs[id]
-}
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.ObjectOf(id) }
+
+// Interproc exposes the shared call graph and function summaries built
+// once per Run and reused by every analyzer pass.
+func (p *Pass) Interproc() *Interproc { return p.ip }
 
 // InModule reports whether pkg belongs to the analyzed module.
 func (p *Pass) InModule(pkg *types.Package) bool {
@@ -131,26 +126,30 @@ func (p *Pass) Named(path, name string) *types.Named {
 	return named
 }
 
-// Parent returns the syntactic parent of n within its file.
-func (p *Pass) Parent(n ast.Node) ast.Node {
-	p.parentsOnce.Do(func() {
-		p.parents = make(map[ast.Node]ast.Node)
-		for _, f := range p.Pkg.Files {
-			var stack []ast.Node
-			ast.Inspect(f, func(n ast.Node) bool {
-				if n == nil {
-					stack = stack[:len(stack)-1]
-					return true
-				}
-				if len(stack) > 0 {
-					p.parents[n] = stack[len(stack)-1]
-				}
-				stack = append(stack, n)
-				return true
-			})
-		}
-	})
-	return p.parents[n]
+// Parent returns the syntactic parent of n within its file (shared,
+// package-level cache).
+func (p *Pass) Parent(n ast.Node) ast.Node { return p.Pkg.Parent(n) }
+
+// AnalyzerStat is one analyzer's aggregate cost and yield over a run.
+type AnalyzerStat struct {
+	Name string
+	// Findings counts diagnostics before suppression.
+	Findings int
+	// Wall is the summed wall time of the analyzer's package passes
+	// (passes run concurrently, so analyzer walls can overlap).
+	Wall time.Duration
+}
+
+// RunInfo describes one Run: per-analyzer cost plus the shared
+// interprocedural artifacts' size and build time.
+type RunInfo struct {
+	Analyzers []AnalyzerStat
+	// Graph statistics: nodes (function bodies), resolved edges, SCC
+	// count and largest SCC in the module-wide call graph.
+	GraphFuncs, GraphEdges, GraphSCCs, GraphMaxSCC int
+	// InterprocTime covers call-graph construction plus the bottom-up
+	// summary fixpoint.
+	InterprocTime time.Duration
 }
 
 // Run executes analyzers over packages in parallel, applies lint:ignore
@@ -158,6 +157,25 @@ func (p *Pass) Parent(n ast.Node) ast.Node {
 // suppressions (no analyzer, no reason) surface as findings of the
 // pseudo-analyzer "suppress".
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithInfo(l, pkgs, analyzers)
+	return diags
+}
+
+// RunWithInfo is Run plus per-analyzer timing and call-graph statistics
+// for the driver's -v and -stats output.
+func RunWithInfo(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *RunInfo) {
+	info := &RunInfo{}
+
+	// The interprocedural layer — call graph plus function summaries —
+	// is built once over every loaded package and shared (read-only) by
+	// all analyzer passes.
+	ipStart := time.Now()
+	ip := BuildInterproc(l)
+	info.InterprocTime = time.Since(ipStart)
+	info.GraphFuncs = len(ip.Graph.Nodes)
+	info.GraphEdges = ip.Graph.Edges
+	info.GraphSCCs, info.GraphMaxSCC = ip.SCCCount, ip.MaxSCC
+
 	var (
 		mu  sync.Mutex
 		out []Diagnostic
@@ -165,7 +183,13 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		// Bound the fan-out: one goroutine per (package, analyzer) pair
 		// is wasteful for big module trees.
 		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+		statMu sync.Mutex
+		stats  = make(map[string]*AnalyzerStat, len(analyzers))
 	)
+	for _, a := range analyzers {
+		stats[a.Name] = &AnalyzerStat{Name: a.Name}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			wg.Add(1)
@@ -178,14 +202,28 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					Pkg:      pkg,
 					Fset:     l.Fset,
 					loader:   l,
+					ip:       ip,
 					mu:       &mu,
 					out:      &out,
 				}
+				passStart := time.Now()
 				a.Run(pass)
+				d := time.Since(passStart)
+				statMu.Lock()
+				stats[a.Name].Wall += d
+				statMu.Unlock()
 			}(pkg, a)
 		}
 	}
 	wg.Wait()
+	for _, d := range out {
+		if s, ok := stats[d.Analyzer]; ok {
+			s.Findings++
+		}
+	}
+	for _, a := range analyzers {
+		info.Analyzers = append(info.Analyzers, *stats[a.Name])
+	}
 	sites, bad := collectSuppressions(l.Fset, pkgs)
 	kept := out[:0]
 	for _, d := range out {
@@ -207,5 +245,5 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, info
 }

@@ -15,7 +15,11 @@ import (
 	"sync"
 )
 
-// Package is one loaded, type-checked package.
+// Package is one loaded, type-checked package. Besides the parse and
+// type-check results it carries lazily built, analyzer-shared caches —
+// the syntactic parent map and per-function CFGs — so the driver's
+// analyzers (which all run over the same package concurrently) compute
+// each once instead of once per analyzer pass.
 type Package struct {
 	// Path is the import path ("gis/internal/exec").
 	Path string
@@ -27,6 +31,70 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's results for Files.
 	Info *types.Info
+
+	parentsOnce sync.Once
+	parents     map[ast.Node]ast.Node
+
+	scopesOnce sync.Once
+	scopes     []funcScope
+
+	cfgMu sync.Mutex
+	cfgs  map[*ast.BlockStmt]*CFG
+}
+
+// ObjectOf resolves an identifier to its object (use or definition).
+func (p *Package) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// Parent returns the syntactic parent of n within its file. The parent
+// map is built once per package and shared by every analyzer.
+func (p *Package) Parent(n ast.Node) ast.Node {
+	p.parentsOnce.Do(func() {
+		p.parents = make(map[ast.Node]ast.Node)
+		for _, f := range p.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if len(stack) > 0 {
+					p.parents[n] = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	})
+	return p.parents[n]
+}
+
+// CFGOf returns the package-cached control-flow graph of body, building
+// it on first request. Safe for concurrent analyzers.
+func (p *Package) CFGOf(body *ast.BlockStmt) *CFG {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	g, ok := p.cfgs[body]
+	if !ok {
+		g = BuildCFG(body)
+		p.cfgs[body] = g
+	}
+	return g
 }
 
 // Loader parses and type-checks packages of a single module using only
@@ -264,6 +332,20 @@ func (l *Loader) Dep(path string) *types.Package {
 		return p.Types
 	}
 	return nil
+}
+
+// Loaded returns every module package the loader has type-checked — the
+// analyzed set plus the module-internal dependencies pulled in by
+// imports — sorted by import path. The interprocedural layer builds its
+// call graph over this set so cross-package helper bodies are visible
+// even in a single-package run.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 func (l *Loader) importPathFor(abs string) (string, error) {

@@ -197,16 +197,24 @@ func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 		}
 		return "", false // Cond.Wait releases the lock; not our shape
 	}
-	if mfn := moduleCtxCallee(pass, call); mfn != nil && inIOLayer(pass, mfn.Pkg().Path()) {
+	if mfn := moduleCtxCallee(pass, call); mfn != nil && ioLayerPath(mfn.Pkg().Path()) {
 		return fmt.Sprintf("the call to %s", mfn.Name()), true
+	}
+	// Interprocedural extension: a helper anywhere in the module whose
+	// transitive summary says "performs wire I/O" blocks just the same —
+	// extracting the RPC into a local function must not hide it.
+	if ip := pass.Interproc(); ip != nil {
+		if name, via, ok := ip.WireIOCall(call); ok {
+			return fmt.Sprintf("the call to %s, which performs wire I/O via %s", name, via), true
+		}
 	}
 	return "", false
 }
 
-// inIOLayer reports whether a module package performs source/wire I/O,
-// fan-out, or coordination — the layers whose context-taking calls can
-// stall on a remote.
-func inIOLayer(pass *Pass, path string) bool {
+// ioLayerPath reports whether a module package performs source/wire
+// I/O, fan-out, or coordination — the layers whose context-taking calls
+// can stall on a remote.
+func ioLayerPath(path string) bool {
 	for _, suffix := range []string{
 		"/internal/source", "/internal/wire", "/internal/txn",
 		"/internal/core", "/internal/catalog", "/internal/exec",

@@ -112,9 +112,17 @@ func checkSpanFinish(pass *Pass, spanType *types.Named, fs funcScope) {
 							}
 						}
 						s[v] = spanDone // stored somewhere: owner changed
+					case *ast.CallExpr:
+						// Passing the span to a callee is normally a
+						// hand-off — but when every resolved body only
+						// reads it, the End obligation stays here.
+						if argKeepsObligation(pass, parent, m, true) {
+							return true
+						}
+						s[v] = spanDone
 					default:
-						// Argument, return value, composite literal, &s,
-						// channel send: teardown responsibility moved.
+						// Return value, composite literal, &s, channel
+						// send: teardown responsibility moved.
 						s[v] = spanDone
 					}
 				}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SQLShip enforces the decomposition trust boundary of the federation:
+// every SQL string that reaches a parse/execute surface — the
+// internal/sql parsers, the Engine's Query/Exec family, view
+// definitions — must originate in the internal/sql and internal/plan
+// builders or be a compile-time constant. Hand-assembling query text by
+// concatenating or fmt.Sprintf-ing SQL keyword literals with runtime
+// values re-opens the classic injection/divergence hole the mediator's
+// structured Query IR exists to close: the decomposer can no longer
+// prove what it ships to an autonomous component system. The fix idiom
+// is `?` placeholders with bound types.Value parameters (the parsers
+// substitute them positionally), or the plan builders.
+//
+// Taint is tracked per function (flow-insensitive over local string
+// variables) and across calls through summaries: a helper that forwards
+// a string parameter into a sink makes its callers sinks too, and a
+// helper that returns assembled SQL taints its call expression.
+func SQLShip() *Analyzer {
+	a := &Analyzer{
+		Name: "sqlship",
+		Doc:  "SQL text reaching a parse/execute boundary must come from internal/sql|plan builders or constants, never string assembly with runtime values",
+	}
+	a.Run = func(pass *Pass) {
+		ip := pass.Interproc()
+		if ip == nil {
+			return
+		}
+		for _, fs := range pass.FuncScopes() {
+			taint := ip.sqlTaintedVars(pass.Pkg, fs.body)
+			walkNode(fs.body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				positions, sink := ip.sqlSinkPositions(pass.Pkg, call)
+				for _, p := range positions {
+					if p >= len(call.Args) {
+						continue
+					}
+					arg := call.Args[p]
+					if ip.taintedSQLExpr(pass.Pkg, arg, taint) {
+						pass.Reportf(arg.Pos(), "sql text reaching %s is assembled from query literals and runtime values; use ?-placeholders with bound params or the internal/sql|plan builders so the shipped sub-query stays provable", sink)
+					}
+				}
+				return true
+			}, nil)
+		}
+	}
+	return a
+}

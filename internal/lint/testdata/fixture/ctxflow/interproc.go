@@ -1,0 +1,67 @@
+// Interprocedural ctxflow fixtures for rule 3: the I/O-layer re-entry
+// (or the liveness check) hides one call down in a package-local
+// helper, so the loop verdict needs function summaries.
+package ctxflow
+
+import (
+	"context"
+
+	"gis/internal/source"
+)
+
+// fetchRemote wraps the wire round-trip without consulting ctx.
+func fetchRemote(ctx context.Context, src source.Source, table string) error {
+	_, err := src.TableInfo(ctx, table)
+	return err
+}
+
+// fetchGuarded checks liveness before every round-trip.
+func fetchGuarded(ctx context.Context, src source.Source, table string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := src.TableInfo(ctx, table)
+	return err
+}
+
+// retryViaHelper hammers the source through a local wrapper; the loop
+// body itself holds no wire call, but the summary says it re-enters.
+func retryViaHelper(ctx context.Context, src source.Source) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = fetchRemote(ctx, src, "t") // want "loop re-enters the I/O layer via ctxflow.fetchRemote"
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// retryViaGuardedHelper is compliant: every resolved body of the callee
+// consults ctx.Err, so the loop's liveness check lives one frame down.
+func retryViaGuardedHelper(ctx context.Context, src source.Source) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = fetchGuarded(ctx, src, "t")
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// retryHelperWithConsult is compliant the classic way: the loop itself
+// checks before delegating.
+func retryHelperWithConsult(ctx context.Context, src source.Source) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = fetchRemote(ctx, src, "t")
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}

@@ -1,0 +1,87 @@
+// Package goleak is a gislint test fixture: goroutines started in a
+// library package must carry a cancellation path — a context handed
+// over or consulted, a channel receive, or WaitGroup participation.
+// Lines carrying a want comment must produce a diagnostic containing
+// the quoted substring; unmarked lines must not.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// pump spins with no way to learn the query is over.
+func pump() {
+	for {
+		work()
+	}
+}
+
+// watch parks on the context's done channel.
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// pumpGuarded consults liveness each pass.
+func pumpGuarded(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+// spawnForever leaks an anonymous spinner.
+func spawnForever() {
+	go func() { // want "goroutine has no cancellation path"
+		for {
+			work()
+		}
+	}()
+}
+
+// spawnPump leaks through a named body; the verdict comes from pump's
+// summary.
+func spawnPump() {
+	go pump() // want "goroutine has no cancellation path"
+}
+
+// spawnCtxArg hands a context over at the spawn site — compliant by
+// contract even though the target is summarized separately.
+func spawnCtxArg(ctx context.Context) {
+	go watch(ctx)
+}
+
+// spawnConsulting starts a body whose summary consults ctx — compliant.
+func spawnConsulting(ctx context.Context) {
+	go pumpGuarded(ctx)
+}
+
+// spawnDone uses the done-channel protocol — the receive is the exit.
+func spawnDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// spawnWG participates in a WaitGroup join — a collector exists.
+func spawnWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// spawnWaived documents a reviewed exception.
+func spawnWaived() {
+	//lint:ignore goleak process-lifetime janitor; reviewed, intentionally runs until exit
+	go pump()
+}

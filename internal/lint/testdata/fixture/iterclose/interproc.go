@@ -1,0 +1,60 @@
+// Interprocedural iterclose fixtures: argument passes and opening calls
+// are judged by the callee's summary — a read-only drain keeps the
+// Close obligation with the caller, a closer discharges it, and a
+// borrowing accessor never creates one.
+package iterclose
+
+import (
+	"gis/internal/source"
+)
+
+// drainOnce only reads the iterator (Next is not a teardown).
+func drainOnce(it source.RowIter) error {
+	_, err := it.Next()
+	return err
+}
+
+// shutdown takes ownership and closes.
+func shutdown(it source.RowIter) error {
+	return it.Close()
+}
+
+// view lends out the stored iterator; the holder still owns it.
+func (h *holder) view() source.RowIter {
+	return h.it
+}
+
+// leakViaReader passes the iterator to a read-only helper; Close is
+// still owed here and never happens.
+func leakViaReader() error {
+	it := open() // want "iterator it is opened here but not closed or handed off"
+	return drainOnce(it)
+}
+
+// leakReaderBranch closes on one arm only; the reader call on the other
+// arm is not a hand-off.
+func leakReaderBranch(fail bool) error {
+	it := open() // want "iterator it is opened here but not closed or handed off"
+	if fail {
+		return drainOnce(it)
+	}
+	return it.Close()
+}
+
+// closedViaHelper delegates the Close to a summarized closer — compliant.
+func closedViaHelper() error {
+	it := open()
+	if err := drainOnce(it); err != nil {
+		_ = it.Close()
+		return err
+	}
+	return shutdown(it)
+}
+
+// borrowedNoObligation reads from a lent iterator: the accessor's
+// summary says it returns a borrow, so no Close is owed here.
+func borrowedNoObligation(h *holder) error {
+	it := h.view()
+	_, err := it.Next()
+	return err
+}

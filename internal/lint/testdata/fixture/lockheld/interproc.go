@@ -1,0 +1,63 @@
+// Interprocedural lockheld fixtures: the blocking wire round-trip is
+// extracted into a package-local helper, so catching it requires the
+// call-graph summaries (the helper's body, not the locked region,
+// contains the RPC).
+package lockheld
+
+import (
+	"context"
+
+	"gis/internal/source"
+)
+
+// fetchInfo wraps the wire round-trip; its summary carries DoesWireIO.
+func (c *cache) fetchInfo(ctx context.Context, table string) (*source.TableInfo, error) {
+	return c.src.TableInfo(ctx, table)
+}
+
+// fetchTwice shows the fact propagating through two local frames.
+func (c *cache) fetchTwice(ctx context.Context, table string) (*source.TableInfo, error) {
+	return c.fetchInfo(ctx, table)
+}
+
+// localWork never leaves the process: holding a lock across it is fine.
+func (c *cache) localWork(table string) int {
+	return len(table)
+}
+
+// rpcUnderLockViaHelper holds mu across the helper-wrapped round-trip —
+// the same 2PC deadlock shape as the direct call, one frame removed.
+func (c *cache) rpcUnderLockViaHelper(ctx context.Context, table string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, err := c.fetchInfo(ctx, table) // want "c.mu is held across the call to lockheld.(*cache).fetchInfo, which performs wire I/O via TableInfo"
+	if err != nil {
+		return err
+	}
+	c.val[table] = info
+	return nil
+}
+
+// rpcUnderLockTwoFrames: the I/O fact survives two hops of propagation.
+func (c *cache) rpcUnderLockTwoFrames(ctx context.Context, table string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.fetchTwice(ctx, table) // want "c.mu is held across the call to lockheld.(*cache).fetchTwice, which performs wire I/O via TableInfo"
+	return err
+}
+
+// localUnderLock holds the lock across pure computation — compliant.
+func (c *cache) localUnderLock(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.localWork(table)
+}
+
+// helperAfterUnlock releases before the round-trip — compliant.
+func (c *cache) helperAfterUnlock(ctx context.Context, table string) (*source.TableInfo, error) {
+	c.mu.Lock()
+	n := c.localWork(table)
+	c.mu.Unlock()
+	_ = n
+	return c.fetchInfo(ctx, table)
+}

@@ -1,0 +1,58 @@
+// Package scc is a gislint test fixture for the interprocedural layer
+// itself: mutually recursive functions whose facts must converge (not
+// loop) in the bottom-up SCC fixpoint. It carries no want comments —
+// summary_test.go asserts the computed summaries directly.
+package scc
+
+import (
+	"context"
+
+	"gis/internal/source"
+)
+
+// ping and pong are mutually recursive; pong re-enters the wire, so
+// DoesWireIO must reach both members of the cycle.
+func ping(ctx context.Context, src source.Source, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	return pong(ctx, src, n-1)
+}
+
+func pong(ctx context.Context, src source.Source, n int) error {
+	if n%2 == 0 {
+		if _, err := src.TableInfo(ctx, "t"); err != nil {
+			return err
+		}
+	}
+	return ping(ctx, src, n-1)
+}
+
+// red → green → blue → red: a three-member cycle where only one body
+// consults the context; the fact must smear over the whole SCC.
+func red(ctx context.Context, n int) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	return green(ctx, n-1)
+}
+
+func green(ctx context.Context, n int) error {
+	return blue(ctx, n-1)
+}
+
+func blue(ctx context.Context, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	return red(ctx, n-1)
+}
+
+// selfLoop is directly recursive and entirely local: its summary must
+// stay clean (termination with no spurious facts).
+func selfLoop(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return selfLoop(n-1) + 1
+}

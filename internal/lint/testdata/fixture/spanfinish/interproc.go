@@ -1,0 +1,52 @@
+// Interprocedural spanfinish fixtures: whether passing a span to a
+// helper discharges the End obligation now depends on the helper's
+// summary — a reader leaves it with the caller, an ender takes it.
+package spanfinish
+
+import (
+	"context"
+
+	"gis/internal/obs"
+)
+
+// annotate only reads the span: every use is a non-End method call.
+func annotate(sp *obs.Span) {
+	sp.SetAttr("k", "v")
+}
+
+// finish takes ownership and ends the span.
+func finish(sp *obs.Span) {
+	sp.End()
+}
+
+// leakViaReader hands the span to a read-only helper; the obligation
+// stays here, and no path ends it.
+func leakViaReader(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, obs.SpanQuery, "op") // want "span sp may reach a return without End"
+	annotate(sp)
+}
+
+// leakReaderBranch ends on one arm only; the reader call on the other
+// arm no longer launders the leak.
+func leakReaderBranch(ctx context.Context, ok bool) {
+	_, sp := obs.StartSpan(ctx, obs.SpanQuery, "op") // want "span sp may reach a return without End"
+	if ok {
+		sp.End()
+		return
+	}
+	annotate(sp)
+}
+
+// endedViaHelper delegates the End to a summarized ender — compliant.
+func endedViaHelper(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, obs.SpanQuery, "op")
+	annotate(sp)
+	finish(sp)
+}
+
+// endedAfterReader reads, then ends locally — compliant.
+func endedAfterReader(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, obs.SpanQuery, "op")
+	annotate(sp)
+	sp.End()
+}

@@ -1,0 +1,76 @@
+// Package sqlship is a gislint test fixture: SQL text reaching a
+// parse/execute boundary must be a constant, carry ?-placeholders, or
+// come from the internal/sql|plan builders — never string assembly
+// mixing query literals with runtime values. Lines carrying a want
+// comment must produce a diagnostic containing the quoted substring;
+// unmarked lines must not.
+package sqlship
+
+import (
+	"fmt"
+
+	"gis/internal/sql"
+	"gis/internal/types"
+)
+
+// parseQuery forwards its parameter into a sink; by summary its callers
+// become sinks too. The body itself is clean — the parameter's taint is
+// judged where an argument is supplied.
+func parseQuery(q string) error {
+	_, err := sql.Parse(q)
+	return err
+}
+
+// tainted feeds the helper: the same Sprintf assembly, one frame up.
+func tainted(name string) error {
+	q := fmt.Sprintf("SELECT id FROM t WHERE name = '%s'", name)
+	return parseQuery(q) // want "sql text reaching sqlship.parseQuery is assembled"
+}
+
+// concat builds the classic injection shape with +.
+func concat(name string) error {
+	q := "SELECT id FROM t WHERE name = '" + name + "'"
+	_, err := sql.Parse(q) // want "sql text reaching Parse is assembled"
+	return err
+}
+
+// inline assembles directly in the argument position.
+func inline(limit int) error {
+	_, err := sql.ParseSelect(fmt.Sprintf("SELECT id FROM t WHERE id < %d", limit)) // want "sql text reaching ParseSelect is assembled"
+	return err
+}
+
+// constant ships a compile-time literal — compliant.
+func constant() error {
+	_, err := sql.Parse("SELECT id FROM t WHERE id = 1")
+	return err
+}
+
+// constParts concatenates only constants — still provable, compliant.
+func constParts() error {
+	const cols = "id, name"
+	q := "SELECT " + cols + " FROM t"
+	_, err := sql.Parse(q)
+	return err
+}
+
+// bound uses ?-placeholders with typed params — the fix idiom.
+func bound(limit int) error {
+	_, err := sql.Parse("SELECT id FROM t WHERE id < ?", types.NewInt(int64(limit)))
+	return err
+}
+
+// boundViaHelper routes bound text through the forwarding helper; the
+// constant text stays clean even at a summarized sink.
+func boundViaHelper() error {
+	return parseQuery("SELECT id FROM t WHERE id < 10")
+}
+
+// waived documents a reviewed exception: table names are identifiers,
+// not value positions, so ?-binding cannot express them.
+func waived(table string) error {
+	q := fmt.Sprintf("SELECT id FROM %s", table)
+	//lint:ignore sqlship table name is an identifier position; callers draw it from a static catalog
+	_, err := sql.Parse(q)
+	return err
+}

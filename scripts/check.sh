@@ -4,13 +4,17 @@
 #
 #   1. gofmt      — no unformatted files
 #   2. go vet     — stdlib static checks
-#   3. gislint    — project invariant analyzers, both syntactic
-#                   (errdrop, valuecompare, exhaustive) and CFG-based
-#                   flow-sensitive (iterclose, spanfinish, ctxflow,
-#                   lockheld); see DESIGN.md
+#   3. gislint    — project invariant analyzers: syntactic (errdrop,
+#                   valuecompare, exhaustive), CFG-based flow-sensitive
+#                   (iterclose, spanfinish, ctxflow, lockheld), and
+#                   interprocedural/summary-based (sqlship, goleak);
+#                   see DESIGN.md "Static analysis & invariants"
 #   3b. fixtures  — each analyzer must still fire on its fixture
 #                   package (an analyzer that stops finding its own
-#                   fixture has gone blind)
+#                   fixture has gone blind); any unexpected-finding
+#                   diff here is a hard FAILURE, not a warning, and
+#                   the gate covers the sqlship/goleak fixtures and
+#                   the call-graph/summary unit tests
 #   4. go build   — everything compiles
 #   5. go test    — full suite under the race detector, including the
 #                   race-stress and seeded-chaos tests (both skipped
@@ -42,7 +46,12 @@ echo '== gislint =='
 go run ./cmd/gislint ./...
 
 echo '== gislint fixtures =='
-go test ./internal/lint -run 'TestFixtures|TestSuppressions' -count=1
+# make lint-fixtures exactly, so this gate and the Makefile target can
+# never drift apart; an unexpected-finding diff fails the whole check.
+if ! make --no-print-directory lint-fixtures; then
+    echo 'check: FAIL — analyzer fixtures diverged (unexpected or missing findings above)' >&2
+    exit 1
+fi
 
 echo '== go build =='
 go build ./...
