@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures lint-stats fmt vet check chaos bench
+.PHONY: build test race lint lint-ratchet lint-fixtures lint-stats fmt vet check chaos bench
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,23 @@ race:
 	$(GO) test -race ./...
 
 # Project invariant analyzers (stdlib-only driver; see DESIGN.md).
-lint:
-	$(GO) run ./cmd/gislint ./...
+# Baseline-aware: known perf-lint findings snapshotted in
+# lint.baseline.json are absorbed, anything new fails. After fixing
+# findings, shrink the snapshot with
+#   go run ./cmd/gislint -baseline lint.baseline.json -update-baseline ./...
+# and commit the smaller file — the ratchet only turns one way.
+lint: lint-ratchet
+
+lint-ratchet:
+	$(GO) run ./cmd/gislint -baseline lint.baseline.json ./...
 
 # Assert every analyzer still fires on its fixture package (guards
 # against an analyzer silently going blind). Covers the interprocedural
-# fixtures and the sqlship/goleak suites; any unexpected-finding diff is
-# a hard failure.
+# fixtures, the sqlship/goleak suites, the hot-path perf fixtures, and
+# the hotness/baseline unit tests; any unexpected-finding diff is a
+# hard failure.
 lint-fixtures:
-	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph' -count=1
+	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph|TestHotness|TestBaseline|TestLoadBaseline' -count=1
 
 # Findings-by-analyzer counts plus call-graph/SCC dimensions over the
 # whole module (one run is recorded in EXPERIMENTS.md).

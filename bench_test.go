@@ -42,6 +42,7 @@ func benchmarkT1(b *testing.B, push bool, sel float64) {
 	defer f.Close()
 	f.Engine.PlanOptions().PushFilters = push
 	q := fmt.Sprintf("SELECT oid, amount FROM orders WHERE amount < %g", sel*1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, q)
@@ -63,6 +64,7 @@ func benchmarkT2(b *testing.B, strat plan.Strategy, leftRows int) {
 	defer f.Close()
 	f.Engine.PlanOptions().ForceStrategy = strat
 	q := fmt.Sprintf("SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < %d", leftRows)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, q)
@@ -94,6 +96,7 @@ func benchmarkF3(b *testing.B, n int, algo plan.JoinOrderAlgo) {
 		rels = append(rels, plan.RelInfo{Rows: rows})
 		preds = append(preds, plan.PredInfo{A: 0, B: i, Sel: 1 / rows})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plan.OrderSearch(rels, preds, algo)
@@ -114,6 +117,7 @@ func benchmarkT4(b *testing.B, k int, parallel bool) {
 	}
 	defer f.Close()
 	f.Engine.PlanOptions().ParallelFragments = parallel
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, "SELECT SUM(amount) FROM events")
@@ -134,6 +138,7 @@ func benchmarkF5(b *testing.B, table, where string) {
 	}
 	defer f.Close()
 	q := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s", table, where)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, q)
@@ -153,6 +158,7 @@ func benchmarkT6(b *testing.B, n int) {
 		b.Fatal(err)
 	}
 	defer f.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.Engine.Exec(benchCtx, "UPDATE accounts SET balance = balance + 1"); err != nil {
@@ -175,6 +181,7 @@ func benchmarkT8(b *testing.B, table string) {
 	}
 	defer f.Close()
 	q := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM %s WHERE region = 'north'", table)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, q)
@@ -199,6 +206,7 @@ func benchmarkF9(b *testing.B, tweak func(*plan.Options)) {
 	*f.Engine.PlanOptions() = *opts
 	q := `SELECT c.segment, COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id
 	      WHERE o.amount < 100 AND c.id < 500 GROUP BY c.segment`
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, q)
@@ -231,6 +239,7 @@ func BenchmarkMicroParseOnly(b *testing.B) {
 	}
 	defer f.Close()
 	q := "SELECT c.name, COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE o.amount > 10 GROUP BY c.name ORDER BY c.name LIMIT 5"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.Engine.Explain(benchCtx, q); err != nil {
@@ -245,6 +254,7 @@ func BenchmarkMicroLocalScan100k(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer f.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, "SELECT COUNT(*) FROM orders WHERE amount < 500")
@@ -257,6 +267,7 @@ func BenchmarkMicroLocalJoin(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer f.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustQuery(b, f.Engine, "SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id")
@@ -269,6 +280,7 @@ func BenchmarkMicroInsert(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer f.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := fmt.Sprintf("INSERT INTO customers (id, name, segment) VALUES (%d, 'n', 'retail')", 1000+i)

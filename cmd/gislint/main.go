@@ -11,10 +11,21 @@
 //	lockheld     no mutex held across an RPC, channel op, or Wait
 //	sqlship      shipped SQL text comes from builders/constants, not assembly
 //	goleak       library goroutines carry a cancellation path
+//	hotalloc     no per-row allocations in hot executor/codec code (warning)
+//	boxing       no scalar-to-interface boxing in hot code (warning)
+//	hotdefer     no defer inside hot loops (warning)
+//	valcopy      no large-struct by-value traffic in hot code (warning)
 //
 // Usage:
 //
-//	gislint [-only name[,name]] [-skip name[,name]] [-json|-sarif] [-v] [-stats] [-list] [packages]
+//	gislint [-only name[,name]] [-skip name[,name]] [-json|-sarif] [-v] [-stats] [-list]
+//	        [-baseline file [-update-baseline]] [packages]
+//
+// Correctness analyzers report errors: any finding fails the run.
+// Performance analyzers report warnings and are normally gated through
+// the ratchet: -baseline lint.baseline.json absorbs the recorded debt
+// and reports only regressions; -update-baseline rewrites the snapshot
+// after a deliberate change.
 //
 // Packages are directory patterns ("./...", "./internal/exec"); the
 // default is ./... from the current directory. Diagnostics print as
@@ -48,13 +59,19 @@ func run(args []string) int {
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	asSARIF := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
 	verbose := fs.Bool("v", false, "report per-analyzer wall time on stderr")
-	stats := fs.Bool("stats", false, "report findings per analyzer and call-graph size on stderr")
+	stats := fs.Bool("stats", false, "report findings per analyzer, call-graph size, and hot-set census on stderr")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	baselinePath := fs.String("baseline", "", "report only findings not absorbed by this ratchet snapshot")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline snapshot from this run's findings and exit clean")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *asJSON && *asSARIF {
 		fmt.Fprintln(os.Stderr, "gislint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "gislint: -update-baseline requires -baseline <path>")
 		return 2
 	}
 
@@ -105,6 +122,25 @@ func run(args []string) int {
 	}
 
 	diags, info := lint.RunWithInfo(loader, pkgs, analyzers)
+	absorbed := 0
+	if *baselinePath != "" {
+		if *updateBaseline {
+			b := lint.NewBaseline(loader.ModuleRoot, diags)
+			if err := b.WriteBaseline(*baselinePath); err != nil {
+				fmt.Fprintln(os.Stderr, "gislint:", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "gislint: baseline %s rewritten with %d finding(s) under %d key(s)\n",
+				*baselinePath, len(diags), len(b))
+			return 0
+		}
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gislint:", err)
+			return 2
+		}
+		diags, absorbed = b.Regressions(loader.ModuleRoot, diags)
+	}
 	switch {
 	case *asJSON:
 		if err := writeJSON(os.Stdout, diags); err != nil {
@@ -125,13 +161,17 @@ func run(args []string) int {
 		printRunInfo(os.Stderr, info, *verbose, *stats)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
+	ratchet := ""
+	if *baselinePath != "" {
+		ratchet = fmt.Sprintf(", %d baselined", absorbed)
+	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "gislint: %d finding(s) in %d package(s), %d analyzer(s), %s\n",
-			len(diags), len(pkgs), len(analyzers), elapsed)
+		fmt.Fprintf(os.Stderr, "gislint: %d finding(s) in %d package(s), %d analyzer(s)%s, %s\n",
+			len(diags), len(pkgs), len(analyzers), ratchet, elapsed)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "gislint: clean, %d package(s), %d analyzer(s), %s\n",
-		len(pkgs), len(analyzers), elapsed)
+	fmt.Fprintf(os.Stderr, "gislint: clean, %d package(s), %d analyzer(s)%s, %s\n",
+		len(pkgs), len(analyzers), ratchet, elapsed)
 	return 0
 }
 
@@ -153,6 +193,8 @@ func printRunInfo(w *os.File, info *lint.RunInfo, verbose, stats bool) {
 	if stats {
 		fmt.Fprintf(w, "gislint: call graph: %d function(s), %d resolved edge(s), %d SCC(s), largest SCC %d, built in %s\n",
 			info.GraphFuncs, info.GraphEdges, info.GraphSCCs, info.GraphMaxSCC, info.InterprocTime.Round(time.Microsecond))
+		fmt.Fprintf(w, "gislint: hot set: %d hot function(s), %d hot-loop, %d loop-nested call site(s)\n",
+			info.HotFuncs, info.HotLoopFuncs, info.HotSites)
 	}
 }
 

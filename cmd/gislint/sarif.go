@@ -38,8 +38,14 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID               string        `json:"id"`
+	ShortDescription sarifMessage  `json:"shortDescription"`
+	FullDescription  *sarifMessage `json:"fullDescription,omitempty"`
+	DefaultConfig    *sarifConfig  `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
 }
 
 type sarifResult struct {
@@ -77,12 +83,16 @@ type sarifRegion struct {
 // run still records what was checked.
 func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
 	ruleIndex := make(map[string]int, len(analyzers))
+	ruleLevel := make(map[string]string, len(analyzers))
 	rules := make([]sarifRule, 0, len(analyzers)+1)
 	for _, a := range analyzers {
 		ruleIndex[a.Name] = len(rules)
+		ruleLevel[a.Name] = a.Level()
 		rules = append(rules, sarifRule{
 			ID:               a.Name,
 			ShortDescription: sarifMessage{Text: a.Doc},
+			FullDescription:  &sarifMessage{Text: ruleDescription(a)},
+			DefaultConfig:    &sarifConfig{Level: a.Level()},
 		})
 	}
 	// Malformed suppressions surface under the pseudo-analyzer
@@ -93,15 +103,17 @@ func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, diags []lint.Diagnostic
 		if !ok {
 			idx = len(rules)
 			ruleIndex[d.Analyzer] = idx
+			ruleLevel[d.Analyzer] = lint.SeverityError
 			rules = append(rules, sarifRule{
 				ID:               d.Analyzer,
 				ShortDescription: sarifMessage{Text: "malformed lint:ignore suppression"},
+				DefaultConfig:    &sarifConfig{Level: lint.SeverityError},
 			})
 		}
 		results = append(results, sarifResult{
 			RuleID:    d.Analyzer,
 			RuleIndex: idx,
-			Level:     "warning",
+			Level:     ruleLevel[d.Analyzer],
 			Message:   sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
@@ -125,6 +137,16 @@ func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, diags []lint.Diagnostic
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(log)
+}
+
+// ruleDescription expands an analyzer's one-liner with the contract its
+// severity encodes, so review UIs can explain why a perf warning does
+// not block while a correctness error does.
+func ruleDescription(a *lint.Analyzer) string {
+	if a.Level() == lint.SeverityWarning {
+		return a.Doc + ". Performance rule: findings are per-row waste on the hot path, gated by the lint.baseline.json ratchet rather than failing the build outright."
+	}
+	return a.Doc + ". Correctness rule: any finding is a bug and fails the build."
 }
 
 // sarifURI relativizes path against the working directory and uses

@@ -25,6 +25,11 @@ func TestWriteSARIF(t *testing.T) {
 			Analyzer: "goleak",
 			Message:  "goroutine has no cancellation path",
 		},
+		{
+			Pos:      token.Position{Filename: "internal/exec/exec.go", Line: 17, Column: 3},
+			Analyzer: "hotalloc",
+			Message:  "make allocates per row in hot-loop (*sortIter).Next; hoist or reuse a scratch buffer",
+		},
 	}
 	var buf bytes.Buffer
 	if err := writeSARIF(&buf, analyzers, diags); err != nil {
@@ -67,6 +72,36 @@ func TestWriteSARIF(t *testing.T) {
 		loc := r.Locations[0].PhysicalLocation
 		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine != diags[i].Pos.Line {
 			t.Errorf("result %d location = %+v, want line %d", i, loc, diags[i].Pos.Line)
+		}
+	}
+	// Severity flows from analyzer metadata to both the rule default and
+	// each result: correctness findings are errors, perf findings
+	// warnings.
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	for i, r := range run.Results {
+		if want := byName[r.RuleID].Level(); r.Level != want {
+			t.Errorf("result %d (%s) level = %q, want %q", i, r.RuleID, r.Level, want)
+		}
+	}
+	if run.Results[0].Level != lint.SeverityError {
+		t.Errorf("sqlship result level = %q, want error", run.Results[0].Level)
+	}
+	if run.Results[2].Level != lint.SeverityWarning {
+		t.Errorf("hotalloc result level = %q, want warning", run.Results[2].Level)
+	}
+	for _, rule := range run.Tool.Driver.Rules {
+		a, ok := byName[rule.ID]
+		if !ok {
+			continue
+		}
+		if rule.DefaultConfig == nil || rule.DefaultConfig.Level != a.Level() {
+			t.Errorf("rule %s defaultConfiguration = %+v, want level %q", rule.ID, rule.DefaultConfig, a.Level())
+		}
+		if rule.FullDescription == nil || rule.FullDescription.Text == "" {
+			t.Errorf("rule %s has no fullDescription", rule.ID)
 		}
 	}
 }

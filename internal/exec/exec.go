@@ -482,10 +482,12 @@ func runSort(ctx context.Context, s *plan.Sort) (source.RowIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Precompute key tuples, then sort by them.
+	// Precompute key tuples, then sort by them. All tuples share one
+	// flat backing array: two allocations total instead of one per row.
 	keys := make([]types.Row, len(rows))
+	flat := make(types.Row, len(rows)*len(s.Keys))
 	for i, r := range rows {
-		k := make(types.Row, len(s.Keys))
+		k := flat[i*len(s.Keys) : (i+1)*len(s.Keys) : (i+1)*len(s.Keys)]
 		for j, sk := range s.Keys {
 			v, err := sk.E.Eval(r)
 			if err != nil {
@@ -572,6 +574,7 @@ func runAggregate(ctx context.Context, a *plan.Aggregate) (source.RowIter, error
 	}
 	groups := make(map[uint64][]*group)
 	var order []*group
+	keyScratch := make(types.Row, 0, len(a.GroupBy))
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -584,14 +587,18 @@ func runAggregate(ctx context.Context, a *plan.Aggregate) (source.RowIter, error
 			return nil, err
 		}
 		mAggInputRows.Inc()
-		key := make(types.Row, len(a.GroupBy))
-		for i, g := range a.GroupBy {
+		// keyScratch is reused across input rows; only a freshly seen
+		// group keeps a copy. Most rows hit an existing group, so this
+		// drops the per-row key allocation to one per distinct group.
+		key := keyScratch[:0]
+		for _, g := range a.GroupBy {
 			v, err := g.Eval(r)
 			if err != nil {
 				return nil, err
 			}
-			key[i] = v
+			key = append(key, v)
 		}
+		keyScratch = key
 		h := key.Hash()
 		var grp *group
 		for _, g := range groups[h] {
@@ -601,7 +608,7 @@ func runAggregate(ctx context.Context, a *plan.Aggregate) (source.RowIter, error
 			}
 		}
 		if grp == nil {
-			grp = &group{key: key, accs: make([]expr.Accumulator, len(a.Aggs))}
+			grp = &group{key: key.Clone(), accs: make([]expr.Accumulator, len(a.Aggs))}
 			for i, ag := range a.Aggs {
 				grp.accs[i] = expr.NewAccumulator(ag.Kind, ag.Arg == nil, ag.Distinct)
 			}

@@ -58,10 +58,10 @@ func runLocalJoin(ctx context.Context, j *plan.Join, preFetchedRight []types.Row
 	if len(j.EquiL) > 0 {
 		// Hash join: build on the right, probe with the left stream.
 		mJoinBuildRows.Add(int64(len(right)))
-		build := make(map[uint64][]types.Row)
+		build := make(map[uint64][]types.Row, len(right))
 		for _, r := range right {
-			k := keyOf(r, j.EquiR)
-			build[k.Hash()] = append(build[k.Hash()], r)
+			h := keyHash(r, j.EquiR)
+			build[h] = append(build[h], r)
 		}
 		return &hashJoinIter{
 			ctx: ctx, j: j, left: left, build: build,
@@ -82,23 +82,41 @@ func widthOfRight(j *plan.Join, right []types.Row) int {
 	return j.R.Schema().Len()
 }
 
-func keyOf(r types.Row, cols []int) types.Row {
-	k := make(types.Row, len(cols))
-	for i, c := range cols {
-		k[i] = r[c]
+// keyHash hashes r's key columns in place, matching what
+// keyOf(r, cols).Hash() used to produce. Build and probe sides both run
+// once per row, so materializing the projected key was one Row
+// allocation per row on the join hot path.
+func keyHash(r types.Row, cols []int) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range cols {
+		h = r[c].Hash(h)
 	}
-	return k
+	return h
 }
 
-// keyHasNull reports whether any join key value is NULL (NULL never
+// keyHasNull reports whether any key column of r is NULL (NULL never
 // matches in SQL join semantics).
-func keyHasNull(k types.Row) bool {
-	for _, v := range k {
-		if v.IsNull() {
+func keyHasNull(r types.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
 			return true
 		}
 	}
 	return false
+}
+
+// keyEqual compares the projected keys of a left and a right row column
+// by column, without materializing either projection.
+func keyEqual(l types.Row, lc []int, r types.Row, rc []int) bool {
+	if len(lc) != len(rc) {
+		return false
+	}
+	for i := range lc {
+		if !l[lc[i]].Equal(r[rc[i]]) {
+			return false
+		}
+	}
+	return true
 }
 
 // hashJoinIter streams left rows against a hash table of right rows.
@@ -111,12 +129,14 @@ type hashJoinIter struct {
 	rightWidth int
 
 	// Iteration state: matches pending for the current left row.
-	cur     types.Row
-	matches []types.Row
-	midx    int
-	matched bool
-	done    bool
-	probed  int64 // left rows consumed, flushed to metrics at stream end
+	// matchBuf backs matches and is reused across probe rows.
+	cur      types.Row
+	matches  []types.Row
+	matchBuf []types.Row
+	midx     int
+	matched  bool
+	done     bool
+	probed   int64 // left rows consumed, flushed to metrics at stream end
 }
 
 func (h *hashJoinIter) Next() (types.Row, error) {
@@ -180,28 +200,29 @@ func (h *hashJoinIter) Next() (types.Row, error) {
 		h.cur = l
 		h.matched = false
 		h.midx = 0
-		k := keyOf(l, h.j.EquiL)
-		if keyHasNull(k) {
+		if keyHasNull(l, h.j.EquiL) {
 			h.matches = nil
 		} else {
-			h.matches = h.build[k.Hash()]
 			// Hash collisions: verify key equality during cond check —
 			// condHolds evaluates the full join condition which includes
 			// the equi predicates, so collisions are rejected there. For
 			// semi/anti with nil extra cond, check keys explicitly.
-			h.matches = h.filterKeyEqual(k, h.matches)
+			h.matches = h.filterKeyEqual(l, h.build[keyHash(l, h.j.EquiL)])
 		}
 	}
 }
 
-func (h *hashJoinIter) filterKeyEqual(k types.Row, candidates []types.Row) []types.Row {
-	out := candidates[:0:0]
+// filterKeyEqual keeps the candidates whose right key equals l's left
+// key. Survivors land in a scratch buffer reused across probe rows (the
+// previous row's matches are fully consumed before the next probe).
+func (h *hashJoinIter) filterKeyEqual(l types.Row, candidates []types.Row) []types.Row {
+	out := h.matchBuf[:0]
 	for _, r := range candidates {
-		rk := keyOf(r, h.j.EquiR)
-		if k.Equal(rk) && !keyHasNull(rk) {
+		if !keyHasNull(r, h.j.EquiR) && keyEqual(l, h.j.EquiL, r, h.j.EquiR) {
 			out = append(out, r)
 		}
 	}
+	h.matchBuf = out
 	return out
 }
 
@@ -444,10 +465,10 @@ func runKeyShippedJoin(ctx context.Context, j *plan.Join, chunk int) (source.Row
 // runLocalJoinMaterialized hash/NL-joins already-materialized inputs.
 func runLocalJoinMaterialized(ctx context.Context, j *plan.Join, left, right []types.Row) (source.RowIter, error) {
 	if len(j.EquiL) > 0 {
-		build := make(map[uint64][]types.Row)
+		build := make(map[uint64][]types.Row, len(right))
 		for _, r := range right {
-			k := keyOf(r, j.EquiR)
-			build[k.Hash()] = append(build[k.Hash()], r)
+			h := keyHash(r, j.EquiR)
+			build[h] = append(build[h], r)
 		}
 		return &hashJoinIter{
 			ctx: ctx, j: j, left: source.SliceIter(left), build: build,

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -25,6 +26,12 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+
+	// Allocation census accumulated by median() across every timed op,
+	// reported per-op by Record.
+	ops    uint64
+	allocs uint64
+	bytes  uint64
 }
 
 // String renders the table as aligned text.
@@ -62,11 +69,18 @@ func (t *Table) String() string {
 }
 
 // median runs fn once untimed (warm-up: connections, code paths), then
-// `reps` times timed, and returns the median duration.
-func median(reps int, fn func() error) (time.Duration, error) {
+// `reps` times timed, and returns the median duration. Heap traffic of
+// the timed reps accrues to the table's allocation census, surfaced as
+// allocs_per_op/bytes_per_op in the JSON record. The numbers come from
+// runtime.ReadMemStats deltas over the whole process, so they are
+// averages (not medians) and include any concurrent background
+// allocation — good enough to ratchet, not benchmark-grade.
+func (t *Table) median(reps int, fn func() error) (time.Duration, error) {
 	if err := fn(); err != nil {
 		return 0, err
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	times := make([]time.Duration, 0, reps)
 	for i := 0; i < reps; i++ {
 		d, err := workload.Timed(fn)
@@ -75,6 +89,10 @@ func median(reps int, fn func() error) (time.Duration, error) {
 		}
 		times = append(times, d)
 	}
+	runtime.ReadMemStats(&after)
+	t.ops += uint64(reps)
+	t.allocs += after.Mallocs - before.Mallocs
+	t.bytes += after.TotalAlloc - before.TotalAlloc
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	return times[len(times)/2], nil
 }
@@ -143,12 +161,12 @@ func T1Pushdown(ctx context.Context, sc Scale) (*Table, error) {
 		bound := sel * 1000
 		q := "SELECT oid, amount FROM orders WHERE amount < ?"
 		f.Engine.PlanOptions().PushFilters = true
-		push, err := median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewFloat(bound)))
+		push, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewFloat(bound)))
 		if err != nil {
 			return nil, err
 		}
 		f.Engine.PlanOptions().PushFilters = false
-		ship, err := median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewFloat(bound)))
+		ship, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewFloat(bound)))
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +203,7 @@ func T2JoinStrategies(ctx context.Context, sc Scale) (*Table, error) {
 		times := map[plan.Strategy]time.Duration{}
 		for _, strat := range []plan.Strategy{plan.StrategyShipAll, plan.StrategySemiJoin, plan.StrategyBind} {
 			f.Engine.PlanOptions().ForceStrategy = strat
-			d, err := median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewInt(int64(limit))))
+			d, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewInt(int64(limit))))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", strat, err)
 			}
@@ -270,13 +288,13 @@ func T4FanOut(ctx context.Context, sc Scale) (*Table, error) {
 		}
 		q := "SELECT SUM(amount) FROM events"
 		f.Engine.PlanOptions().ParallelFragments = false
-		seq, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
+		seq, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
 		f.Engine.PlanOptions().ParallelFragments = true
-		par, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
+		par, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -315,11 +333,11 @@ func F5Mediation(ctx context.Context, sc Scale) (*Table, error) {
 		{"sum", "SELECT SUM(cents) FROM orders_native", "SELECT SUM(amount) FROM orders_mediated"},
 	}
 	for _, c := range cases {
-		nat, err := median(sc.Reps, queryOnce(ctx, f.Engine, c.native))
+		nat, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, c.native))
 		if err != nil {
 			return nil, err
 		}
-		med, err := median(sc.Reps, queryOnce(ctx, f.Engine, c.mediated))
+		med, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, c.mediated))
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +361,7 @@ func T6Commit(ctx context.Context, sc Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		two, err := median(sc.Reps, func() error {
+		two, err := t.median(sc.Reps, func() error {
 			_, err := f.Engine.Exec(ctx, "UPDATE accounts SET balance = balance + 1")
 			return err
 		})
@@ -353,7 +371,7 @@ func T6Commit(ctx context.Context, sc Scale) (*Table, error) {
 		}
 		// Uncoordinated baseline: per-participant autocommit updates.
 		rowsPer := 50
-		uncoord, err := median(sc.Reps, func() error {
+		uncoord, err := t.median(sc.Reps, func() error {
 			for p := 0; p < n; p++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -400,12 +418,12 @@ func F7SemijoinCrossover(ctx context.Context, sc Scale) (*Table, error) {
 		}
 		q := `SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < ?`
 		f.Engine.PlanOptions().ForceStrategy = plan.StrategySemiJoin
-		semi, err := median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewInt(int64(limit))))
+		semi, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewInt(int64(limit))))
 		if err != nil {
 			return nil, err
 		}
 		f.Engine.PlanOptions().ForceStrategy = plan.StrategyShipAll
-		ship, err := median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewInt(int64(limit))))
+		ship, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q, types.NewInt(int64(limit))))
 		if err != nil {
 			return nil, err
 		}
@@ -451,13 +469,13 @@ func T8Capability(ctx context.Context, sc Scale) (*Table, error) {
 		// this, and w.table ranges over the fixed literal list above.
 		aggQ := fmt.Sprintf("SELECT COUNT(*), SUM(amount) FROM %s WHERE region = 'north'", w.table)
 		//lint:ignore sqlship table name picks the wrapper under test; drawn from the literal list above, not runtime input
-		agg, err := median(sc.Reps, queryOnce(ctx, f.Engine, aggQ))
+		agg, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, aggQ))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.table, err)
 		}
 		pointQ := fmt.Sprintf("SELECT amount FROM %s WHERE oid = ?", w.table)
 		//lint:ignore sqlship table name picks the wrapper under test; the key bound is ?-bound
-		point, err := median(sc.Reps, queryOnce(ctx, f.Engine, pointQ, types.NewInt(int64(rows/2))))
+		point, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, pointQ, types.NewInt(int64(rows/2))))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.table, err)
 		}
@@ -502,7 +520,7 @@ func F9Ablation(ctx context.Context, sc Scale) (*Table, error) {
 		opts := plan.DefaultOptions()
 		m.tweak(opts)
 		*f.Engine.PlanOptions() = *opts
-		d, err := median(sc.Reps, queryOnce(ctx, f.Engine, q))
+		d, err := t.median(sc.Reps, queryOnce(ctx, f.Engine, q))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m.name, err)
 		}
@@ -591,6 +609,11 @@ type Record struct {
 	BandwidthMiBps int64   `json:"bandwidth_mibps"`
 	// ElapsedMS is the wall-clock cost of producing the series.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// AllocsPerOp / BytesPerOp average the heap traffic of the timed
+	// measurement ops (ReadMemStats deltas; zero when nothing was
+	// measured through median, e.g. planning-only experiments).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// At is the measurement timestamp in RFC 3339 format.
 	At string `json:"at"`
 }
@@ -608,6 +631,15 @@ func (t *Table) Record(sc Scale, elapsed time.Duration, at time.Time) Record {
 		LatencyMS:      float64(sc.Link.Latency) / float64(time.Millisecond),
 		BandwidthMiBps: sc.Link.BytesPerSec >> 20,
 		ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+		AllocsPerOp:    perOp(t.allocs, t.ops),
+		BytesPerOp:     perOp(t.bytes, t.ops),
 		At:             at.UTC().Format(time.RFC3339),
 	}
+}
+
+func perOp(total, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(total) / float64(ops)
 }

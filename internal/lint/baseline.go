@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline ratchet. Landing four perf analyzers on a mature executor
+// surfaces hundreds of pre-existing findings at once; demanding a
+// big-bang cleanup would block the analyzers from ever gating CI. The
+// ratchet records the accepted debt instead: a checked-in snapshot maps
+// finding keys to counts, `gislint -baseline lint.baseline.json`
+// reports only findings beyond their recorded count (regressions), and
+// `-update-baseline` rewrites the snapshot after a deliberate change.
+// Fixing a finding without updating the baseline is always safe — the
+// recorded count is a ceiling, not a target.
+//
+// Keys are "analyzer|file|message" with the file path relative to the
+// module root (forward slashes). Line numbers are deliberately NOT part
+// of the key: unrelated edits shift lines constantly, and a baseline
+// that churns on every edit trains people to regenerate it blindly.
+// The price is coarseness — moving a flagged pattern within a file
+// without changing its message stays inside the baseline.
+
+// Baseline maps finding keys to accepted counts.
+type Baseline map[string]int
+
+// baselineFile is the JSON shape on disk: a versioned wrapper so the
+// format can evolve without breaking old snapshots.
+type baselineFile struct {
+	Version  int            `json:"version"`
+	Findings map[string]int `json:"findings"`
+}
+
+const baselineVersion = 1
+
+// BaselineKey renders a diagnostic's ratchet key. moduleRoot relativizes
+// the file path so the snapshot is stable across checkouts.
+func BaselineKey(moduleRoot string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if moduleRoot != "" {
+		if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return d.Analyzer + "|" + filepath.ToSlash(file) + "|" + d.Message
+}
+
+// NewBaseline folds diagnostics into a snapshot.
+func NewBaseline(moduleRoot string, diags []Diagnostic) Baseline {
+	b := make(Baseline, len(diags))
+	for _, d := range diags {
+		b[BaselineKey(moduleRoot, d)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a snapshot from disk.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if f.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, f.Version)
+	}
+	if f.Findings == nil {
+		f.Findings = map[string]int{}
+	}
+	return Baseline(f.Findings), nil
+}
+
+// WriteBaseline writes the snapshot with sorted keys so diffs review
+// cleanly.
+func (b Baseline) WriteBaseline(path string) error {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Marshal through an ordered rendering: encoding/json sorts map keys
+	// already, but building the output explicitly keeps the shape under
+	// our control (stable indentation, trailing newline).
+	ordered := make(map[string]int, len(b))
+	for _, k := range keys {
+		ordered[k] = b[k]
+	}
+	data, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Findings: ordered}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regressions filters diags to findings beyond their baselined count.
+// For a key with recorded count c, the first c findings are absorbed
+// and the rest reported (diags arrive position-sorted from Run, so the
+// survivors are deterministic). It also returns how many findings the
+// baseline absorbed, for the driver's summary line.
+func (b Baseline) Regressions(moduleRoot string, diags []Diagnostic) (regressions []Diagnostic, absorbed int) {
+	used := make(map[string]int, len(b))
+	for _, d := range diags {
+		k := BaselineKey(moduleRoot, d)
+		if used[k] < b[k] {
+			used[k]++
+			absorbed++
+			continue
+		}
+		regressions = append(regressions, d)
+	}
+	return regressions, absorbed
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFileForTest(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func baselineDiag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineRoundTrip pins the on-disk format: write, reload, compare.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		baselineDiag(filepath.Join(root, "a.go"), 3, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer"),
+		baselineDiag(filepath.Join(root, "a.go"), 9, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer"),
+		baselineDiag(filepath.Join(root, "b.go"), 1, "boxing", "argument boxes Value into an interface per row in hot Next"),
+	}
+	b := NewBaseline(root, diags)
+	if got := b["hotalloc|a.go|make allocates per row in hot Next; hoist or reuse a scratch buffer"]; got != 2 {
+		t.Fatalf("same-key findings folded to %d, want 2", got)
+	}
+	path := filepath.Join(root, "lint.baseline.json")
+	if err := b.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(b) {
+		t.Fatalf("round trip changed key count: %d != %d", len(got), len(b))
+	}
+	for k, v := range b {
+		if got[k] != v {
+			t.Errorf("round trip changed %q: %d != %d", k, got[k], v)
+		}
+	}
+}
+
+// TestBaselineRegressions pins the ratchet semantics: recorded counts
+// absorb findings, extras surface, fixes never fail the gate.
+func TestBaselineRegressions(t *testing.T) {
+	root := t.TempDir()
+	recorded := []Diagnostic{
+		baselineDiag(filepath.Join(root, "a.go"), 3, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer"),
+		baselineDiag(filepath.Join(root, "b.go"), 1, "boxing", "argument boxes Value into an interface per row in hot Next"),
+	}
+	b := NewBaseline(root, recorded)
+
+	// Unchanged findings: all absorbed, no regressions.
+	regs, absorbed := b.Regressions(root, recorded)
+	if len(regs) != 0 || absorbed != 2 {
+		t.Fatalf("unchanged run: %d regressions, %d absorbed; want 0, 2", len(regs), absorbed)
+	}
+
+	// One fixed finding: still no regressions (the count is a ceiling).
+	regs, _ = b.Regressions(root, recorded[:1])
+	if len(regs) != 0 {
+		t.Fatalf("fixed finding produced %d regressions", len(regs))
+	}
+
+	// A second same-key finding beyond the recorded count regresses, as
+	// does a brand-new key. Line moves alone do not (lines are not keyed).
+	moved := baselineDiag(filepath.Join(root, "a.go"), 40, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer")
+	dup := baselineDiag(filepath.Join(root, "a.go"), 50, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer")
+	fresh := baselineDiag(filepath.Join(root, "c.go"), 7, "hotdefer", "defer inside a loop of hot Next allocates per iteration and delays teardown to function exit")
+	regs, absorbed = b.Regressions(root, []Diagnostic{moved, dup, fresh, recorded[1]})
+	if absorbed != 2 {
+		t.Fatalf("absorbed = %d, want 2", absorbed)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Pos.Line != 50 || regs[1].Analyzer != "hotdefer" {
+		t.Errorf("wrong regressions surfaced: %v", regs)
+	}
+
+	// Paths outside the module root key on their absolute path rather
+	// than escaping upward with "..".
+	outside := baselineDiag("/elsewhere/x.go", 1, "hotalloc", "m")
+	if k := BaselineKey(root, outside); k != "hotalloc|/elsewhere/x.go|m" {
+		t.Errorf("outside-module key = %q", k)
+	}
+}
+
+// TestLoadBaselineRejectsUnknownVersion guards the format gate.
+func TestLoadBaselineRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	if err := writeFileForTest(path, `{"version": 99, "findings": {}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("version 99 loaded without error")
+	}
+}

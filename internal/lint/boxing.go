@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Boxing flags concrete-to-interface conversions in hot code. Converting
+// a non-pointer value (a scalar, a struct like types.Value, a string, a
+// slice header) to an interface heap-allocates the boxed copy, so a
+// conversion on the hot path is an allocation per row. The classic
+// offender is `fmt.Sprintf("%v", value)` — the variadic ...any boxes
+// every argument — but assignments, returns, and map/slice stores into
+// interface-typed destinations pay the same cost.
+//
+// Pointer-shaped values (pointers, channels, maps, funcs, unsafe
+// pointers) fit in the interface word directly and are exempt.
+func Boxing() *Analyzer {
+	return &Analyzer{
+		Name:     "boxing",
+		Doc:      "no scalar/struct-to-interface conversions (boxing allocations) in hot code",
+		Severity: SeverityWarning,
+		Run:      runBoxing,
+	}
+}
+
+func runBoxing(pass *Pass) {
+	hot := pass.Interproc().Hot
+	for _, n := range hotNodesOf(pass) {
+		checkBoxingBody(pass, hot, n)
+	}
+}
+
+func checkBoxingBody(pass *Pass, hot *HotSet, n *FuncNode) {
+	report := func(e ast.Expr, what string) {
+		if !hot.Reportable(n, e.Pos()) {
+			return
+		}
+		if isConstExpr(pass.Pkg, e) && isUntypedNilOrBool(pass, e) {
+			return
+		}
+		t := pass.TypeOf(e)
+		pass.Reportf(e.Pos(), "%s boxes %s into an interface per row in %s %s", what, typeLabel(t), hot.LevelOf(n), displayName(n))
+	}
+	walkNode(n.Body, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.CallExpr:
+			checkBoxingCall(pass, hot, n, s, report)
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if len(s.Lhs) != len(s.Rhs) {
+					break
+				}
+				lt := pass.TypeOf(s.Lhs[i])
+				if boxesInto(pass, rhs, lt) {
+					report(rhs, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := nodeSig(n)
+			if sig == nil || len(s.Results) != sig.Results().Len() {
+				break
+			}
+			for i, r := range s.Results {
+				if boxesInto(pass, r, sig.Results().At(i).Type()) {
+					report(r, "return")
+				}
+			}
+		}
+		return true
+	}, nil)
+}
+
+func checkBoxingCall(pass *Pass, hot *HotSet, n *FuncNode, call *ast.CallExpr, report func(ast.Expr, string)) {
+	// Explicit conversion: any(x) / interface{...}(x).
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if boxesInto(pass, call.Args[0], pass.TypeOf(call)) {
+			report(call.Args[0], "conversion")
+		}
+		return
+	}
+	// Error construction and panics run on failure paths, not per row:
+	// boxing there is the cost of already having lost.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return
+	}
+	if fn := pkgCalleeFunc(pass.Pkg, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" {
+		return
+	}
+	ft := pass.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if boxesInto(pass, arg, pt) {
+			report(arg, "argument")
+		}
+	}
+}
+
+// boxesInto reports whether passing e into a destination of type dst
+// heap-allocates an interface box: dst is an interface, e's concrete
+// type is not pointer-shaped, and e is not already an interface.
+func boxesInto(pass *Pass, e ast.Expr, dst types.Type) bool {
+	if dst == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	st := pass.TypeOf(e)
+	if st == nil {
+		return false
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface: no new box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: fits the interface word
+	case *types.Basic:
+		b := st.Underlying().(*types.Basic)
+		if b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// isUntypedNilOrBool exempts the constants the runtime never boxes
+// afresh (nil and the two bools have static representations).
+func isUntypedNilOrBool(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.UntypedNil || b.Info()&types.IsBoolean != 0)
+}
+
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "a value"
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

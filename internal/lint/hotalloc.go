@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags per-row allocation patterns in hot code (see
+// hotpath.go for the hotness model): composite literals that allocate,
+// make/new, append growth into an un-presized slice, fmt.Sprint*
+// formatting, runtime string concatenation, and []byte↔string
+// conversions. Each finding is one heap allocation (or one O(n) copy)
+// paid once per row or per frame.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:     "hotalloc",
+		Doc:      "no per-row allocations (make, literals, append growth, Sprintf, conversions) in hot loops",
+		Severity: SeverityWarning,
+		Run:      runHotAlloc,
+	}
+}
+
+func runHotAlloc(pass *Pass) {
+	hot := pass.Interproc().Hot
+	for _, n := range hotNodesOf(pass) {
+		checkHotAllocBody(pass, hot, n)
+	}
+}
+
+func checkHotAllocBody(pass *Pass, hot *HotSet, n *FuncNode) {
+	walkNode(n.Body, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.CompositeLit:
+			if !hot.Reportable(n, e.Pos()) {
+				return true
+			}
+			// Nested literals report once, at the outermost allocation.
+			if _, ok := pass.Parent(e).(*ast.CompositeLit); ok {
+				return true
+			}
+			lt := pass.TypeOf(e)
+			if lt == nil {
+				return true
+			}
+			switch t := lt.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal allocates per row in %s %s", hot.LevelOf(n), displayName(n))
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates per row in %s %s", hot.LevelOf(n), displayName(n))
+			default:
+				// Struct/array literals are stack values unless the
+				// address escapes; &T{...} is the allocating form.
+				if p, ok := pass.Parent(e).(*ast.UnaryExpr); ok && p.Op == token.AND {
+					pass.Reportf(p.Pos(), "&%s literal allocates per row in %s %s", litTypeName(t, e), hot.LevelOf(n), displayName(n))
+				}
+			}
+		case *ast.CallExpr:
+			checkHotAllocCall(pass, hot, n, e)
+		case *ast.BinaryExpr:
+			if e.Op != token.ADD || !hot.Reportable(n, e.Pos()) {
+				return true
+			}
+			if !isStringType(pass.TypeOf(e)) || isConstExpr(pass.Pkg, e) {
+				return true
+			}
+			// Report the outermost + of a concat chain only.
+			if p, ok := pass.Parent(e).(*ast.BinaryExpr); ok && p.Op == token.ADD {
+				return true
+			}
+			pass.Reportf(e.Pos(), "string concatenation allocates per row in %s %s", hot.LevelOf(n), displayName(n))
+		}
+		return true
+	}, nil)
+}
+
+func checkHotAllocCall(pass *Pass, hot *HotSet, n *FuncNode, call *ast.CallExpr) {
+	if !hot.Reportable(n, call.Pos()) {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.ObjectOf(fun) {
+		case types.Universe.Lookup("make"):
+			pass.Reportf(call.Pos(), "make allocates per row in %s %s; hoist or reuse a scratch buffer", hot.LevelOf(n), displayName(n))
+			return
+		case types.Universe.Lookup("new"):
+			pass.Reportf(call.Pos(), "new allocates per row in %s %s", hot.LevelOf(n), displayName(n))
+			return
+		case types.Universe.Lookup("append"):
+			if len(call.Args) > 0 && appendTargetUnpresized(pass, n, call.Args[0]) {
+				pass.Reportf(call.Pos(), "append grows an un-presized slice per row in %s %s", hot.LevelOf(n), displayName(n))
+			}
+			return
+		}
+	}
+	if fn := pkgCalleeFunc(pass.Pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Appendf":
+			pass.Reportf(call.Pos(), "fmt.%s formats and allocates per row in %s %s", fn.Name(), hot.LevelOf(n), displayName(n))
+			return
+		}
+	}
+	// Conversion calls: string(b) / []byte(s) copy the payload.
+	if len(call.Args) == 1 {
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			to, from := pass.TypeOf(call), pass.TypeOf(call.Args[0])
+			if isStringType(to) && isByteSlice(from) && !isConstExpr(pass.Pkg, call.Args[0]) {
+				pass.Reportf(call.Pos(), "[]byte-to-string conversion copies per row in %s %s", hot.LevelOf(n), displayName(n))
+			} else if isByteSlice(to) && isStringType(from) && !isConstExpr(pass.Pkg, call.Args[0]) {
+				pass.Reportf(call.Pos(), "string-to-[]byte conversion copies per row in %s %s", hot.LevelOf(n), displayName(n))
+			}
+		}
+	}
+}
+
+// appendTargetUnpresized reports whether the append destination is a
+// local slice whose single visible binding reserves no capacity: `var s
+// []T`, `s := []T{}`, or `s := make([]T)` / `make([]T, 0)` with no cap
+// argument. A binding with a capacity hint, a non-local destination, or
+// anything we cannot see stays silent (the ratchet is for certain
+// waste, not maybes).
+func appendTargetUnpresized(pass *Pass, n *FuncNode, dst ast.Expr) bool {
+	id, ok := ast.Unparen(dst).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || isSigParam(nodeSig(n), v) {
+		return false
+	}
+	unpresized := false
+	found := false
+	bind := func(rhs ast.Expr) {
+		found = true
+		unpresized = rhs == nil || allocReservesNothing(pass, rhs)
+	}
+	walkNode(n.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ValueSpec:
+			for i, name := range m.Names {
+				if pass.ObjectOf(name) != v {
+					continue
+				}
+				if i < len(m.Values) {
+					bind(m.Values[i])
+				} else {
+					bind(nil) // var s []T
+				}
+			}
+		case *ast.AssignStmt:
+			if m.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range m.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && pass.ObjectOf(lid) == v && i < len(m.Rhs) {
+					bind(m.Rhs[i])
+				}
+			}
+		}
+		return true
+	}, nil)
+	return found && unpresized
+}
+
+// allocReservesNothing recognizes zero-capacity slice origins.
+func allocReservesNothing(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && pass.ObjectOf(id) == types.Universe.Lookup("make") {
+			t := pass.TypeOf(e)
+			if t == nil {
+				return false
+			}
+			if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+				return false
+			}
+			switch len(e.Args) {
+			case 2: // make([]T, n): n is the cap too; zero literal reserves nothing
+				return isZeroLiteral(e.Args[1])
+			case 3:
+				return isZeroLiteral(e.Args[2])
+			}
+		}
+	case *ast.Ident:
+		return e.Name == "nil"
+	}
+	return false
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func litTypeName(t types.Type, e *ast.CompositeLit) string {
+	if id, ok := e.Type.(*ast.Ident); ok {
+		return id.Name
+	}
+	if sel, ok := e.Type.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return t.String()
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotDefer flags defer statements lexically inside loops of hot
+// functions. A defer in a loop allocates a defer record per iteration
+// and — worse — runs nothing until the function returns, so the
+// "teardown" accumulates across every row the loop processes. The fix
+// is to hoist the defer out of the loop or call the teardown directly
+// at the end of the iteration.
+func HotDefer() *Analyzer {
+	return &Analyzer{
+		Name:     "hotdefer",
+		Doc:      "no defer inside hot loops (per-iteration defer records, teardown deferred to exit)",
+		Severity: SeverityWarning,
+		Run:      runHotDefer,
+	}
+}
+
+func runHotDefer(pass *Pass) {
+	hot := pass.Interproc().Hot
+	for _, n := range hotNodesOf(pass) {
+		walkNode(n.Body, func(m ast.Node) bool {
+			d, ok := m.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if hot.InLoop(n, d.Pos()) {
+				pass.Reportf(d.Pos(), "defer inside a loop of %s %s allocates per iteration and delays teardown to function exit", hot.LevelOf(n), displayName(n))
+			}
+			return true
+		}, nil)
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// Hot-path analysis. The per-row cost of the Volcano executor is paid in
+// three places: operator iterator Next/Close methods, expression
+// evaluation (Eval), and wire frame encode/decode. Everything those
+// functions reach — transitively, through the module call graph — runs
+// once per row or once per frame, so an allocation there is an
+// allocation per row. The hotness pass computes that reachable set once
+// per Run and grades it on a two-level lattice:
+//
+//	NotHot < Hot < HotLoop
+//
+// Roots (iterator protocol methods, Eval methods, the wire codec) start
+// Hot. A callee climbs to HotLoop when the call site is lexically inside
+// a loop of a hot caller, or when the caller itself is HotLoop — a
+// function invoked from a per-row loop runs per row of that loop, and so
+// does everything it calls. The perf analyzers (hotalloc, boxing,
+// hotdefer, valcopy) read the level to decide where a pattern is worth
+// flagging: anywhere in a HotLoop body, only inside lexical loops of a
+// merely Hot body.
+//
+// Unlike summary propagation, hotness deliberately TRUSTS the
+// conservative interface-name edges of the call graph: hotness is a
+// reachability fact (may this run per row?), and the iterator protocol
+// is dispatched almost entirely through source.RowIter, so dropping
+// interface edges would blind the pass to the executor's spine. The
+// price is over-approximation — a method named like a hot interface
+// method is graded hot even if no hot caller ever dispatches to it —
+// which the baseline ratchet absorbs (see baseline.go).
+
+// Hotness grades a function body's exposure to per-row work.
+type Hotness uint8
+
+const (
+	// NotHot: not reachable from any hot root.
+	NotHot Hotness = iota
+	// Hot: reachable from a hot root; per-row cost applies to the
+	// function's loops.
+	Hot
+	// HotLoop: invoked from a loop-nested site of hot code (or from a
+	// HotLoop caller) — the whole body runs per row.
+	HotLoop
+)
+
+func (h Hotness) String() string {
+	switch h {
+	case Hot:
+		return "hot"
+	case HotLoop:
+		return "hot-loop"
+	default:
+		return "cold"
+	}
+}
+
+// HotSet is the result of the hotness pass: a grade per call-graph node
+// plus the census the driver's -stats prints.
+type HotSet struct {
+	level map[*FuncNode]Hotness
+
+	// HotFuncs / HotLoopFuncs / HotSites summarize the pass: bodies
+	// graded Hot or better, bodies graded HotLoop, and loop-nested call
+	// sites inside hot bodies.
+	HotFuncs     int
+	HotLoopFuncs int
+	HotSites     int
+
+	mu    sync.Mutex
+	loops map[*FuncNode][]posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// LevelOf returns the grade of a call-graph node.
+func (hs *HotSet) LevelOf(n *FuncNode) Hotness { return hs.level[n] }
+
+// InLoop reports whether pos falls inside a lexical loop of n's own body
+// (loops of nested function literals do not count — the literal is its
+// own graph node). Ranges are computed once per node and cached; the
+// cache is safe for concurrent analyzer passes.
+func (hs *HotSet) InLoop(n *FuncNode, pos token.Pos) bool {
+	hs.mu.Lock()
+	ranges, ok := hs.loops[n]
+	if !ok {
+		ranges = loopRangesOf(n)
+		hs.loops[n] = ranges
+	}
+	hs.mu.Unlock()
+	for _, r := range ranges {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportable reports whether a pattern at pos inside n is on the hot
+// path: anywhere in a HotLoop body, only inside loops of a Hot body.
+func (hs *HotSet) Reportable(n *FuncNode, pos token.Pos) bool {
+	switch hs.LevelOf(n) {
+	case HotLoop:
+		return true
+	case Hot:
+		return hs.InLoop(n, pos)
+	case NotHot:
+		return false
+	}
+	return false
+}
+
+// loopRangesOf collects the source ranges of n's own for/range loops.
+func loopRangesOf(n *FuncNode) []posRange {
+	var out []posRange
+	walkNode(n.Body, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, posRange{m.Pos(), m.End()})
+		}
+		return true
+	}, nil)
+	return out
+}
+
+// BuildHotSet runs the hotness pass over a built call graph.
+func BuildHotSet(ip *Interproc) *HotSet {
+	hs := &HotSet{
+		level: make(map[*FuncNode]Hotness),
+		loops: make(map[*FuncNode][]posRange),
+	}
+	var work []*FuncNode
+	raise := func(n *FuncNode, to Hotness) {
+		if hs.level[n] < to {
+			hs.level[n] = to
+			work = append(work, n)
+		}
+	}
+	for _, n := range ip.Graph.Nodes {
+		if isHotRoot(ip, n) {
+			raise(n, Hot)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		callerLevel := hs.level[n]
+		for _, site := range n.Sites {
+			to := Hot
+			if callerLevel == HotLoop || hs.InLoop(n, site.Call.Pos()) {
+				to = HotLoop
+			}
+			for _, t := range site.Targets {
+				raise(t, to)
+			}
+		}
+	}
+	for n, lvl := range hs.level {
+		switch lvl {
+		case HotLoop:
+			hs.HotLoopFuncs++
+			hs.HotFuncs++
+		case Hot:
+			hs.HotFuncs++
+		case NotHot:
+			// Never in the map: raise only records grades above NotHot.
+		}
+		for _, site := range n.Sites {
+			if hs.InLoop(n, site.Call.Pos()) {
+				hs.HotSites++
+			}
+		}
+	}
+	return hs
+}
+
+// isHotRoot decides whether a function body anchors the hot set:
+//
+//   - iterator protocol methods: Next and Close. When the source.RowIter
+//     interface is loadable the receiver must implement it; in
+//     self-contained fixture packages (no module deps) the name alone
+//     qualifies.
+//   - expression evaluation: methods named Eval and the EvalBool entry
+//     point.
+//   - wire framing: writeFrame/readFrame and every method of the
+//     Encoder/Decoder codec types.
+func isHotRoot(ip *Interproc, n *FuncNode) bool {
+	if n.Obj == nil {
+		return false
+	}
+	name := n.Obj.Name()
+	sig, _ := n.Obj.Type().(*types.Signature)
+	recv := ""
+	if sig != nil && sig.Recv() != nil {
+		if named := derefNamed(sig.Recv().Type()); named != nil {
+			recv = named.Obj().Name()
+		}
+	}
+	switch name {
+	case "Next", "Close":
+		if sig == nil || sig.Recv() == nil {
+			return false
+		}
+		if ip.iterIface != nil {
+			return implementsIter(sig.Recv().Type(), ip.iterIface)
+		}
+		return true
+	case "Eval":
+		return sig != nil && sig.Recv() != nil
+	case "EvalBool":
+		return true
+	case "writeFrame", "readFrame":
+		return true
+	}
+	return recv == "Encoder" || recv == "Decoder"
+}
+
+// displayName strips the package qualifier from a node's graph name for
+// diagnostics: "pkg.(*iter).Next" renders as "(*iter).Next", "pkg.f" as
+// "f". Keeping the receiver distinguishes the many Next methods that
+// share a file in the executor.
+func displayName(n *FuncNode) string {
+	if i := strings.Index(n.Name, "."); i >= 0 {
+		return n.Name[i+1:]
+	}
+	return n.Name
+}
+
+// hotNodesOf returns the graded nodes whose bodies live in pkg, so a
+// perf analyzer pass can walk exactly its own package's hot functions.
+func hotNodesOf(pass *Pass) []*FuncNode {
+	ip := pass.Interproc()
+	if ip == nil || ip.Hot == nil {
+		return nil
+	}
+	var out []*FuncNode
+	for _, n := range ip.Graph.Nodes {
+		if n.Pkg == pass.Pkg && ip.Hot.LevelOf(n) != NotHot {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadHotpathFixture builds the interprocedural layer over the hotpath
+// reachability fixture and indexes its graph nodes by name.
+func loadHotpathFixture(t *testing.T) (*Interproc, map[string]*FuncNode) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fixture", "hotpath")
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ip := BuildInterproc(l)
+	byName := make(map[string]*FuncNode)
+	for _, n := range ip.Graph.Nodes {
+		if n.Obj != nil {
+			byName[n.Obj.Name()] = n
+		}
+	}
+	return ip, byName
+}
+
+// TestHotnessReachability pins the tentpole contract: helpers extracted
+// from Next stay hot (loop-nested ones hot-loop), and cold admin code
+// stays cold even when it calls into the hot set.
+func TestHotnessReachability(t *testing.T) {
+	ip, nodes := loadHotpathFixture(t)
+	for name, want := range map[string]Hotness{
+		"Next":        Hot,     // root: per-row cost applies to its loops
+		"prepare":     Hot,     // extracted helper, called outside the loop
+		"decodeRow":   HotLoop, // called from Next's row loop
+		"widen":       HotLoop, // inherits hot-loop from decodeRow
+		"adminReport": NotHot,  // cold caller of hot code stays cold
+	} {
+		n, ok := nodes[name]
+		if !ok {
+			t.Fatalf("fixture has no function %q in the call graph", name)
+		}
+		if got := ip.Hot.LevelOf(n); got != want {
+			t.Errorf("LevelOf(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+// TestHotnessCensus sanity-checks the -stats numbers against the
+// fixture: four hot bodies, two of them hot-loop, and at least the one
+// loop-nested call site in Next.
+func TestHotnessCensus(t *testing.T) {
+	ip, _ := loadHotpathFixture(t)
+	hs := ip.Hot
+	if hs.HotFuncs != 4 {
+		t.Errorf("HotFuncs = %d, want 4", hs.HotFuncs)
+	}
+	if hs.HotLoopFuncs != 2 {
+		t.Errorf("HotLoopFuncs = %d, want 2", hs.HotLoopFuncs)
+	}
+	if hs.HotSites < 1 {
+		t.Errorf("HotSites = %d, want >= 1", hs.HotSites)
+	}
+}
+
+// TestHotnessReportable pins the reporting rule: a hot body reports only
+// inside its loops, a hot-loop body reports anywhere.
+func TestHotnessReportable(t *testing.T) {
+	ip, nodes := loadHotpathFixture(t)
+	next := nodes["Next"]
+	// Body start (the prepare call) is outside the loop.
+	if ip.Hot.Reportable(next, next.Body.Lbrace) {
+		t.Error("hot Next reports outside its loop")
+	}
+	// Find the loop via the cached ranges: any position inside must report.
+	var inLoop bool
+	for _, site := range next.Sites {
+		if ip.Hot.InLoop(next, site.Call.Pos()) {
+			if !ip.Hot.Reportable(next, site.Call.Pos()) {
+				t.Error("hot Next does not report inside its loop")
+			}
+			inLoop = true
+		}
+	}
+	if !inLoop {
+		t.Fatal("fixture Next has no loop-nested call site")
+	}
+	widen := nodes["widen"]
+	if !ip.Hot.Reportable(widen, widen.Body.Lbrace) {
+		t.Error("hot-loop widen does not report outside a loop")
+	}
+}
+
+func TestHotnessString(t *testing.T) {
+	for h, want := range map[Hotness]string{NotHot: "cold", Hot: "hot", HotLoop: "hot-loop"} {
+		if got := h.String(); got != want {
+			t.Errorf("Hotness(%d).String() = %q, want %q", h, got, want)
+		}
+	}
+}

@@ -151,6 +151,9 @@ type Interproc struct {
 	// SCCCount / MaxSCC describe the condensation (for -stats).
 	SCCCount int
 	MaxSCC   int
+	// Hot is the hot-path grading of the graph (see hotpath.go), read by
+	// the perf analyzers and the driver's -stats census.
+	Hot *HotSet
 
 	loader    *Loader
 	summaries map[*FuncNode]*Summary
@@ -196,6 +199,7 @@ func BuildInterproc(l *Loader) *Interproc {
 			}
 		}
 	}
+	ip.Hot = BuildHotSet(ip)
 	return ip
 }
 

@@ -1,0 +1,96 @@
+// Boxing fixtures: concrete-to-interface conversions in hot code
+// heap-allocate the boxed copy. Hot roots bind by name (no module
+// imports): Next anchors the iterator path.
+package boxing
+
+import "fmt"
+
+type row []int
+
+type val struct{ i int64 }
+
+type iter struct {
+	rows []row
+	vals []val
+	pos  int
+	last any
+}
+
+func sink(x any)       { _ = x }
+func logf(args ...any) { _ = args }
+
+// Next is a hot root; findings live in its loop.
+func (it *iter) Next() (row, error) {
+	for it.pos < len(it.rows) {
+		v := it.vals[it.pos]
+		sink(v)         // want "argument boxes val into an interface per row in hot (*iter).Next"
+		sink(v.i)       // want "argument boxes int64 into an interface per row in hot (*iter).Next"
+		boxed := any(v) // want "conversion boxes val into an interface per row in hot (*iter).Next"
+		_ = boxed
+		it.last = v   // want "assignment boxes val into an interface per row in hot (*iter).Next"
+		logf(v.i, &v) // want "argument boxes int64 into an interface per row in hot (*iter).Next"
+		it.pos++
+		return it.describe(), nil
+	}
+	return nil, nil
+}
+
+// describe inherits hot-loop from its call site inside Next's loop; its
+// concrete-typed return boxes nothing.
+func (it *iter) describe() row {
+	return it.rows[it.pos-1]
+}
+
+// peek is reached from Next's loop, so its interface-typed return boxes
+// per row.
+func (it *iter) Close() error {
+	for _, v := range it.vals {
+		_ = peek(v)
+	}
+	return nil
+}
+
+func peek(v val) any {
+	return v // want "return boxes val into an interface per row in hot-loop peek"
+}
+
+// Exemptions: failure paths and pointer-shaped values do not box per
+// row. All of these sit inside a hot loop and stay silent.
+func (it *iter) Eval() error {
+	for range it.rows {
+		v := it.vals[0]
+		sink(&v)                                // pointer fits the interface word
+		var e error                             //
+		sink(e)                                 // interface-to-interface, no new box
+		err := fmt.Errorf("row %d bad", it.pos) // error construction is the failure path
+		if err != nil {
+			panic(v) // panicking already lost the row race
+		}
+		sink(nil)  // nil has a static representation
+		sink(true) // so do the two bools
+		xs := []any{}
+		logf(xs...) // s... passes the slice through
+	}
+	return nil
+}
+
+// trace boxes on a suppressed line: recording the last value is a
+// deliberate debugging aid.
+func (it *iter) EvalBool() bool {
+	for _, v := range it.vals {
+		//lint:ignore boxing last-value capture is a debug aid, rows are sampled
+		it.last = v
+	}
+	return true
+}
+
+// report is cold admin code: boxing here is free.
+func report(vs []val) []any {
+	out := make([]any, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+var _ = report

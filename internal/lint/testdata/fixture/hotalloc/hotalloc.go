@@ -1,0 +1,108 @@
+// Hot-path allocation fixtures. The package imports nothing from the
+// module, so hot roots bind by name alone: Next/Close are iterator
+// protocol methods, Eval/EvalBool are expression evaluation, and
+// everything they reach through calls inherits the grade.
+package hotalloc
+
+import "fmt"
+
+type row []int
+
+type iter struct {
+	rows    []row
+	pos     int
+	scratch []int
+}
+
+// Next is a hot root (grade hot): per-row cost applies to its loops,
+// not to its one-time prologue.
+func (it *iter) Next() (row, error) {
+	// Prologue allocations run once per Next call chain setup, outside
+	// any loop of a merely-hot body: not reportable.
+	prologue := make([]int, 4)
+	_ = prologue
+
+	var grown []int
+	presized := make([]int, 0, 8)
+	for it.pos < len(it.rows) {
+		k := make([]int, 4) // want "make allocates per row in hot (*iter).Next"
+		_ = k
+		lit := []int{1, 2} // want "slice literal allocates per row in hot (*iter).Next"
+		_ = lit
+		m := map[string]int{} // want "map literal allocates per row in hot (*iter).Next"
+		_ = m
+		p := new(int) // want "new allocates per row in hot (*iter).Next"
+		_ = p
+		st := &state{n: it.pos} // want "&state literal allocates per row in hot (*iter).Next"
+		_ = st
+		grown = append(grown, it.pos) // want "append grows an un-presized slice per row in hot (*iter).Next"
+		presized = append(presized, it.pos)
+		it.fill()
+		it.pos++
+		return it.rows[it.pos-1], nil
+	}
+	_ = grown
+	_ = presized
+	return nil, nil
+}
+
+type state struct{ n int }
+
+// fill is called from Next's row loop, so its whole body is hot-loop:
+// reportable with or without a lexical loop around the site.
+func (it *iter) fill() {
+	it.scratch = make([]int, 8) // want "make allocates per row in hot-loop (*iter).fill"
+}
+
+// format exercises the string-shaped findings from inside Next's loop
+// grade (called below from describe, which Close reaches via a loop).
+func format(prefix, name string, raw []byte) string {
+	s := prefix + name       // want "string concatenation allocates per row in hot-loop format"
+	_ = fmt.Sprintf("%s", s) // want "fmt.Sprintf formats and allocates per row in hot-loop format"
+	decoded := string(raw)   // want "[]byte-to-string conversion copies per row in hot-loop format"
+	encoded := []byte(s)     // want "string-to-[]byte conversion copies per row in hot-loop format"
+	_ = encoded
+	return decoded
+}
+
+// Close is a hot root; the loop grade reaches format through describe.
+func (it *iter) Close() error {
+	for range it.rows {
+		describe(it)
+	}
+	return nil
+}
+
+func describe(it *iter) {
+	_ = format("row ", "x", nil)
+}
+
+// reset allocates on a suppressed line: the scratch rebuild is a
+// deliberate exception with a recorded reason.
+func (it *iter) reset() {
+	for i := range it.rows {
+		//lint:ignore hotalloc scratch is rebuilt per reset round deliberately, reset is rare
+		it.scratch = make([]int, len(it.rows))
+		_ = i
+	}
+}
+
+// Reset keeps reset reachable from a hot root so the suppression is
+// exercised against a reportable site.
+func (it *iter) Eval() {
+	for range it.rows {
+		it.reset()
+	}
+}
+
+// setup is cold admin code: nothing hot reaches it, so its allocations
+// are free to stay.
+func setup() map[string]row {
+	tables := map[string]row{}
+	for i := 0; i < 4; i++ {
+		tables[fmt.Sprintf("t%d", i)] = row{i}
+	}
+	return tables
+}
+
+var _ = setup

@@ -1,0 +1,65 @@
+// Hot-defer fixtures: a defer inside a loop of hot code allocates a
+// defer record per iteration and postpones every teardown to function
+// exit. Hot roots bind by name (no module imports).
+package hotdefer
+
+import "sync"
+
+type row []int
+
+type iter struct {
+	rows []row
+	pos  int
+	mu   sync.Mutex
+}
+
+// Next is a hot root: the per-iteration defer accumulates one locked
+// mutex record per row until Next returns.
+func (it *iter) Next() (row, error) {
+	it.mu.Lock()
+	// A defer in the prologue runs once per call: fine.
+	defer it.mu.Unlock()
+	for it.pos < len(it.rows) {
+		it.mu.Lock()
+		defer it.mu.Unlock() // want "defer inside a loop of hot (*iter).Next allocates per iteration"
+		it.pos++
+	}
+	return nil, nil
+}
+
+// flush rides the hot-loop grade from Close's row loop; the defer sits
+// in flush's own loop, which is what the analyzer keys on.
+func (it *iter) Close() error {
+	for range it.rows {
+		it.flush()
+	}
+	return nil
+}
+
+func (it *iter) flush() {
+	for i := range it.rows {
+		defer release(i) // want "defer inside a loop of hot-loop (*iter).flush allocates per iteration"
+	}
+}
+
+func release(int) {}
+
+// drain defers on a suppressed line: the per-iteration unlock pairs
+// with a documented invariant.
+func (it *iter) Eval() {
+	for range it.rows {
+		it.mu.Lock()
+		//lint:ignore hotdefer unlock must survive a panic in the probe below, rows are few
+		defer it.mu.Unlock()
+	}
+}
+
+// compact is cold admin code: a defer in its loop costs nothing per row.
+func compact(files []string) error {
+	for range files {
+		defer release(0)
+	}
+	return nil
+}
+
+var _ = compact

@@ -1,0 +1,49 @@
+// Reachability fixture for the hotness pass (hotpath_test.go asserts
+// over the graded call graph; no analyzer runs here, so no want
+// comments). The shape mirrors the executor: an iterator whose Next
+// drains per-row helpers, plus admin code nothing hot can reach.
+package hotpath
+
+type row []int
+
+type iter struct {
+	rows    []row
+	pos     int
+	scratch []int
+}
+
+// Next is a hot root.
+func (it *iter) Next() (row, error) {
+	it.prepare()
+	for it.pos < len(it.rows) {
+		it.decodeRow()
+		it.pos++
+	}
+	return nil, nil
+}
+
+// prepare is a helper extracted from Next's prologue: reachable outside
+// any loop, so it grades hot, not hot-loop.
+func (it *iter) prepare() {
+	it.scratch = it.scratch[:0]
+}
+
+// decodeRow is called from Next's row loop: hot-loop, and so is
+// everything it calls.
+func (it *iter) decodeRow() {
+	widen(it.scratch)
+}
+
+// widen is only reachable through decodeRow: hot-loop by inheritance.
+func widen(s []int) {
+	_ = s
+}
+
+// adminReport is cold: nothing on the iterator path reaches it, even
+// though it calls a graded function (hotness flows callee-ward only).
+func adminReport(it *iter) int {
+	it.prepare()
+	return len(it.rows)
+}
+
+var _ = adminReport

@@ -1,0 +1,80 @@
+// Value-copy fixtures: structs bigger than 64 bytes travelling by value
+// through hot signatures or hot range statements cost a memmove per
+// call or per iteration. The 64-byte threshold is exclusive — wide (72
+// bytes) trips it, snug (exactly 64) does not. Hot roots bind by name.
+package valcopy
+
+type wide struct {
+	words [9]int64
+}
+
+type snug struct {
+	words [8]int64
+}
+
+type row []int
+
+type iter struct {
+	rows  []row
+	wides []wide
+	pos   int
+}
+
+// Next is a hot root: its range statements are per-row loops.
+func (it *iter) Next() (row, error) {
+	for _, w := range it.wides { // want "range copies a 72-byte element per iteration in hot (*iter).Next"
+		consume(w)
+		it.pos += int(w.words[0])
+	}
+	for i := range it.wides { // ranging over indices copies nothing
+		it.pos += int(it.wides[i].words[0])
+	}
+	return nil, nil
+}
+
+// consume is reached from Next's loop: its by-value parameter copies 72
+// bytes per row.
+func consume(w wide) { // want "parameter w of hot-loop consume copies 72 bytes by value per call"
+	_ = w.words[0]
+}
+
+// Eval is a hot root whose value receiver copies the whole struct on
+// every dispatch.
+func (w wide) Eval() int64 { // want "receiver of hot (wide).Eval copies 72 bytes by value per call"
+	return w.words[0]
+}
+
+// Eval on snug stays under the threshold: types.Value is 64 bytes and
+// travels by value everywhere, so exactly-64 must pass.
+func (s snug) Eval() int64 {
+	return s.words[0]
+}
+
+// Close passes the struct by pointer: no copy to flag.
+func (it *iter) Close() error {
+	for i := range it.wides {
+		inspect(&it.wides[i])
+	}
+	return nil
+}
+
+func inspect(w *wide) { _ = w.words[0] }
+
+// EvalBool takes a deliberate defensive copy on a suppressed line.
+//
+//lint:ignore valcopy defensive copy keeps the caller's struct immutable during probing
+func EvalBool(w wide) bool {
+	return w.words[0] != 0
+}
+
+// archive is cold admin code: by-value traffic off the hot path is not
+// the analyzer's business.
+func archive(ws []wide) int64 {
+	var sum int64
+	for _, w := range ws {
+		sum += w.words[0]
+	}
+	return sum
+}
+
+var _ = archive

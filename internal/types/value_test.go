@@ -1,6 +1,8 @@
 package types
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -216,6 +218,40 @@ func TestHashConsistencyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHashMatchesStdlibFNV pins the inlined FNV-1a fold in Hash to the
+// stdlib implementation over the same byte stream: hashes are persisted
+// in key-shipping plans, so the constants must never drift.
+func TestHashMatchesStdlibFNV(t *testing.T) {
+	stdlib := func(seed uint64, bytes []byte) uint64 {
+		h := fnv.New64a()
+		h.Write(bytes)
+		return seed*1099511628211 ^ h.Sum64()
+	}
+	now := time.Unix(1700000000, 123456789)
+	nano := make([]byte, 8)
+	binary.LittleEndian.PutUint64(nano, uint64(now.UnixNano()))
+	intBits := make([]byte, 8)
+	binary.LittleEndian.PutUint64(intBits, math.Float64bits(42))
+	cases := []struct {
+		v     Value
+		bytes []byte
+	}{
+		{Null, []byte{0xff}},
+		{NewBool(true), []byte{1, 1}},
+		{NewBool(false), []byte{1, 0}},
+		{NewInt(42), append([]byte{2}, intBits...)},
+		{NewFloat(42), append([]byte{2}, intBits...)},
+		{NewString("abc"), append([]byte{byte(KindString)}, "abc"...)},
+		{NewBytes([]byte("abc")), append([]byte{byte(KindBytes)}, "abc"...)},
+		{NewTime(now), append([]byte{6}, nano...)},
+	}
+	for _, c := range cases {
+		if got, want := c.v.Hash(7), stdlib(7, c.bytes); got != want {
+			t.Errorf("%s: Hash = %#x, stdlib fold = %#x", c.v, got, want)
+		}
 	}
 }
 

@@ -410,7 +410,14 @@ func (it *streamIter) Next() (types.Row, error) {
 			it.fail(err)
 			return nil, err
 		}
-		it.batch = make([]types.Row, n)
+		// Reuse the batch slice: the previous batch is fully consumed
+		// (pos == len) before a new msgRows frame is read, and handed-out
+		// rows are independent of the slot array.
+		if cap(it.batch) >= int(n) {
+			it.batch = it.batch[:n]
+		} else {
+			it.batch = make([]types.Row, n)
+		}
 		for i := range it.batch {
 			if it.batch[i], err = d.Row(); err != nil {
 				it.fail(err)

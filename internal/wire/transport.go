@@ -121,6 +121,13 @@ type frameConn struct {
 	// inj, when set, injects faults per operation (see injure).
 	inj *faults.Injector
 	hdr [5]byte
+	// rbuf backs msgRows payloads across readFrame calls. Row frames
+	// dominate traffic and their payloads are fully decoded (with every
+	// string/bytes value copied out) before the next read on this conn,
+	// so reuse is safe there; every other tag gets a fresh buffer
+	// because its payload can outlive the next read (e.g. a control
+	// response decoded after the ctrl slot is released).
+	rbuf []byte
 }
 
 func newFrameConn(rw io.ReadWriter, send, recv SimLink) *frameConn {
@@ -179,7 +186,15 @@ func (f *frameConn) readFrame(ctx context.Context) (byte, []byte, error) {
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if hdr[4] == msgRows {
+		if cap(f.rbuf) < int(n) {
+			f.rbuf = make([]byte, n)
+		}
+		payload = f.rbuf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(f.rw, payload); err != nil {
 		return 0, nil, err
 	}

@@ -6,15 +6,24 @@
 #   2. go vet     — stdlib static checks
 #   3. gislint    — project invariant analyzers: syntactic (errdrop,
 #                   valuecompare, exhaustive), CFG-based flow-sensitive
-#                   (iterclose, spanfinish, ctxflow, lockheld), and
-#                   interprocedural/summary-based (sqlship, goleak);
-#                   see DESIGN.md "Static analysis & invariants"
+#                   (iterclose, spanfinish, ctxflow, lockheld),
+#                   interprocedural/summary-based (sqlship, goleak),
+#                   and hot-path perf (hotalloc, boxing, hotdefer,
+#                   valcopy); ratcheted against lint.baseline.json —
+#                   known perf findings are absorbed, anything NEW
+#                   fails the gate. After fixing findings, shrink the
+#                   snapshot and commit it:
+#                     go run ./cmd/gislint -baseline lint.baseline.json \
+#                       -update-baseline ./...
+#                   see DESIGN.md "Static analysis & invariants" and
+#                   "Hot-path model & perf lint"
 #   3b. fixtures  — each analyzer must still fire on its fixture
 #                   package (an analyzer that stops finding its own
 #                   fixture has gone blind); any unexpected-finding
 #                   diff here is a hard FAILURE, not a warning, and
-#                   the gate covers the sqlship/goleak fixtures and
-#                   the call-graph/summary unit tests
+#                   the gate covers the sqlship/goleak and perf-lint
+#                   fixtures plus the call-graph/summary/hotness/
+#                   baseline unit tests
 #   4. go build   — everything compiles
 #   5. go test    — full suite under the race detector, including the
 #                   race-stress and seeded-chaos tests (both skipped
@@ -42,8 +51,14 @@ fi
 echo '== go vet =='
 go vet ./...
 
-echo '== gislint =='
-go run ./cmd/gislint ./...
+echo '== gislint (ratchet) =='
+# make lint-ratchet exactly, so this gate and the Makefile target can
+# never drift apart. The baseline absorbs known perf-lint findings;
+# any finding not in lint.baseline.json fails the build.
+if ! make --no-print-directory lint-ratchet; then
+    echo 'check: FAIL — new lint findings not in lint.baseline.json (fix them, or if intentional rerun gislint with -update-baseline and commit the snapshot)' >&2
+    exit 1
+fi
 
 echo '== gislint fixtures =='
 # make lint-fixtures exactly, so this gate and the Makefile target can
