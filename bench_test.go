@@ -291,3 +291,40 @@ func BenchmarkMicroInsert(b *testing.B) {
 }
 
 var _ = types.Null
+
+// ---- Observability: distributed-tracing overhead ----
+//
+// Same T1/T2 code paths with per-statement tracing toggled. With
+// tracing off the only obs costs left are the always-on counters, the
+// plan-feedback record at stream end, and one nil span check per
+// operator; the acceptance budget is < 5% vs. the traced run being
+// however much slower it wants (see EXPERIMENTS.md, "Observability
+// overhead"). With tracing on, the full federation-wide machinery runs:
+// span tree, wire trace context, remote subtree trailer, stitching.
+
+func benchmarkObsTracing(b *testing.B, traced, join bool) {
+	custRows := 100
+	if join {
+		custRows = 2000
+	}
+	f, err := workload.TwoTable(context.Background(), custRows, 20000, true, benchLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	f.Engine.SetTracing(traced)
+	q := "SELECT oid, amount FROM orders WHERE amount < 10"
+	if join {
+		q = "SELECT COUNT(*) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < 10"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, f.Engine, q)
+	}
+}
+
+func BenchmarkObsTracingOff_T1(b *testing.B) { benchmarkObsTracing(b, false, false) }
+func BenchmarkObsTracingOn_T1(b *testing.B)  { benchmarkObsTracing(b, true, false) }
+func BenchmarkObsTracingOff_T2(b *testing.B) { benchmarkObsTracing(b, false, true) }
+func BenchmarkObsTracingOn_T2(b *testing.B)  { benchmarkObsTracing(b, true, true) }

@@ -35,6 +35,7 @@ import (
 	"gis/internal/faults"
 	"gis/internal/obs"
 	"gis/internal/relstore"
+	"gis/internal/sql"
 	"gis/internal/types"
 	"gis/internal/wire"
 )
@@ -56,6 +57,8 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve metrics/pprof/sessions on this address (e.g. 127.0.0.1:6060)")
 		slowQuery = flag.Duration("slow-query", 250*time.Millisecond, "retain sub-queries slower than this on /slow")
 		faultPlan = flag.String("fault-plan", "", `seeded fault-injection plan, e.g. "seed=7;*:err=0.05,stall=50ms,stallp=0.1"`)
+		queryLog  = flag.String("query-log", "", "append structured JSON query-log records to this file")
+		qlSample  = flag.Float64("query-log-sample", 0, "fraction of fast sub-queries to log (slow ones are always logged)")
 		tables    tableFlag
 	)
 	flag.Var(&tables, "table", "table definition: name=path:col:type[,col:type...] (repeatable)")
@@ -94,10 +97,18 @@ func main() {
 		log.Fatalf("gisd: %v", err)
 	}
 	srv.Queries.SetThreshold(*slowQuery)
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("gisd: -query-log: %v", err)
+		}
+		defer f.Close()
+		srv.Queries.SetStructured(obs.NewStructuredLog(f, *qlSample, sql.Fingerprint))
+	}
 	log.Printf("gisd: serving source %q on %s", *name, srv.Addr())
 
 	if *debugAddr != "" {
-		dbg := &http.Server{Addr: *debugAddr, Handler: obs.Handler(obs.Default(), srv.Queries)}
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.Handler(obs.Default(), srv.Queries, obs.DefaultFeedback())}
 		go func() {
 			log.Printf("gisd: debug endpoint on http://%s/", *debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -33,6 +33,7 @@ import (
 	"gis/internal/relstore"
 	"gis/internal/resilience"
 	"gis/internal/source"
+	"gis/internal/sql"
 	"gis/internal/types"
 	"gis/internal/wire"
 )
@@ -62,6 +63,8 @@ func main() {
 		brkThresh = flag.Int("breaker-threshold", 4, "consecutive failures before a source's breaker opens (0 disables)")
 		brkCool   = flag.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker rejects calls before probing")
 		dialTO    = flag.Duration("connect-timeout", wire.DefaultDialTimeout, "TCP connect timeout for component systems")
+		queryLog  = flag.String("query-log", "", "append structured JSON query-log records to this file")
+		qlSample  = flag.Float64("query-log-sample", 0, "fraction of fast statements to log (slow ones are always logged)")
 	)
 	flag.Var(&sources, "source", "component system: name=host:port (repeatable)")
 	flag.Parse()
@@ -89,11 +92,20 @@ func main() {
 		clientFaults = fp
 	}
 	connectTimeout = *dialTO
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisql: -query-log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		e.Queries().SetStructured(obs.NewStructuredLog(f, *qlSample, sql.Fingerprint))
+	}
 	ctx := context.Background()
 
 	if *debugAddr != "" {
 		go func() {
-			h := obs.Handler(obs.Default(), e.Queries())
+			h := obs.Handler(obs.Default(), e.Queries(), obs.DefaultFeedback())
 			if err := http.ListenAndServe(*debugAddr, h); err != nil {
 				fmt.Fprintf(os.Stderr, "gisql: debug endpoint: %v\n", err)
 			}
@@ -287,7 +299,7 @@ func buildDemo(ctx context.Context, e *core.Engine) error {
 func repl(ctx context.Context, e *core.Engine) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println(`gisql — type SQL, \tables, \sources, \explain <q>, \analyze <q>, \trace, \metrics, or \q`)
+	fmt.Println(`gisql — type SQL, \tables, \sources, \explain <q>, \analyze <q>, \trace, \metrics, \misest, or \q`)
 	var pending strings.Builder
 	for {
 		if pending.Len() == 0 {
@@ -368,6 +380,8 @@ func command(ctx context.Context, e *core.Engine, line string) bool {
 			break
 		}
 		fmt.Print(tr.Tree())
+	case line == "\\misest":
+		printMisestimates(os.Stdout)
 	case line == "\\metrics":
 		out, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
 		if err != nil {
@@ -379,6 +393,30 @@ func command(ctx context.Context, e *core.Engine, line string) bool {
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", line)
 	}
 	return true
+}
+
+// printMisestimates renders the process-wide plan-feedback store: per
+// (operator scope, normalized predicate) estimate-vs-actual history,
+// worst misestimates first.
+func printMisestimates(w *os.File) {
+	entries := obs.DefaultFeedback().Snapshot()
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "no plan feedback recorded yet (run some statements first)")
+		return
+	}
+	fmt.Fprintf(w, "%-32s %5s %10s %10s %8s %8s  %s\n",
+		"scope", "count", "last est", "last act", "q-err", "max", "predicate")
+	for _, en := range entries {
+		pred := en.Fingerprint
+		if len(pred) > 48 {
+			pred = pred[:45] + "..."
+		}
+		fmt.Fprintf(w, "%-32s %5d %10.0f %10d %8.1f %8.1f  %s\n",
+			en.Scope, en.Count, en.LastEst, en.LastActual, en.LastQErr, en.MaxQErr, pred)
+	}
+	if d := obs.DefaultFeedback().Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d entries dropped at capacity)\n", d)
+	}
 }
 
 func runStatement(ctx context.Context, e *core.Engine, stmt string) error {

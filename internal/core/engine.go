@@ -116,10 +116,14 @@ func (e *Engine) instrument(ctx context.Context, text string) (context.Context, 
 	id := e.qlog.Begin(text)
 	tr := obs.TraceFrom(ctx)
 	owned := false
-	if tr == nil && e.tracing.Load() {
+	if tr == nil && (e.tracing.Load() || e.qlog.IsSampled(id)) {
+		// A structured-log sample forces a trace even when interactive
+		// tracing is off, so the emitted record carries phase and
+		// per-source breakdowns; only the interactive toggle publishes
+		// the trace to \trace.
 		tr = obs.NewTrace(text)
 		ctx = obs.WithTrace(ctx, tr)
-		owned = true
+		owned = e.tracing.Load()
 	}
 	var root *obs.Span
 	if tr != nil {
@@ -251,7 +255,7 @@ func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Val
 		return nil, nil, err
 	}
 	// The statement is live until the stream is closed.
-	return p.Schema(), &finishIter{in: it, fn: finish, outc: outc}, nil
+	return p.Schema(), &finishIter{in: it, fn: finish, outc: outc, root: obs.CurrentSpan(ctx)}, nil
 }
 
 // finishIter completes a streamed statement's instrumentation when the
@@ -261,12 +265,16 @@ type finishIter struct {
 	in   source.RowIter
 	fn   func(error)
 	outc *resilience.Outcomes
+	root *obs.Span // statement root span; rows_out is set at close
+	rows int64
 	done bool
 }
 
 func (f *finishIter) Next() (types.Row, error) {
 	r, err := f.in.Next()
-	if err == io.EOF {
+	if err == nil {
+		f.rows++
+	} else if err == io.EOF {
 		// A stream where every fan-out branch degraded answered nothing;
 		// surface that as the failure it is rather than an empty result.
 		if pre := f.outc.Partial(); pre != nil && pre.AllFailed() {
@@ -286,6 +294,10 @@ func (f *finishIter) Close() error {
 	err := f.in.Close()
 	if !f.done {
 		f.done = true
+		f.root.SetInt("rows_out", f.rows)
+		if pre := f.outc.Partial(); pre != nil {
+			f.root.SetAttr("partial", pre.Error())
+		}
 		f.fn(err)
 	}
 	return err
@@ -321,6 +333,12 @@ func (e *Engine) runSelect(ctx context.Context, sel *sql.SelectStmt) (*Result, e
 		}
 		mPartialQueries.Inc()
 		res.Partial = pre
+	}
+	if root := obs.CurrentSpan(ctx); root != nil {
+		root.SetInt("rows_out", int64(len(rows)))
+		if res.Partial != nil {
+			root.SetAttr("partial", res.Partial.Error())
+		}
 	}
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"gis/internal/catalog"
 	"gis/internal/obs"
+	"gis/internal/plan"
 	"gis/internal/relstore"
 	"gis/internal/source"
 	"gis/internal/types"
@@ -338,5 +339,91 @@ func TestQueryLogRecordsSlowQueries(t *testing.T) {
 	}
 	if len(e.Queries().Active()) != 0 {
 		t.Errorf("active queries = %v after completion, want none", e.Queries().Active())
+	}
+}
+
+// TestTraceFederationWideStitch checks the full distributed-tracing
+// path through the engine: every ship span of a traced federated join
+// carries a stitched SpanRemote subtree (the component system's
+// parse/exec/stream spans returned in the wire trailer), the
+// remote-vs-WAN split, and nothing was counted lost.
+func TestTraceFederationWideStitch(t *testing.T) {
+	e := traceFederation(t, "stitchA", "stitchB")
+	lost := obs.Default().Counter("obs.trace.remote_lost").Value()
+
+	query(t, e,
+		"SELECT c.name, SUM(o.amount) FROM cust c JOIN ord o ON c.id = o.cust_id GROUP BY c.name")
+
+	tr := e.TraceLast()
+	if tr == nil {
+		t.Fatal("TraceLast() = nil")
+	}
+	ships := tr.FindAll(obs.SpanShip)
+	if len(ships) < 2 {
+		t.Fatalf("ship spans = %d, want >= 2:\n%s", len(ships), tr.Tree())
+	}
+	for _, sh := range ships {
+		src, _ := sh.Attr("source")
+		var remote *obs.Span
+		for _, c := range sh.Children() {
+			if c.Kind() == obs.SpanRemote {
+				remote = c
+			}
+		}
+		if remote == nil {
+			t.Fatalf("ship span for %s has no stitched remote subtree:\n%s", src, tr.Tree())
+		}
+		kinds := map[obs.SpanKind]bool{}
+		for _, c := range remote.Children() {
+			kinds[c.Kind()] = true
+		}
+		for _, want := range []obs.SpanKind{obs.SpanParse, obs.SpanExec, obs.SpanStream} {
+			if !kinds[want] {
+				t.Errorf("remote subtree for %s missing %v span:\n%s", src, want, tr.Tree())
+			}
+		}
+		if _, ok := sh.Attr("remote_us"); !ok {
+			t.Errorf("ship span for %s lacks remote_us", src)
+		}
+		if _, ok := sh.Attr("wan_us"); !ok {
+			t.Errorf("ship span for %s lacks wan_us", src)
+		}
+	}
+	if got := obs.Default().Counter("obs.trace.remote_lost").Value() - lost; got != 0 {
+		t.Errorf("remote_lost advanced by %d on a healthy federation", got)
+	}
+}
+
+// TestPlanFeedbackFromFederatedQuery checks the always-on
+// estimate-vs-actual path: after a federated join, the process-wide
+// feedback store holds fragment-scan entries keyed by source.table.
+func TestPlanFeedbackFromFederatedQuery(t *testing.T) {
+	e := traceFederation(t, "fbA", "fbB")
+	// Ship-all keeps both fragment scans unaugmented: semijoin/bind
+	// rewrite the inner scan's predicate, which (by design) suppresses
+	// its feedback entry because the estimate no longer matches.
+	e.PlanOptions().ForceStrategy = plan.StrategyShipAll
+	obs.DefaultFeedback().Reset()
+	t.Cleanup(obs.DefaultFeedback().Reset)
+
+	query(t, e,
+		"SELECT c.name FROM cust c JOIN ord o ON c.id = o.cust_id WHERE o.amount > 1")
+
+	snap := obs.DefaultFeedback().Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no plan-feedback entries after a federated query")
+	}
+	scopes := map[string]bool{}
+	for _, en := range snap {
+		scopes[en.Scope] = true
+		if en.Count <= 0 {
+			t.Errorf("entry %s/%s has count %d", en.Scope, en.Fingerprint, en.Count)
+		}
+		if en.MaxQErr < 1 {
+			t.Errorf("entry %s q-error %v < 1", en.Scope, en.MaxQErr)
+		}
+	}
+	if !scopes["frag:fbA.cust"] || !scopes["frag:fbB.ord"] {
+		t.Errorf("feedback scopes = %v, want both fragment scans", scopes)
 	}
 }

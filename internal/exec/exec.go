@@ -26,8 +26,19 @@ import (
 // every operator gets an exec span.
 func Run(ctx context.Context, n plan.Node) (source.RowIter, error) {
 	var span *obs.Span
+	var fbScope, fbFP string
+	var est float64
 	if obs.Enabled(ctx) {
 		ctx, span = obs.StartSpan(ctx, obs.SpanExec, opLabel(n))
+		// Plan telemetry: annotate the span with the planned estimate
+		// and, for estimated operators, feed the estimate-vs-actual
+		// store when the stream finishes. Traced queries only — the
+		// always-on fragment-scan path is handled by fetchIter.
+		if scope, fp, ok := operatorFeedbackKey(n); ok {
+			fbScope, fbFP = scope, fp
+			est = plan.EstimateRows(n)
+			span.SetInt("est_rows", int64(est))
+		}
 	}
 	it, err := run(ctx, n)
 	if err != nil {
@@ -38,7 +49,7 @@ func Run(ctx context.Context, n plan.Node) (source.RowIter, error) {
 		it = &countIter{in: it, st: p.node(n)}
 	}
 	if span != nil {
-		it = &spanIter{in: it, span: span}
+		it = &spanIter{in: it, span: span, fbScope: fbScope, fbFP: fbFP, est: est}
 	}
 	return it, nil
 }
@@ -63,6 +74,9 @@ type spanIter struct {
 	rows  int64
 	bytes int64
 	done  bool
+	// Plan-feedback key and estimate; fbScope == "" disables recording.
+	fbScope, fbFP string
+	est           float64
 }
 
 func (s *spanIter) Next() (types.Row, error) {
@@ -90,6 +104,9 @@ func (s *spanIter) finish() {
 	s.span.SetInt("rows", s.rows)
 	s.span.SetInt("bytes", s.bytes)
 	s.span.End()
+	if s.fbScope != "" {
+		obs.DefaultFeedback().Record(s.fbScope, s.fbFP, s.est, s.rows)
+	}
 }
 
 func run(ctx context.Context, n plan.Node) (source.RowIter, error) {

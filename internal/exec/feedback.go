@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"strings"
+
+	"gis/internal/expr"
+	"gis/internal/plan"
+)
+
+// operatorFeedbackKey maps a plan operator to its plan-feedback store
+// key (scope, normalized-predicate fingerprint). Only operators whose
+// output cardinality the optimizer actually estimates — joins, filters,
+// aggregates — are keyed; pass-through operators (project, sort, limit)
+// would only echo their input. FragScans are excluded here: their
+// estimate-vs-actual pair is recorded unconditionally by fetchIter,
+// even when tracing is off, while this helper feeds the traced
+// per-operator path in Run.
+func operatorFeedbackKey(n plan.Node) (scope, fp string, ok bool) {
+	switch t := n.(type) {
+	case *plan.Join:
+		return "join:" + t.Kind.String() + "/" + t.Strategy.String(), expr.Fingerprint(t.Cond), true
+	case *plan.Filter:
+		return "filter", expr.Fingerprint(t.Pred), true
+	case *plan.Aggregate:
+		var b strings.Builder
+		for i, g := range t.GroupBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(expr.Fingerprint(g))
+		}
+		return "agg", b.String(), true
+	default:
+		return "", "", false
+	}
+}

@@ -46,6 +46,15 @@ func runFragScan(ctx context.Context, fs *plan.FragScan, extraRemoteFilter expr.
 		st = p.node(fs)
 	}
 	instrumented := &fetchIter{in: remote, st: st, ship: ship, fetch: fetch, shipStart: shipStart}
+	if extraRemoteFilter == nil {
+		// Plan telemetry, always on: semijoin/bind-augmented scans are
+		// skipped because the planner's estimate describes the original
+		// predicate, not the key-bound one.
+		instrumented.fbScope = "frag:" + fs.Frag.Source + "." + fs.Frag.RemoteTable
+		instrumented.fbFP = expr.Fingerprint(fs.Query.Filter)
+		instrumented.est = plan.EstimateRows(fs)
+		ship.SetInt("est_rows", int64(instrumented.est))
+	}
 	if fs.Raw {
 		// Pushed aggregation: the remote output is already final.
 		return instrumented, nil

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"io"
+	"strconv"
 	"time"
 
 	"gis/internal/obs"
@@ -38,6 +39,12 @@ type fetchIter struct {
 	shipStart   time.Time
 	rows, bytes int64
 	done        bool
+	// Plan-feedback key and estimate for this fragment scan, recorded
+	// at stream end even when tracing is off; fbScope == "" disables
+	// recording (set only for unaugmented scans, where the planner's
+	// estimate actually corresponds to the shipped predicate).
+	fbScope, fbFP string
+	est           float64
 }
 
 func (f *fetchIter) Next() (types.Row, error) {
@@ -77,4 +84,19 @@ func (f *fetchIter) finish() {
 	f.ship.SetInt("rows", f.rows)
 	f.ship.SetInt("bytes", f.bytes)
 	f.ship.End()
+	// WAN split: when the wire client stitched a remote trailer it set
+	// remote_us (the component system's compute share); the rest of the
+	// ship round trip is WAN transit plus mediator-side decode.
+	if remote, ok := f.ship.Attr("remote_us"); ok {
+		if rus, err := strconv.ParseInt(remote, 10, 64); err == nil {
+			wan := f.ship.Duration().Microseconds() - rus
+			if wan < 0 {
+				wan = 0
+			}
+			f.ship.SetInt("wan_us", wan)
+		}
+	}
+	if f.fbScope != "" {
+		obs.DefaultFeedback().Record(f.fbScope, f.fbFP, f.est, f.rows)
+	}
 }

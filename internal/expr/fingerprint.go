@@ -1,0 +1,131 @@
+package expr
+
+import (
+	"strings"
+)
+
+// Fingerprint renders an expression with every literal normalized to ?
+// and IN lists of constants collapsed to a single placeholder, so
+// predicates that differ only in constant values — `region = 'EMEA'`
+// vs `region = 'APAC'`, or IN lists of different lengths — share a
+// fingerprint. The plan-feedback store aggregates estimate-vs-actual
+// cardinalities under this key. A nil expression fingerprints as
+// "true" (an unfiltered scan).
+func Fingerprint(e Expr) string {
+	if e == nil {
+		return "true"
+	}
+	var b strings.Builder
+	fingerprintExpr(&b, e)
+	return b.String()
+}
+
+func fingerprintExpr(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case *Const:
+		b.WriteByte('?')
+	case *ColRef:
+		b.WriteString(n.String())
+	case *Binary:
+		b.WriteByte('(')
+		fingerprintExpr(b, n.L)
+		b.WriteByte(' ')
+		b.WriteString(n.Op.String())
+		b.WriteByte(' ')
+		fingerprintExpr(b, n.R)
+		b.WriteByte(')')
+	case *Unary:
+		b.WriteByte('(')
+		b.WriteString(n.Op.String())
+		fingerprintExpr(b, n.E)
+		b.WriteByte(')')
+	case *IsNull:
+		b.WriteByte('(')
+		fingerprintExpr(b, n.E)
+		if n.Negate {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+	case *InList:
+		b.WriteByte('(')
+		fingerprintExpr(b, n.E)
+		if n.Negate {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
+		// A list of constants collapses to one placeholder regardless of
+		// length; any non-constant elements keep their structure.
+		wrote := false
+		for _, el := range n.List {
+			if _, ok := el.(*Const); ok {
+				continue
+			}
+			if wrote {
+				b.WriteString(", ")
+			}
+			fingerprintExpr(b, el)
+			wrote = true
+		}
+		if !wrote {
+			b.WriteByte('?')
+		}
+		b.WriteString("))")
+	case *Case:
+		b.WriteString("CASE")
+		if n.Operand != nil {
+			b.WriteByte(' ')
+			fingerprintExpr(b, n.Operand)
+		}
+		for _, w := range n.Whens {
+			b.WriteString(" WHEN ")
+			fingerprintExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			fingerprintExpr(b, w.Then)
+		}
+		if n.Else != nil {
+			b.WriteString(" ELSE ")
+			fingerprintExpr(b, n.Else)
+		}
+		b.WriteString(" END")
+	case *Cast:
+		b.WriteString("CAST(")
+		fingerprintExpr(b, n.E)
+		b.WriteString(" AS ")
+		b.WriteString(n.To.String())
+		b.WriteByte(')')
+	case *Call:
+		b.WriteString(n.Name)
+		b.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fingerprintExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *AggCall:
+		b.WriteString(n.Kind.String())
+		b.WriteByte('(')
+		if n.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if n.Arg == nil {
+			b.WriteByte('*')
+		} else {
+			fingerprintExpr(b, n.Arg)
+		}
+		b.WriteByte(')')
+	case *Subquery:
+		// Subqueries are planned away before execution; a structural
+		// marker keeps the fingerprint total without rendering literals
+		// from the inner statement.
+		b.WriteString("(subquery)")
+	default:
+		// Unknown node: fall back to its String form. This may embed
+		// literals, but keeps the fingerprint total over future node
+		// types until they get a case here.
+		b.WriteString(e.String())
+	}
+}

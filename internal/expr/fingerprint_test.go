@@ -1,0 +1,55 @@
+package expr
+
+import (
+	"testing"
+
+	"gis/internal/types"
+)
+
+func TestFingerprint(t *testing.T) {
+	col := func(name string) Expr { return NewColRef("", name) }
+	num := func(n int64) Expr { return NewConst(types.NewInt(n)) }
+	str := func(s string) Expr { return NewConst(types.NewString(s)) }
+
+	eqA := NewBinary(OpEq, col("region"), str("EMEA"))
+	eqB := NewBinary(OpEq, col("region"), str("APAC"))
+	if Fingerprint(eqA) != Fingerprint(eqB) {
+		t.Errorf("constant-only variants differ: %q vs %q", Fingerprint(eqA), Fingerprint(eqB))
+	}
+	if Fingerprint(eqA) != "(region = ?)" {
+		t.Errorf("Fingerprint = %q", Fingerprint(eqA))
+	}
+
+	// IN lists of constants collapse to one placeholder regardless of
+	// arity.
+	in3 := &InList{E: col("id"), List: []Expr{num(1), num(2), num(3)}}
+	in5 := &InList{E: col("id"), List: []Expr{num(4), num(5), num(6), num(7), num(8)}}
+	if Fingerprint(in3) != Fingerprint(in5) {
+		t.Errorf("IN arity leaked: %q vs %q", Fingerprint(in3), Fingerprint(in5))
+	}
+	if Fingerprint(in3) != "(id IN (?))" {
+		t.Errorf("IN fingerprint = %q", Fingerprint(in3))
+	}
+	// Non-constant IN elements keep their structure.
+	inCol := &InList{E: col("id"), List: []Expr{col("other"), num(9)}}
+	if Fingerprint(inCol) != "(id IN (other))" {
+		t.Errorf("mixed IN fingerprint = %q", Fingerprint(inCol))
+	}
+
+	// Different operators stay distinct.
+	lt := NewBinary(OpLt, col("region"), str("EMEA"))
+	if Fingerprint(eqA) == Fingerprint(lt) {
+		t.Error("= and < share a fingerprint")
+	}
+
+	// Nil means an unfiltered scan.
+	if Fingerprint(nil) != "true" {
+		t.Errorf("Fingerprint(nil) = %q", Fingerprint(nil))
+	}
+
+	// Compound predicate keeps shape while hiding values.
+	and := NewBinary(OpAnd, eqA, NewBinary(OpGt, col("score"), num(10)))
+	if Fingerprint(and) != "((region = ?) AND (score > ?))" {
+		t.Errorf("compound = %q", Fingerprint(and))
+	}
+}

@@ -98,3 +98,32 @@ func passedOn(ctx context.Context) {
 	_, sp := obs.StartSpan(ctx, obs.SpanQuery, "op")
 	consume(sp)
 }
+
+// leakRemoteTrailer mirrors a server that opens a remote root span for
+// a traced fragment but forgets it when the stream errors before the
+// trailer — the new SpanRemote/SpanStream kinds are tracked like any
+// other span.
+func leakRemoteTrailer(ctx context.Context, fail bool) error {
+	rctx, root := obs.StartSpan(ctx, obs.SpanRemote, "src") // want "span root may reach a return without End"
+	_, ssp := obs.StartSpan(rctx, obs.SpanStream, "rows")
+	ssp.End()
+	if fail {
+		return errEarly
+	}
+	root.End()
+	return nil
+}
+
+// remoteTrailerCompliant is the shape wire.Server.handleExecute uses:
+// the remote root ends unconditionally after streaming, before the
+// trailer is (maybe) written, so no path can lose it.
+func remoteTrailerCompliant(ctx context.Context, fail bool) error {
+	rctx, root := obs.StartSpan(ctx, obs.SpanRemote, "src")
+	_, ssp := obs.StartSpan(rctx, obs.SpanStream, "rows")
+	ssp.End()
+	root.End()
+	if fail {
+		return errEarly
+	}
+	return nil
+}

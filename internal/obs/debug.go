@@ -15,6 +15,10 @@ type ActiveQuery struct {
 	ID    int64     `json:"id"`
 	SQL   string    `json:"sql"`
 	Start time.Time `json:"start"`
+	// Sampled records the structured-log sampling draw made at Begin
+	// time, so the engine can force tracing for queries that will be
+	// logged and Finish can honor the same decision.
+	Sampled bool `json:"sampled,omitempty"`
 }
 
 // SlowQuery is one completed query that exceeded the slow threshold,
@@ -33,14 +37,20 @@ type SlowQuery struct {
 // are safe on a nil receiver so call sites can instrument
 // unconditionally.
 type QueryLog struct {
-	mu        sync.Mutex
-	nextID    int64
-	active    map[int64]ActiveQuery
-	threshold time.Duration
-	ring      []SlowQuery
-	pos       int
-	capacity  int
+	mu         sync.Mutex
+	nextID     int64
+	active     map[int64]ActiveQuery
+	threshold  time.Duration
+	ring       []SlowQuery
+	pos        int
+	capacity   int
+	structured *StructuredLog
 }
+
+// maxSlowTraceSpans bounds the span subtree retained per slow-ring
+// entry: /slow keeps a capped snapshot, never the full live tree, so a
+// pathological query cannot pin an arbitrarily large trace in memory.
+const maxSlowTraceSpans = 256
 
 // NewQueryLog returns a query log retaining up to capacity queries
 // slower than threshold.
@@ -75,52 +85,102 @@ func (l *QueryLog) Threshold() time.Duration {
 	return l.threshold
 }
 
-// Begin registers an in-flight query and returns its id.
+// SetStructured attaches a structured JSON query log; Finish then
+// emits a record for every sampled or slow query.
+func (l *QueryLog) SetStructured(sl *StructuredLog) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.structured = sl
+	l.mu.Unlock()
+}
+
+// Structured returns the attached structured log, or nil.
+func (l *QueryLog) Structured() *StructuredLog {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.structured
+}
+
+// Begin registers an in-flight query and returns its id. When a
+// structured log is attached the sampling decision for this query is
+// drawn here, once, so callers can consult IsSampled to force tracing.
 func (l *QueryLog) Begin(sql string) int64 {
 	if l == nil {
 		return 0
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	sl := l.structured
 	l.nextID++
 	id := l.nextID
-	l.active[id] = ActiveQuery{ID: id, SQL: sql, Start: time.Now()}
+	l.mu.Unlock()
+	// The sampling draw takes the structured log's own lock; keep it
+	// outside ours to avoid ordering constraints.
+	sampled := sl.SampleHit()
+	l.mu.Lock()
+	l.active[id] = ActiveQuery{ID: id, SQL: sql, Start: time.Now(), Sampled: sampled}
+	l.mu.Unlock()
 	return id
 }
 
-// Finish deregisters the query and, if it ran longer than the
-// threshold, retains it with its trace.
+// IsSampled reports the sampling decision drawn for an in-flight query.
+func (l *QueryLog) IsSampled(id int64) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active[id].Sampled
+}
+
+// Finish deregisters the query, retains it in the slow ring (with a
+// size-capped trace snapshot) if it ran longer than the threshold, and
+// emits a structured-log record if the query was sampled or slow.
 func (l *QueryLog) Finish(id int64, err error, tr *Trace) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	q, ok := l.active[id]
 	if !ok {
+		l.mu.Unlock()
 		return
 	}
 	delete(l.active, id)
 	d := time.Since(q.Start)
-	if d < l.threshold {
+	slow := d >= l.threshold
+	sl := l.structured
+	if !slow {
+		l.mu.Unlock()
+		if sl != nil && q.Sampled {
+			sl.Emit(sl.buildRecord(q.SQL, q.Start, d, err, tr, false))
+		}
 		return
 	}
-	slow := SlowQuery{
+	entry := SlowQuery{
 		ID:         q.ID,
 		SQL:        q.SQL,
 		Start:      q.Start,
 		DurationMS: float64(d) / float64(time.Millisecond),
-		Trace:      tr.Root().Data(),
+		Trace:      CapSpanData(tr.Root().Data(), maxSlowTraceSpans),
 	}
 	if err != nil {
-		slow.Err = err.Error()
+		entry.Err = err.Error()
 	}
 	if len(l.ring) < l.capacity {
-		l.ring = append(l.ring, slow)
+		l.ring = append(l.ring, entry)
 	} else {
-		l.ring[l.pos] = slow
+		l.ring[l.pos] = entry
 	}
 	l.pos = (l.pos + 1) % l.capacity
+	l.mu.Unlock()
+	if sl != nil {
+		sl.Emit(sl.buildRecord(q.SQL, q.Start, d, err, tr, true))
+	}
 }
 
 // Active returns the in-flight queries, oldest first.
@@ -161,19 +221,20 @@ func (l *QueryLog) Slow() []SlowQuery {
 //	/               index
 //	/metrics        registry snapshot as JSON
 //	/sessions       active queries as JSON
-//	/slow           slow queries (with traces) as JSON
+//	/slow           slow queries (with capped traces) as JSON
+//	/estimates      estimate-vs-actual plan feedback as JSON
 //	/debug/pprof/   the standard net/http/pprof handlers
 //
-// Either argument may be nil; the corresponding routes then serve empty
+// Any argument may be nil; the corresponding routes then serve empty
 // data.
-func Handler(reg *Registry, ql *QueryLog) http.Handler {
+func Handler(reg *Registry, ql *QueryLog, fb *Feedback) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "gis debug endpoint\n\n/metrics\n/sessions\n/slow\n/debug/pprof/\n")
+		fmt.Fprintf(w, "gis debug endpoint\n\n/metrics\n/sessions\n/slow\n/estimates\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		var snap Snapshot
@@ -192,6 +253,12 @@ func Handler(reg *Registry, ql *QueryLog) http.Handler {
 			ThresholdMS float64     `json:"threshold_ms"`
 			Slow        []SlowQuery `json:"slow"`
 		}{float64(ql.Threshold()) / float64(time.Millisecond), ql.Slow()})
+	})
+	mux.HandleFunc("/estimates", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Entries []FeedbackEntry `json:"entries"`
+			Dropped int64           `json:"dropped"`
+		}{fb.Snapshot(), fb.Dropped()})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Feedback aggregates estimate-vs-actual cardinalities per (scope,
+// normalized-predicate fingerprint). Scope identifies what was
+// estimated — "frag:source.table" for a shipped fragment scan,
+// "join:inner/hash" for a join operator, and so on — and the
+// fingerprint is the predicate with literals normalized away, so
+// repeated queries that differ only in constants aggregate into one
+// entry. This is the input signal adaptive query execution (ROADMAP
+// item 4) will consume: entries with a large q-error mark the plans the
+// optimizer is getting wrong.
+type Feedback struct {
+	mu       sync.Mutex
+	entries  map[feedbackKey]*FeedbackEntry
+	capacity int
+	dropped  int64
+}
+
+type feedbackKey struct {
+	Scope       string
+	Fingerprint string
+}
+
+// FeedbackEntry is the aggregated misestimate record for one
+// (scope, fingerprint) pair.
+type FeedbackEntry struct {
+	Scope       string    `json:"scope"`
+	Fingerprint string    `json:"fingerprint"`
+	Count       int64     `json:"count"`
+	SumEst      float64   `json:"sum_est_rows"`
+	SumActual   float64   `json:"sum_actual_rows"`
+	LastEst     float64   `json:"last_est_rows"`
+	LastActual  int64     `json:"last_actual_rows"`
+	LastQErr    float64   `json:"last_q_error"`
+	MaxQErr     float64   `json:"max_q_error"`
+	LastAt      time.Time `json:"last_at"`
+}
+
+// NewFeedback returns a store retaining at most capacity distinct
+// (scope, fingerprint) entries; further keys are counted as dropped
+// rather than evicting aggregates already under observation.
+func NewFeedback(capacity int) *Feedback {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Feedback{entries: map[feedbackKey]*FeedbackEntry{}, capacity: capacity}
+}
+
+var defaultFeedback = NewFeedback(0)
+
+// DefaultFeedback returns the process-wide feedback store.
+func DefaultFeedback() *Feedback { return defaultFeedback }
+
+// qError is the standard cardinality-estimation error measure:
+// max(est, act) / min(est, act), with both sides floored at one row so
+// an estimate of 0 against an actual of 0 scores a perfect 1.
+func qError(est float64, actual int64) float64 {
+	e, a := est, float64(actual)
+	if e < 1 {
+		e = 1
+	}
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// Record folds one observed (estimate, actual) pair into the store.
+// Safe on a nil receiver.
+func (f *Feedback) Record(scope, fingerprint string, est float64, actual int64) {
+	if f == nil {
+		return
+	}
+	k := feedbackKey{Scope: scope, Fingerprint: fingerprint}
+	q := qError(est, actual)
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.entries[k]
+	if e == nil {
+		if len(f.entries) >= f.capacity {
+			f.dropped++
+			return
+		}
+		e = &FeedbackEntry{Scope: scope, Fingerprint: fingerprint}
+		f.entries[k] = e
+	}
+	e.Count++
+	e.SumEst += est
+	e.SumActual += float64(actual)
+	e.LastEst = est
+	e.LastActual = actual
+	e.LastQErr = q
+	if q > e.MaxQErr {
+		e.MaxQErr = q
+	}
+	e.LastAt = now
+}
+
+// Snapshot returns the entries ordered worst-first (max q-error
+// descending, then scope/fingerprint for determinism).
+func (f *Feedback) Snapshot() []FeedbackEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]FeedbackEntry, 0, len(f.entries))
+	for _, e := range f.entries {
+		out = append(out, *e)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxQErr != out[j].MaxQErr {
+			return out[i].MaxQErr > out[j].MaxQErr
+		}
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// Dropped reports how many observations were discarded because the
+// store was at capacity with no existing entry for their key.
+func (f *Feedback) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Len reports the number of distinct entries.
+func (f *Feedback) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+// Reset discards all entries (used by tests and benchmarks).
+func (f *Feedback) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.entries = map[feedbackKey]*FeedbackEntry{}
+	f.dropped = 0
+	f.mu.Unlock()
+}

@@ -9,10 +9,13 @@ package obs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +44,12 @@ const (
 	// markers attached under whatever span was active at the time.
 	SpanRetry
 	SpanBreaker
+	// SpanRemote roots a component-system subtree stitched into the
+	// mediator's trace from a wire trailer frame; SpanStream times the
+	// remote side's row-streaming phase. See DESIGN.md "Distributed
+	// tracing & plan telemetry".
+	SpanRemote
+	SpanStream
 )
 
 func (k SpanKind) String() string {
@@ -73,6 +82,10 @@ func (k SpanKind) String() string {
 		return "retry"
 	case SpanBreaker:
 		return "breaker"
+	case SpanRemote:
+		return "remote"
+	case SpanStream:
+		return "stream"
 	default:
 		return fmt.Sprintf("SpanKind(%d)", uint8(k))
 	}
@@ -89,6 +102,7 @@ type Attr struct {
 // branches and 2PC fan-out attach children from multiple goroutines.
 type Span struct {
 	mu       sync.Mutex
+	id       uint64
 	kind     SpanKind
 	name     string
 	start    time.Time
@@ -96,6 +110,20 @@ type Span struct {
 	ended    bool
 	attrs    []Attr
 	children []*Span
+}
+
+// nextSpanID hands out process-unique span ids; id 0 means "no span"
+// and is what a nil receiver reports.
+var nextSpanID atomic.Uint64
+
+// ID returns the span's process-unique id (0 for a nil span). The id
+// travels in wire trace context so a component system can tag its
+// remote subtree with the mediator span it belongs under.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End records the span's duration. Subsequent calls are no-ops, so
@@ -234,14 +262,54 @@ func (s *Span) Data() *SpanData {
 // parentless spans attach under the root.
 type Trace struct {
 	mu   sync.Mutex
+	id   string
 	name string
 	root *Span
 }
 
-// NewTrace returns an empty trace. name is informational (typically the
-// SQL text).
+// NewTrace returns an empty trace with a fresh id. name is
+// informational (typically the SQL text).
 func NewTrace(name string) *Trace {
-	return &Trace{name: name}
+	return &Trace{id: newTraceID(), name: name}
+}
+
+// NewTraceWithID returns an empty trace reusing an existing id — used
+// by component-system servers to echo the mediator's trace id in the
+// remote subtree they return.
+func NewTraceWithID(id, name string) *Trace {
+	return &Trace{id: id, name: name}
+}
+
+// ID returns the trace id: 16 hex digits, unique per process and (with
+// overwhelming probability) across the federation.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+var (
+	traceIDSeed atomic.Uint64
+	traceIDOnce sync.Once
+)
+
+// newTraceID mixes a crypto-seeded base with a per-process counter via
+// splitmix64 — cheap per trace, no global lock beyond one atomic add.
+func newTraceID() string {
+	traceIDOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			traceIDSeed.Store(binary.LittleEndian.Uint64(b[:]))
+		} else {
+			traceIDSeed.Store(uint64(time.Now().UnixNano()))
+		}
+	})
+	z := traceIDSeed.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return fmt.Sprintf("%016x", z)
 }
 
 // Name returns the trace's name.
@@ -326,9 +394,10 @@ func (t *Trace) JSON() ([]byte, error) {
 		return []byte("null"), nil
 	}
 	return json.Marshal(struct {
+		ID   string    `json:"id"`
 		Name string    `json:"name"`
 		Root *SpanData `json:"root"`
-	}{t.name, t.Root().Data()})
+	}{t.id, t.name, t.Root().Data()})
 }
 
 // FindAll returns every span of the given kind in depth-first order.
@@ -377,8 +446,17 @@ func StartSpan(ctx context.Context, kind SpanKind, name string) (context.Context
 	if tr == nil {
 		return ctx, nil
 	}
-	sp := &Span{kind: kind, name: name, start: time.Now()}
+	sp := &Span{id: nextSpanID.Add(1), kind: kind, name: name, start: time.Now()}
 	parent, _ := ctx.Value(spanKey{}).(*Span)
 	tr.attach(parent, sp)
 	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// CurrentSpan returns the span ctx's next StartSpan would nest under,
+// or nil when ctx carries no trace or no span has been started. The
+// wire client uses it to stitch a remote subtree under the live ship
+// span.
+func CurrentSpan(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
 }

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFeedbackAggregation(t *testing.T) {
+	f := NewFeedback(8)
+	f.Record("frag:ny.items", "(id > ?)", 100, 10) // q-err 10
+	f.Record("frag:ny.items", "(id > ?)", 100, 50) // q-err 2
+	f.Record("filter", "(cat = ?)", 5, 5)          // q-err 1
+
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d", len(snap))
+	}
+	// Worst-first ordering.
+	top := snap[0]
+	if top.Scope != "frag:ny.items" {
+		t.Fatalf("top scope = %q", top.Scope)
+	}
+	if top.Count != 2 || top.SumEst != 200 || top.SumActual != 60 {
+		t.Errorf("aggregates = %+v", top)
+	}
+	if top.LastEst != 100 || top.LastActual != 50 {
+		t.Errorf("last pair = %v/%v", top.LastEst, top.LastActual)
+	}
+	if top.LastQErr != 2 || top.MaxQErr != 10 {
+		t.Errorf("q-errors = last %v max %v, want 2/10", top.LastQErr, top.MaxQErr)
+	}
+	if snap[1].MaxQErr != 1 {
+		t.Errorf("perfect estimate q-err = %v, want 1", snap[1].MaxQErr)
+	}
+
+	f.Reset()
+	if f.Len() != 0 || f.Dropped() != 0 {
+		t.Errorf("Reset left %d entries, %d dropped", f.Len(), f.Dropped())
+	}
+}
+
+func TestFeedbackQErrorFloor(t *testing.T) {
+	// Zero estimate against zero actual is a perfect estimate, not a
+	// division by zero.
+	if q := qError(0, 0); q != 1 {
+		t.Errorf("qError(0,0) = %v", q)
+	}
+	if q := qError(0, 10); q != 10 {
+		t.Errorf("qError(0,10) = %v", q)
+	}
+	if q := qError(50, 0); q != 50 {
+		t.Errorf("qError(50,0) = %v", q)
+	}
+}
+
+func TestFeedbackCapacity(t *testing.T) {
+	f := NewFeedback(2)
+	f.Record("a", "p", 1, 1)
+	f.Record("b", "p", 1, 1)
+	f.Record("c", "p", 1, 1) // over capacity: dropped, not evicting
+	f.Record("a", "p", 1, 1) // existing keys still update at capacity
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+	if f.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", f.Dropped())
+	}
+	var nilF *Feedback
+	nilF.Record("x", "y", 1, 1) // nil receiver must not panic
+	if nilF.Len() != 0 || nilF.Snapshot() != nil {
+		t.Error("nil Feedback must be inert")
+	}
+}
+
+func TestStructuredLogSampling(t *testing.T) {
+	always := NewStructuredLog(&strings.Builder{}, 1, nil)
+	never := NewStructuredLog(&strings.Builder{}, 0, nil)
+	for i := 0; i < 100; i++ {
+		if !always.SampleHit() {
+			t.Fatal("rate 1 must always hit")
+		}
+		if never.SampleHit() {
+			t.Fatal("rate 0 must never hit")
+		}
+	}
+	half := NewStructuredLog(&strings.Builder{}, 0.5, nil)
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if half.SampleHit() {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Errorf("rate 0.5 hit %d/2000 draws", hits)
+	}
+	var nilLog *StructuredLog
+	if nilLog.SampleHit() {
+		t.Error("nil log must never sample")
+	}
+	nilLog.Emit(QueryLogRecord{}) // must not panic
+}
+
+// TestStructuredLogRecord builds a realistic trace — root with phase
+// children, a ship span with stitched remote timing, a retry marker —
+// and checks the emitted JSON line carries every breakdown.
+func TestStructuredLogRecord(t *testing.T) {
+	tr := NewTrace("SELECT 1")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, SpanQuery, "SELECT 1")
+	_, p := StartSpan(ctx, SpanParse, "")
+	p.End()
+	xctx, x := StartSpan(ctx, SpanExec, "join")
+	sctx, sh := StartSpan(xctx, SpanShip, "ny.items")
+	sh.SetAttr("source", "ny")
+	sh.SetInt("rows", 42)
+	sh.SetInt("bytes", 1000)
+	sh.SetInt("remote_us", 7)
+	sh.SetInt("wan_us", 3)
+	_, rt := StartSpan(sctx, SpanRetry, "attempt 2")
+	rt.End()
+	sh.End()
+	x.End()
+	root.SetInt("rows_out", 5)
+	root.SetAttr("partial", "1/2 sources")
+	root.End()
+
+	var buf strings.Builder
+	sl := NewStructuredLog(&buf, 1, func(s string) string { return "fp-" + s })
+	sl.Emit(sl.buildRecord("SELECT 1", time.Now(), 123*time.Microsecond, nil, tr, true))
+
+	var rec QueryLogRecord
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("emitted line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec.Fingerprint != "fp-SELECT 1" || rec.SQL != "SELECT 1" || !rec.Slow {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.TraceID != tr.ID() {
+		t.Errorf("trace id = %q, want %q", rec.TraceID, tr.ID())
+	}
+	if rec.RowsOut != 5 || rec.Partial != "1/2 sources" {
+		t.Errorf("rows_out/partial = %d/%q", rec.RowsOut, rec.Partial)
+	}
+	if _, ok := rec.PhasesUS["parse"]; !ok {
+		t.Errorf("phases = %v, want parse present", rec.PhasesUS)
+	}
+	if rec.Retries != 1 {
+		t.Errorf("retries = %d, want 1", rec.Retries)
+	}
+	if len(rec.Sources) != 1 {
+		t.Fatalf("sources = %v", rec.Sources)
+	}
+	src := rec.Sources[0]
+	if src.Source != "ny" || src.Rows != 42 || src.Bytes != 1000 || src.RemoteUS != 7 || src.WanUS != 3 {
+		t.Errorf("source io = %+v", src)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec.Time); err != nil {
+		t.Errorf("time %q not RFC3339Nano: %v", rec.Time, err)
+	}
+}
+
+// TestSpanKindRoundTrip guards kindNames against drifting from
+// SpanKind.String when a kind is added.
+func TestSpanKindRoundTrip(t *testing.T) {
+	for name, kind := range kindNames {
+		if kind.String() != name {
+			t.Errorf("kind %d String() = %q, kindNames says %q", kind, kind.String(), name)
+		}
+		back, ok := KindFromString(kind.String())
+		if !ok || back != kind {
+			t.Errorf("KindFromString(%q) = %v, %v", kind.String(), back, ok)
+		}
+	}
+	if _, ok := KindFromString("no-such-kind"); ok {
+		t.Error("unknown kind name must not parse")
+	}
+}
+
+func TestSpanFromDataAttach(t *testing.T) {
+	data := &SpanData{
+		Kind: "remote", Name: "ny", DurationUS: 100,
+		Attrs: []Attr{{Key: "trace_id", Value: "abc"}},
+		Children: []*SpanData{
+			{Kind: "exec", Name: "items", DurationUS: 60},
+			{Kind: "bogus-kind", Name: "future", DurationUS: 1},
+		},
+	}
+	tr := NewTrace("q")
+	ctx := WithTrace(context.Background(), tr)
+	_, ship := StartSpan(ctx, SpanShip, "ny.items")
+	ship.AttachData(data)
+	ship.End()
+
+	kids := ship.Children()
+	if len(kids) != 1 {
+		t.Fatalf("ship children = %d", len(kids))
+	}
+	remote := kids[0]
+	if remote.Kind() != SpanRemote || remote.Name() != "ny" {
+		t.Errorf("remote = %v %q", remote.Kind(), remote.Name())
+	}
+	if remote.Duration() != 100*time.Microsecond {
+		t.Errorf("duration = %v", remote.Duration())
+	}
+	if v, _ := remote.Attr("trace_id"); v != "abc" {
+		t.Errorf("attrs not copied: %v", v)
+	}
+	sub := remote.Children()
+	if len(sub) != 2 {
+		t.Fatalf("remote children = %d", len(sub))
+	}
+	// Unknown kinds from an out-of-version peer degrade to SpanRemote.
+	if sub[1].Kind() != SpanRemote {
+		t.Errorf("unknown kind mapped to %v, want remote", sub[1].Kind())
+	}
+	// Nil safety all the way down.
+	var nilSpan *Span
+	nilSpan.AttachData(data)
+	ship.AttachData(nil)
+	if SpanFromData(nil) != nil {
+		t.Error("SpanFromData(nil) must be nil")
+	}
+}
+
+func TestCapSpanData(t *testing.T) {
+	// A root with 10 children, each with 2 children: 31 nodes.
+	root := &SpanData{Kind: "query", Name: "root"}
+	for i := 0; i < 10; i++ {
+		c := &SpanData{Kind: "exec", Name: "child"}
+		c.Children = []*SpanData{{Kind: "ship"}, {Kind: "fetch"}}
+		root.Children = append(root.Children, c)
+	}
+	if n := CountSpanData(root); n != 31 {
+		t.Fatalf("CountSpanData = %d", n)
+	}
+
+	capped := CapSpanData(root, 10)
+	if n := CountSpanData(capped); n != 10 {
+		t.Errorf("capped size = %d, want 10", n)
+	}
+	found := false
+	for _, a := range capped.Attrs {
+		if a.Key == "truncated_spans" {
+			found = true
+			if a.Value != "21" {
+				t.Errorf("truncated_spans = %q, want 21", a.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("capped tree missing truncated_spans attr")
+	}
+	// The input tree is untouched.
+	if len(root.Attrs) != 0 || CountSpanData(root) != 31 {
+		t.Error("CapSpanData modified its input")
+	}
+
+	// A tree under budget passes through whole, unannotated.
+	whole := CapSpanData(root, 1000)
+	if CountSpanData(whole) != 31 || len(whole.Attrs) != 0 {
+		t.Errorf("under-budget cap: %d nodes, attrs %v", CountSpanData(whole), whole.Attrs)
+	}
+	if CapSpanData(nil, 5) != nil {
+		t.Error("CapSpanData(nil) must be nil")
+	}
+}

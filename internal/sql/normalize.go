@@ -1,0 +1,59 @@
+package sql
+
+// This file implements query normalization and fingerprinting for the
+// structured query log: two invocations of the same statement shape —
+// differing only in literal values, parameter bindings, whitespace, or
+// comments — must map to the same fingerprint so log consumers can
+// aggregate by statement. See DESIGN.md "Distributed tracing & plan
+// telemetry".
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Normalize rewrites a statement to its canonical shape: literals and
+// positional parameters become ?, keywords are upper-cased (the lexer
+// already does this), identifiers keep their case, comments vanish, and
+// tokens are joined with single spaces. Text that fails to lex is
+// normalized as whitespace-collapsed raw text — the fingerprint must be
+// total even over statements the parser would reject.
+func Normalize(text string) string {
+	lx := NewLexer(text)
+	var b strings.Builder
+	b.Grow(len(text))
+	first := true
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return strings.Join(strings.Fields(text), " ")
+		}
+		if t.Kind == TokEOF {
+			break
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		switch t.Kind {
+		case TokInt, TokFloat, TokString, TokParam:
+			b.WriteByte('?')
+		case TokIdent, TokKeyword, TokOp:
+			b.WriteString(t.Text)
+		case TokEOF:
+			// unreachable: handled above
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String()
+}
+
+// Fingerprint hashes the normalized statement to 16 hex digits
+// (FNV-1a 64). This is the query-log fingerprint field.
+func Fingerprint(text string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(Normalize(text)))
+	return strconv.FormatUint(h.Sum64(), 16)
+}

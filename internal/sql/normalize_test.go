@@ -1,0 +1,40 @@
+package sql
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * FROM t WHERE a = 5", "SELECT * FROM t WHERE a = ?"},
+		{"select *   from t\nwhere a=99", "SELECT * FROM t WHERE a = ?"},
+		{"SELECT name FROM c WHERE region = 'EMEA' AND score > 1.5",
+			"SELECT name FROM c WHERE region = ? AND score > ?"},
+		{"SELECT * FROM t WHERE id = ?", "SELECT * FROM t WHERE id = ?"},
+		{"SELECT * FROM t -- trailing comment\nWHERE a = 1", "SELECT * FROM t WHERE a = ?"},
+		{"SELECT * FROM t WHERE x IN (1, 2, 3)", "SELECT * FROM t WHERE x IN ( ? , ? , ? )"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Unlexable text must still normalize (whitespace collapse), never
+	// error: the fingerprint has to be total over rejected statements.
+	if got := Normalize("SELECT 'unterminated  \n literal"); got != "SELECT 'unterminated literal" {
+		t.Errorf("lex-error fallback = %q", got)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("SELECT * FROM t WHERE a = 5 AND b = 'x'")
+	b := Fingerprint("select * from t  where a=123 and b='other'")
+	if a != b {
+		t.Errorf("literal-only variants fingerprint differently: %s vs %s", a, b)
+	}
+	c := Fingerprint("SELECT * FROM t WHERE a = 5 OR b = 'x'")
+	if a == c {
+		t.Error("structurally different statements share a fingerprint")
+	}
+	if len(a) == 0 || len(a) > 16 {
+		t.Errorf("fingerprint %q not 16 hex digits or fewer", a)
+	}
+}

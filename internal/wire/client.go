@@ -11,6 +11,7 @@ import (
 
 	"gis/internal/expr"
 	"gis/internal/faults"
+	"gis/internal/obs"
 	"gis/internal/source"
 	"gis/internal/stats"
 	"gis/internal/types"
@@ -33,6 +34,7 @@ type Client struct {
 	down SimLink // server → client
 
 	connectTimeout time.Duration
+	trailerTimeout time.Duration
 	plan           *faults.Plan
 	// inj is this link's fault injector, shared by every connection so
 	// the plan's decision sequence is per-link, not per-conn.
@@ -86,6 +88,13 @@ func WithConnectTimeout(d time.Duration) Option {
 	return func(c *Client) { c.connectTimeout = d }
 }
 
+// WithTraceTrailerTimeout overrides how long Execute result streams
+// wait for the trace trailer after the final msgEnd (default 2s). Tests
+// use a short timeout to exercise the degraded path quickly.
+func WithTraceTrailerTimeout(d time.Duration) Option {
+	return func(c *Client) { c.trailerTimeout = d }
+}
+
 // DialContext connects to a wire server, bounding the connect by ctx
 // and by the connect timeout (DefaultDialTimeout unless overridden).
 func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, error) {
@@ -93,6 +102,7 @@ func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, err
 		addr:           addr,
 		name:           addr,
 		connectTimeout: DefaultDialTimeout,
+		trailerTimeout: defaultTrailerTimeout,
 		ctrlSem:        make(chan struct{}, 1),
 	}
 	for _, o := range opts {
@@ -331,6 +341,15 @@ func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, 
 	if err := e.Query(q); err != nil {
 		return nil, err
 	}
+	// Propagate the distributed trace context: the server runs the
+	// fragment under its own trace and returns the finished subtree in
+	// a trailer frame after the row stream (see tracewire.go).
+	var tc *traceContext
+	parent := obs.CurrentSpan(ctx)
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tc = &traceContext{TraceID: tr.ID(), ParentSpan: parent.ID(), Sampled: true}
+	}
+	e.traceContext(tc)
 	fc, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
@@ -345,7 +364,13 @@ func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, 
 		c.putConn(fc)
 		return nil, err
 	}
-	return &streamIter{ctx: ctx, c: c, fc: fc}, nil
+	it := &streamIter{ctx: ctx, c: c, fc: fc}
+	if tc != nil {
+		it.traced = true
+		it.traceID = tc.TraceID
+		it.parent = parent
+	}
+	return it, nil
 }
 
 func (c *Client) discard(fc *frameConn) {
@@ -354,7 +379,9 @@ func (c *Client) discard(fc *frameConn) {
 	}
 }
 
-// streamIter reads msgRows batches until msgEnd.
+// streamIter reads msgRows batches until msgEnd, then — when this
+// stream carried a trace — consumes the msgTrace trailer and stitches
+// the remote subtree under the parent span.
 type streamIter struct {
 	ctx   context.Context
 	c     *Client
@@ -363,6 +390,10 @@ type streamIter struct {
 	pos   int
 	done  bool
 	err   error
+
+	traced  bool
+	traceID string
+	parent  *obs.Span
 }
 
 // Next implements source.RowIter.
@@ -396,8 +427,12 @@ func (it *streamIter) Next() (types.Row, error) {
 	switch tag {
 	case msgEnd:
 		it.done = true
-		it.c.putConn(it.fc)
-		it.fc = nil
+		if it.traced && len(payload) > 0 && payload[0] == 1 {
+			it.finishTrailer()
+		} else {
+			it.c.putConn(it.fc)
+			it.fc = nil
+		}
 		return nil, io.EOF
 	case msgErr:
 		_, err := checkResp(tag, payload)

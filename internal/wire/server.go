@@ -240,66 +240,7 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgExecute:
-		q, err := d.Query()
-		if err != nil {
-			return sendErr(ctx, fc, err)
-		}
-		if err := s.rebindQuery(ctx, q); err != nil {
-			return sendErr(ctx, fc, err)
-		}
-		qid := s.Queries.Begin(q.String())
-		it, err := s.src.Execute(ctx, q)
-		if err != nil {
-			s.Queries.Finish(qid, err, nil)
-			return sendErr(ctx, fc, err)
-		}
-		defer it.Close()
-		defer func() { s.Queries.Finish(qid, nil, nil) }()
-		if err := fc.writeFrame(ctx, msgOK, nil); err != nil {
-			return err
-		}
-		var e Encoder
-		batch := 0
-		for {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			row, err := it.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return sendErr(ctx, fc, err)
-			}
-			if batch == 0 {
-				e.Reset()
-			}
-			e.Row(row)
-			batch++
-			if batch == rowBatchSize {
-				// Mid-stream fault point: a transient injection aborts
-				// just this stream, a drop severs the connection with
-				// rows in flight.
-				if err := fc.injure(ctx, faults.OpRead); err != nil {
-					if errors.Is(err, faults.ErrInjected) {
-						return sendErr(ctx, fc, err)
-					}
-					return err
-				}
-				hdr := prependCount(e.Bytes(), batch)
-				if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
-					return err
-				}
-				batch = 0
-			}
-		}
-		if batch > 0 {
-			hdr := prependCount(e.Bytes(), batch)
-			if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
-				return err
-			}
-		}
-		return fc.writeFrame(ctx, msgEnd, nil)
+		return s.handleExecute(ctx, fc, d)
 
 	case msgBeginTx:
 		t, ok := s.src.(source.Transactional)
@@ -416,6 +357,140 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 	default:
 		return sendErr(ctx, fc, fmt.Errorf("wire: unknown message tag %d", tag))
 	}
+}
+
+// handleExecute serves one msgExecute request: decode the query and the
+// optional trace context, run the fragment (under a server-local trace
+// when the mediator sent a sampled context), stream the rows, and then
+// — best-effort — return the finished span subtree in a msgTrace
+// trailer. The trailer travels strictly after msgEnd so its loss can
+// never cost rows; the mediator degrades to its local-only trace.
+func (s *Server) handleExecute(ctx context.Context, fc *frameConn, d *Decoder) error {
+	q, err := d.Query()
+	if err != nil {
+		return sendErr(ctx, fc, err)
+	}
+	tc, err := d.traceContext()
+	if err != nil {
+		return sendErr(ctx, fc, err)
+	}
+	rctx := ctx
+	var tr *obs.Trace
+	var root *obs.Span
+	if tc != nil && tc.Sampled {
+		tr = obs.NewTraceWithID(tc.TraceID, q.String())
+		rctx = obs.WithTrace(ctx, tr)
+		rctx, root = obs.StartSpan(rctx, obs.SpanRemote, s.src.Name())
+		root.SetAttr("trace_id", tc.TraceID)
+		root.SetInt("parent_span", int64(tc.ParentSpan))
+	}
+	done, streamErr := s.streamQuery(rctx, fc, q, tr != nil)
+	root.End()
+	// Only a stream that reached its flagged msgEnd owes a trailer; an
+	// error stream (msgErr) left the client not reading one.
+	if streamErr != nil || tr == nil || !done {
+		return streamErr
+	}
+	// Trailer fault point (ops=trace): a transient injection skips the
+	// trailer the stream already promised — the mediator's read times
+	// out and it degrades; a drop severs the connection the same way a
+	// crash between msgEnd and the trailer would.
+	if err := fc.injure(ctx, faults.OpTrace); err != nil {
+		if errors.Is(err, faults.ErrInjected) {
+			return nil
+		}
+		return err
+	}
+	var e Encoder
+	e.Span(root.Data())
+	return fc.writeFrame(ctx, msgTrace, e.Bytes())
+}
+
+// streamQuery rebinds and executes q, streaming row batches until EOF.
+// Under a traced context it records the remote parse/exec/stream child
+// spans; traced also sets the msgEnd trailer-follows flag. The bool
+// reports whether the stream completed through msgEnd (and so owes a
+// trailer when traced).
+func (s *Server) streamQuery(ctx context.Context, fc *frameConn, q *source.Query, traced bool) (bool, error) {
+	pctx, psp := obs.StartSpan(ctx, obs.SpanParse, "rebind")
+	err := s.rebindQuery(pctx, q)
+	psp.End()
+	if err != nil {
+		return false, sendErr(ctx, fc, err)
+	}
+	qid := s.Queries.Begin(q.String())
+	xctx, xsp := obs.StartSpan(ctx, obs.SpanExec, q.Table)
+	it, err := s.src.Execute(xctx, q)
+	xsp.End()
+	if err != nil {
+		s.Queries.Finish(qid, err, obs.TraceFrom(ctx))
+		return false, sendErr(ctx, fc, err)
+	}
+	defer it.Close()
+	defer func() { s.Queries.Finish(qid, nil, obs.TraceFrom(ctx)) }()
+	if err := fc.writeFrame(ctx, msgOK, nil); err != nil {
+		return false, err
+	}
+	return s.streamRows(ctx, fc, it, traced)
+}
+
+// streamRows drains it into msgRows batches and terminates the stream
+// with msgEnd (flagged when a trace trailer will follow). The bool
+// reports whether msgEnd was written.
+func (s *Server) streamRows(ctx context.Context, fc *frameConn, it source.RowIter, traced bool) (bool, error) {
+	_, ssp := obs.StartSpan(ctx, obs.SpanStream, "rows")
+	defer ssp.End()
+	var e Encoder
+	batch, rows := 0, int64(0)
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		row, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return false, sendErr(ctx, fc, err)
+		}
+		if batch == 0 {
+			e.Reset()
+		}
+		e.Row(row)
+		batch++
+		rows++
+		if batch == rowBatchSize {
+			// Mid-stream fault point: a transient injection aborts
+			// just this stream, a drop severs the connection with
+			// rows in flight.
+			if err := fc.injure(ctx, faults.OpRead); err != nil {
+				if errors.Is(err, faults.ErrInjected) {
+					return false, sendErr(ctx, fc, err)
+				}
+				return false, err
+			}
+			hdr := prependCount(e.Bytes(), batch)
+			if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
+				return false, err
+			}
+			batch = 0
+		}
+	}
+	if batch > 0 {
+		hdr := prependCount(e.Bytes(), batch)
+		if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
+			return false, err
+		}
+	}
+	ssp.SetInt("rows", rows)
+	var end []byte
+	if traced {
+		end = []byte{1}
+	}
+	if err := fc.writeFrame(ctx, msgEnd, end); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // handleWrite decodes the shared (txid, table) prefix of write requests,

@@ -1,0 +1,222 @@
+package wire
+
+// Distributed trace propagation over the wire protocol.
+//
+// Request side: Client.Execute appends an optional trace context —
+// (present flag, trace id, parent span id, sampling flag) — after the
+// encoded query in the msgExecute payload. Decoder.Query consumes an
+// exact prefix, so a server reads the context from the remaining bytes;
+// a request from an untraced query carries `false` and nothing else.
+//
+// Response side: when the context is present and sampled, the server
+// runs the fragment under its own obs.Trace (rooted at a SpanRemote)
+// and, after the final msgEnd — whose one-byte payload flags that a
+// trailer follows — ships the finished span subtree back in a msgTrace
+// trailer frame. Rows always complete before the trailer is sent, so a
+// lost, stalled, or malformed trailer can never fail the query: the
+// client degrades to its local-only trace and increments
+// obs.trace.remote_lost. See DESIGN.md "Distributed tracing & plan
+// telemetry".
+
+import (
+	"io"
+	"time"
+
+	"gis/internal/faults"
+	"gis/internal/obs"
+)
+
+// mRemoteLost counts result streams whose trace trailer was lost
+// (dropped, timed out, or malformed). The query itself succeeded; only
+// the remote half of its trace is missing.
+var mRemoteLost = obs.Default().Counter("obs.trace.remote_lost")
+
+// defaultTrailerTimeout bounds how long a client waits for the msgTrace
+// trailer after msgEnd announced one. Generous against WAN latency but
+// finite: tracing must never wedge a finished query.
+const defaultTrailerTimeout = 2 * time.Second
+
+// traceContext is the distributed-trace context piggybacked on a
+// msgExecute request.
+type traceContext struct {
+	TraceID    string
+	ParentSpan uint64
+	Sampled    bool
+}
+
+// traceContext appends the optional trace context (nil encodes as a
+// single absent flag, keeping untraced requests one byte longer only).
+func (e *Encoder) traceContext(tc *traceContext) {
+	if tc == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.String(tc.TraceID)
+	e.Uvarint(tc.ParentSpan)
+	e.Bool(tc.Sampled)
+}
+
+// traceContext reads the optional trace context from the tail of a
+// msgExecute payload. A payload with no remaining bytes (an
+// out-of-version peer) decodes as absent.
+func (d *Decoder) traceContext() (*traceContext, error) {
+	if d.Remaining() == 0 {
+		return nil, nil
+	}
+	present, err := d.Bool()
+	if err != nil || !present {
+		return nil, err
+	}
+	tc := &traceContext{}
+	if tc.TraceID, err = d.String(); err != nil {
+		return nil, err
+	}
+	if tc.ParentSpan, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	if tc.Sampled, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	return tc, nil
+}
+
+// Span encodes a span snapshot subtree: kind and name, start (µs since
+// epoch), duration (µs), attrs, then children recursively.
+func (e *Encoder) Span(sp *obs.SpanData) {
+	e.String(sp.Kind)
+	e.String(sp.Name)
+	e.Varint(sp.Start.UnixMicro())
+	e.Varint(sp.DurationUS)
+	e.Uvarint(uint64(len(sp.Attrs)))
+	for _, a := range sp.Attrs {
+		e.String(a.Key)
+		e.String(a.Value)
+	}
+	e.Uvarint(uint64(len(sp.Children)))
+	for _, c := range sp.Children {
+		e.Span(c)
+	}
+}
+
+// Span decodes a span snapshot subtree. Counts are bounded by the
+// remaining payload (every attr and child costs at least one byte), so
+// a corrupt frame cannot provoke an oversized allocation or unbounded
+// recursion.
+func (d *Decoder) Span() (*obs.SpanData, error) {
+	sp := &obs.SpanData{}
+	var err error
+	if sp.Kind, err = d.String(); err != nil {
+		return nil, err
+	}
+	if sp.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	us, err := d.Varint()
+	if err != nil {
+		return nil, err
+	}
+	sp.Start = time.UnixMicro(us)
+	if sp.DurationUS, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	na, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if na > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	for i := uint64(0); i < na; i++ {
+		var a obs.Attr
+		if a.Key, err = d.String(); err != nil {
+			return nil, err
+		}
+		if a.Value, err = d.String(); err != nil {
+			return nil, err
+		}
+		sp.Attrs = append(sp.Attrs, a)
+	}
+	nc, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nc > uint64(d.Remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	for i := uint64(0); i < nc; i++ {
+		c, err := d.Span()
+		if err != nil {
+			return nil, err
+		}
+		sp.Children = append(sp.Children, c)
+	}
+	return sp, nil
+}
+
+// readDeadliner is the subset of net.Conn the trailer read needs to
+// stay bounded; net.Pipe connections in tests implement it too.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// finishTrailer consumes the msgTrace trailer the server announced via
+// the msgEnd flag, stitches the remote subtree under the parent (ship)
+// span, and returns the connection to the pool. Any failure — injected
+// fault, read timeout, wrong tag, malformed payload, trace-id mismatch
+// — degrades to the mediator-only trace: the counter is bumped and the
+// connection discarded (its protocol state is unknown), but the query
+// has already succeeded.
+func (it *streamIter) finishTrailer() {
+	fc := it.fc
+	it.fc = nil
+	if it.readTrailer(fc) {
+		it.c.putConn(fc)
+		return
+	}
+	mRemoteLost.Inc()
+	it.c.discard(fc)
+}
+
+func (it *streamIter) readTrailer(fc *frameConn) bool {
+	// Client-side fault point (ops=trace): a drop here models the link
+	// dying between the last row and the trailer.
+	if err := fc.injure(it.ctx, faults.OpTrace); err != nil {
+		return false
+	}
+	dl, hasDeadline := fc.rw.(readDeadliner)
+	if hasDeadline {
+		_ = dl.SetReadDeadline(time.Now().Add(it.c.trailerTimeout))
+	}
+	tag, payload, err := fc.readFrame(it.ctx)
+	if hasDeadline {
+		_ = dl.SetReadDeadline(time.Time{})
+	}
+	if err != nil || tag != msgTrace {
+		return false
+	}
+	data, err := NewDecoder(payload).Span()
+	if err != nil {
+		return false
+	}
+	// The subtree must belong to this query's trace; a mismatch means
+	// the conn's protocol state is confused and the subtree is not ours.
+	if id := attrValue(data, "trace_id"); id != it.traceID {
+		return false
+	}
+	it.parent.AttachData(data)
+	// Record the remote-compute share on the ship span now; the WAN
+	// share is derived when the ship span ends (exec.fetchIter) as
+	// ship duration minus remote duration.
+	it.parent.SetInt("remote_us", data.DurationUS)
+	return true
+}
+
+func attrValue(sp *obs.SpanData, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}

@@ -31,7 +31,12 @@ const (
 	msgOK   // payload depends on the request
 	msgErr  // payload: error string
 	msgRows // payload: row batch (streamed after msgExecute's msgOK)
-	msgEnd  // end of a row stream
+	msgEnd  // end of a row stream; one-byte payload 1 = trace trailer follows
+	// msgTrace is the best-effort trace trailer: the component system's
+	// finished span subtree, sent after msgEnd when the request carried
+	// a sampled trace context (see tracewire.go). Losing it degrades
+	// the mediator to its local-only trace; it never affects rows.
+	msgTrace
 )
 
 // rowBatchSize is how many rows travel per msgRows frame.

@@ -34,6 +34,8 @@
 #                   fault model")
 #   6. gisbench   — quick JSON smoke run, schema-validated by
 #                   scripts/benchjson (see EXPERIMENTS.md)
+#   7. query log  — demo-federation query with -query-log-sample 1,
+#                   lines schema-validated by scripts/querylogjson
 #
 # Fails fast on the first broken step.
 set -eu
@@ -79,5 +81,16 @@ go test -race -run TestChaos -count=1 ./internal/wire ./internal/core
 
 echo '== gisbench -json -quick =='
 go run ./cmd/gisbench -json -quick | go run ./scripts/benchjson
+
+echo '== query-log schema =='
+# Run a demo-federation query with every statement sampled into the
+# structured log, then validate the emitted lines against the
+# obs.QueryLogRecord schema (see DESIGN.md "Distributed tracing & plan
+# telemetry").
+qlog=$(mktemp)
+trap 'rm -f "$qlog"' EXIT
+go run ./cmd/gisql -demo -query-log "$qlog" -query-log-sample 1 \
+    -e "SELECT c.name, SUM(o.amount) FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.region = 'east' GROUP BY c.name" >/dev/null
+go run ./scripts/querylogjson < "$qlog"
 
 echo 'check: all gates passed'

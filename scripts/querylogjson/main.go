@@ -1,0 +1,85 @@
+// Command querylogjson validates a structured query log (the -query-log
+// flag on gisd/gisql) on stdin: one obs.QueryLogRecord object per line,
+// no unknown fields, RFC3339Nano timestamps, non-negative durations, and
+// internally consistent per-source entries. check.sh runs a demo
+// federation query with -query-log-sample 1 and pipes the log through
+// this validator, so schema drift between the producer (obs.jsonlog)
+// and the documented contract fails the gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gis/internal/obs"
+)
+
+func main() {
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	n := 0
+	for {
+		var rec obs.QueryLogRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "querylogjson: record %d: %v\n", n+1, err)
+			os.Exit(1)
+		}
+		n++
+		if err := validate(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "querylogjson: record %d (%q): %v\n", n, rec.SQL, err)
+			os.Exit(1)
+		}
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "querylogjson: no records on stdin")
+		os.Exit(1)
+	}
+	fmt.Printf("querylogjson: %d records ok\n", n)
+}
+
+func validate(rec obs.QueryLogRecord) error {
+	if rec.SQL == "" {
+		return fmt.Errorf("empty sql")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec.Time); err != nil {
+		return fmt.Errorf("time %q: %w", rec.Time, err)
+	}
+	if rec.DurationUS < 0 {
+		return fmt.Errorf("negative duration_us %d", rec.DurationUS)
+	}
+	if rec.RowsOut < 0 {
+		return fmt.Errorf("negative rows_out %d", rec.RowsOut)
+	}
+	if rec.Retries < 0 || rec.Breakers < 0 {
+		return fmt.Errorf("negative resilience counts (retries %d, breakers %d)", rec.Retries, rec.Breakers)
+	}
+	for phase, us := range rec.PhasesUS {
+		if phase == "" {
+			return fmt.Errorf("empty phase name")
+		}
+		if us < 0 {
+			return fmt.Errorf("phase %s: negative duration %d", phase, us)
+		}
+	}
+	for i, src := range rec.Sources {
+		if src.Source == "" {
+			return fmt.Errorf("source %d: empty name", i)
+		}
+		if src.Rows < 0 || src.Bytes < 0 || src.ShipUS < 0 || src.RemoteUS < 0 || src.WanUS < 0 {
+			return fmt.Errorf("source %d (%s): negative traffic fields %+v", i, src.Source, src)
+		}
+		if src.RemoteUS > 0 && src.RemoteUS+src.WanUS > src.ShipUS+src.ShipUS {
+			// remote+wan should roughly partition ship time; allow slack
+			// for clock skew between mediator and component system, but a
+			// sum beyond twice the ship duration means the split is wrong.
+			return fmt.Errorf("source %d (%s): remote_us %d + wan_us %d inconsistent with ship_us %d",
+				i, src.Source, src.RemoteUS, src.WanUS, src.ShipUS)
+		}
+	}
+	return nil
+}
