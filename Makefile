@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-ratchet lint-fixtures lint-stats fmt vet check chaos bench
+.PHONY: build test race lint lint-ratchet lint-fixtures lint-concurrency lint-stats fmt vet check chaos bench
 
 build:
 	$(GO) build ./...
@@ -24,14 +24,22 @@ lint-ratchet:
 
 # Assert every analyzer still fires on its fixture package (guards
 # against an analyzer silently going blind). Covers the interprocedural
-# fixtures, the sqlship/goleak suites, the hot-path perf fixtures, and
-# the hotness/baseline unit tests; any unexpected-finding diff is a
-# hard failure.
+# fixtures, the sqlship/goleak suites, the concurrency-safety suites
+# (lockguard/atomicmix/wglifecycle/chanmisuse), the hot-path perf
+# fixtures, and the hotness/baseline/changed-mode unit tests; any
+# unexpected-finding diff is a hard failure.
 lint-fixtures:
-	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph|TestHotness|TestBaseline|TestLoadBaseline' -count=1
+	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph|TestHotness|TestBaseline|TestLoadBaseline|TestChanged' -count=1
 
-# Findings-by-analyzer counts plus call-graph/SCC dimensions over the
-# whole module (one run is recorded in EXPERIMENTS.md).
+# Concurrency-safety analyzers alone, at their native error severity
+# (no baseline: a lock-protocol finding is a bug, not ratcheted debt).
+lint-concurrency:
+	$(GO) run ./cmd/gislint -only lockguard,atomicmix,wglifecycle,chanmisuse ./...
+
+# Findings-by-analyzer counts plus call-graph/SCC dimensions, the
+# hot-set census, and the guard-model census (guardable structs, data
+# fields, accesses, inferred guarded fields) over the whole module
+# (one run is recorded in EXPERIMENTS.md).
 lint-stats:
 	$(GO) run ./cmd/gislint -stats ./...
 

@@ -11,6 +11,10 @@
 //	lockheld     no mutex held across an RPC, channel op, or Wait
 //	sqlship      shipped SQL text comes from builders/constants, not assembly
 //	goleak       library goroutines carry a cancellation path
+//	lockguard    fields a mutex guards at most sites are guarded at all
+//	atomicmix    no mixing of sync/atomic and plain access to one field
+//	wglifecycle  WaitGroup Add/Done/Wait ordered so Wait cannot miss work
+//	chanmisuse   no close/send on a possibly-closed channel; spawned sends guarded
 //	hotalloc     no per-row allocations in hot executor/codec code (warning)
 //	boxing       no scalar-to-interface boxing in hot code (warning)
 //	hotdefer     no defer inside hot loops (warning)
@@ -19,7 +23,7 @@
 // Usage:
 //
 //	gislint [-only name[,name]] [-skip name[,name]] [-json|-sarif] [-v] [-stats] [-list]
-//	        [-baseline file [-update-baseline]] [packages]
+//	        [-baseline file [-update-baseline]] [-changed git-ref] [packages]
 //
 // Correctness analyzers report errors: any finding fails the run.
 // Performance analyzers report warnings and are normally gated through
@@ -28,7 +32,11 @@
 // after a deliberate change.
 //
 // Packages are directory patterns ("./...", "./internal/exec"); the
-// default is ./... from the current directory. Diagnostics print as
+// default is ./... from the current directory. -changed <git-ref>
+// narrows the matched packages to those whose files differ from the ref
+// (per git diff, plus untracked files) and the packages that
+// transitively import them, so an edit-lint loop pays only for the
+// blast radius of the edit. Diagnostics print as
 // file:line:col (or a JSON array with -json) and any finding makes the
 // driver exit 1 (2 on load or type-check failure), so it slots directly
 // into scripts/check.sh. Individual findings can be waived in source
@@ -42,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -59,9 +68,10 @@ func run(args []string) int {
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	asSARIF := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
 	verbose := fs.Bool("v", false, "report per-analyzer wall time on stderr")
-	stats := fs.Bool("stats", false, "report findings per analyzer, call-graph size, and hot-set census on stderr")
+	stats := fs.Bool("stats", false, "report findings per analyzer, call-graph size, hot-set and guard-model census on stderr")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	baselinePath := fs.String("baseline", "", "report only findings not absorbed by this ratchet snapshot")
+	changedRef := fs.String("changed", "", "lint only packages changed since this git ref, plus their reverse dependencies")
 	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline snapshot from this run's findings and exit clean")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,6 +116,23 @@ func run(args []string) int {
 	if len(dirs) == 0 {
 		fmt.Fprintln(os.Stderr, "gislint: no packages matched")
 		return 2
+	}
+	if *changedRef != "" {
+		files, err := gitChangedFiles(loader.ModuleRoot, *changedRef)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gislint:", err)
+			return 2
+		}
+		matched := len(dirs)
+		dirs, err = loader.ChangedDirs(dirs, files)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gislint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "gislint: -changed %s: %d of %d package(s) affected\n", *changedRef, len(dirs), matched)
+		if len(dirs) == 0 {
+			return 0
+		}
 	}
 	if err := loader.Preparse(dirs, 0); err != nil {
 		fmt.Fprintln(os.Stderr, "gislint:", err)
@@ -195,7 +222,31 @@ func printRunInfo(w *os.File, info *lint.RunInfo, verbose, stats bool) {
 			info.GraphFuncs, info.GraphEdges, info.GraphSCCs, info.GraphMaxSCC, info.InterprocTime.Round(time.Microsecond))
 		fmt.Fprintf(w, "gislint: hot set: %d hot function(s), %d hot-loop, %d loop-nested call site(s)\n",
 			info.HotFuncs, info.HotLoopFuncs, info.HotSites)
+		fmt.Fprintf(w, "gislint: guard model: %d guardable struct(s), %d data field(s), %d access(es), %d guarded field(s)\n",
+			info.GuardStructs, info.GuardFields, info.GuardAccesses, info.GuardedFields)
 	}
+}
+
+// gitChangedFiles lists files differing from ref — committed or in the
+// working tree, plus untracked files — as module-root-relative paths.
+func gitChangedFiles(root, ref string) ([]string, error) {
+	diff := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--")
+	out, err := diff.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %w", ref, err)
+	}
+	untracked := exec.Command("git", "-C", root, "ls-files", "--others", "--exclude-standard")
+	more, err := untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git ls-files --others: %w", err)
+	}
+	var files []string
+	for _, line := range strings.Split(string(out)+string(more), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			files = append(files, line)
+		}
+	}
+	return files, nil
 }
 
 // filterAnalyzers applies -only then -skip; unknown names are an error

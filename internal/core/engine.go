@@ -184,7 +184,7 @@ func (r *Result) String() string {
 		if i > 0 {
 			b.WriteString(" | ")
 		}
-		fmt.Fprintf(&b, "%-*s", widths[i], c)
+		writePadded(&b, c, widths[i])
 	}
 	b.WriteByte('\n')
 	for i := range r.Columns {
@@ -199,11 +199,19 @@ func (r *Result) String() string {
 			if i > 0 {
 				b.WriteString(" | ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], s)
+			writePadded(&b, s, widths[i])
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// writePadded left-aligns s in a field of the given width.
+func writePadded(b *strings.Builder, s string, width int) {
+	b.WriteString(s)
+	for n := width - len(s); n > 0; n-- {
+		b.WriteByte(' ')
+	}
 }
 
 // Query parses, plans, and executes a SELECT, materializing the result.

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"strconv"
 
 	"gis/internal/types"
 )
@@ -36,7 +37,7 @@ func NewAccumulator(kind AggKind, star, distinct bool) Accumulator {
 	case AggMax:
 		inner = &minmaxAcc{min: false}
 	default:
-		panic(fmt.Sprintf("unknown aggregate kind %d", kind))
+		panic("unknown aggregate kind " + strconv.Itoa(int(kind)))
 	}
 	if distinct {
 		return &distinctAcc{seen: make(map[uint64][]types.Value), inner: inner}

@@ -7,6 +7,7 @@ package expr
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -71,7 +72,7 @@ func (c *ColRef) String() string {
 	if c.Name != "" {
 		return c.Name
 	}
-	return fmt.Sprintf("$%d", c.Index)
+	return "$" + strconv.Itoa(c.Index)
 }
 
 // Children implements Expr.
@@ -157,7 +158,7 @@ func (o BinOp) String() string {
 	case OpConcat:
 		return "||"
 	default:
-		return fmt.Sprintf("BinOp(%d)", uint8(o))
+		return "BinOp(" + strconv.Itoa(int(o)) + ")"
 	}
 }
 
@@ -203,7 +204,7 @@ func (b *Binary) ResultType() types.Kind { return b.typ }
 
 // String implements Expr.
 func (b *Binary) String() string {
-	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
 }
 
 // Children implements Expr.
@@ -246,7 +247,7 @@ func NewUnary(op UnOp, e Expr) *Unary { return &Unary{Op: op, E: e} }
 func (u *Unary) ResultType() types.Kind { return u.typ }
 
 // String implements Expr.
-func (u *Unary) String() string { return fmt.Sprintf("(%s%s)", u.Op, u.E) }
+func (u *Unary) String() string { return "(" + u.Op.String() + u.E.String() + ")" }
 
 // Children implements Expr.
 func (u *Unary) Children() []Expr { return []Expr{u.E} }
@@ -331,7 +332,7 @@ func (n *InList) String() string {
 	if n.Negate {
 		op = "NOT IN"
 	}
-	return fmt.Sprintf("(%s %s (%s))", n.E, op, strings.Join(parts, ", "))
+	return "(" + n.E.String() + " " + op + " (" + strings.Join(parts, ", ") + "))"
 }
 
 // Children implements Expr.
@@ -426,7 +427,7 @@ type Cast struct {
 func (c *Cast) ResultType() types.Kind { return c.To }
 
 // String implements Expr.
-func (c *Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.To) }
+func (c *Cast) String() string { return "CAST(" + c.E.String() + " AS " + c.To.String() + ")" }
 
 // Children implements Expr.
 func (c *Cast) Children() []Expr { return []Expr{c.E} }
@@ -459,7 +460,7 @@ func (c *Call) String() string {
 	for i, a := range c.Args {
 		parts[i] = a.String()
 	}
-	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
 }
 
 // Children implements Expr.
@@ -497,7 +498,7 @@ func (a AggKind) String() string {
 	case AggAvg:
 		return "AVG"
 	default:
-		return fmt.Sprintf("AggKind(%d)", uint8(a))
+		return "AggKind(" + strconv.Itoa(int(a)) + ")"
 	}
 }
 
@@ -547,7 +548,7 @@ func (a *AggCall) String() string {
 	if a.Distinct {
 		arg = "DISTINCT " + arg
 	}
-	return fmt.Sprintf("%s(%s)", a.Kind, arg)
+	return a.Kind.String() + "(" + arg + ")"
 }
 
 // Children implements Expr.

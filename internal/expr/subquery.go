@@ -62,17 +62,17 @@ func (s *Subquery) String() string {
 	switch s.Mode {
 	case SubExists:
 		if s.Negate {
-			return fmt.Sprintf("NOT EXISTS (%s)", body)
+			return "NOT EXISTS (" + body + ")"
 		}
-		return fmt.Sprintf("EXISTS (%s)", body)
+		return "EXISTS (" + body + ")"
 	case SubIn:
 		op := "IN"
 		if s.Negate {
 			op = "NOT IN"
 		}
-		return fmt.Sprintf("(%s %s (%s))", s.Operand, op, body)
+		return "(" + s.Operand.String() + " " + op + " (" + body + "))"
 	default:
-		return fmt.Sprintf("(%s)", body)
+		return "(" + body + ")"
 	}
 }
 

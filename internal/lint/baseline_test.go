@@ -95,6 +95,104 @@ func TestBaselineRegressions(t *testing.T) {
 	}
 }
 
+// TestBaselineRenamedFileOrphansKey pins rename semantics: keys embed
+// the relative path, so a finding that moves to a renamed file stops
+// matching its old key — it surfaces as a regression (forcing a
+// deliberate -update-baseline), while the orphaned key sits unused as a
+// harmless ceiling and disappears on the next rewrite.
+func TestBaselineRenamedFileOrphansKey(t *testing.T) {
+	root := t.TempDir()
+	msg := "make allocates per row in hot Next; hoist or reuse a scratch buffer"
+	old := baselineDiag(filepath.Join(root, "old.go"), 3, "hotalloc", msg)
+	b := NewBaseline(root, []Diagnostic{old})
+
+	renamed := baselineDiag(filepath.Join(root, "new.go"), 3, "hotalloc", msg)
+	regs, absorbed := b.Regressions(root, []Diagnostic{renamed})
+	if absorbed != 0 {
+		t.Fatalf("renamed-file finding absorbed by the old key (absorbed=%d)", absorbed)
+	}
+	if len(regs) != 1 || regs[0].Pos.Filename != renamed.Pos.Filename {
+		t.Fatalf("renamed-file finding did not regress: %v", regs)
+	}
+
+	// The orphaned key must vanish from a rewrite, not linger forever.
+	rewritten := NewBaseline(root, []Diagnostic{renamed})
+	if _, stale := rewritten["hotalloc|old.go|"+msg]; stale {
+		t.Error("rewrite kept the orphaned key")
+	}
+	if rewritten["hotalloc|new.go|"+msg] != 1 {
+		t.Error("rewrite missed the renamed finding")
+	}
+}
+
+// TestBaselineCeilingExact pins the boundary: a run that meets the
+// recorded count exactly is clean; one more finding regresses, and only
+// the overflow surfaces.
+func TestBaselineCeilingExact(t *testing.T) {
+	root := t.TempDir()
+	msg := "argument boxes Value into an interface per row in hot Next"
+	mk := func(line int) Diagnostic {
+		return baselineDiag(filepath.Join(root, "a.go"), line, "boxing", msg)
+	}
+	b := NewBaseline(root, []Diagnostic{mk(3), mk(9)})
+
+	// Exactly met: every finding absorbed, zero regressions.
+	regs, absorbed := b.Regressions(root, []Diagnostic{mk(3), mk(9)})
+	if len(regs) != 0 || absorbed != 2 {
+		t.Fatalf("ceiling met: %d regressions, %d absorbed; want 0, 2", len(regs), absorbed)
+	}
+
+	// Exceeded by one: exactly the overflow finding surfaces, and it is
+	// the position-sorted last one (survivors are deterministic).
+	regs, absorbed = b.Regressions(root, []Diagnostic{mk(3), mk(9), mk(21)})
+	if len(regs) != 1 || absorbed != 2 {
+		t.Fatalf("ceiling exceeded: %d regressions, %d absorbed; want 1, 2", len(regs), absorbed)
+	}
+	if regs[0].Pos.Line != 21 {
+		t.Errorf("overflow surfaced line %d, want 21", regs[0].Pos.Line)
+	}
+}
+
+// TestBaselineUpdateIdempotent pins -update-baseline: rewriting from
+// the same findings produces byte-identical output, and a rewritten
+// snapshot absorbs exactly the findings it was built from.
+func TestBaselineUpdateIdempotent(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		baselineDiag(filepath.Join(root, "a.go"), 3, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer"),
+		baselineDiag(filepath.Join(root, "a.go"), 9, "hotalloc", "make allocates per row in hot Next; hoist or reuse a scratch buffer"),
+		baselineDiag(filepath.Join(root, "b.go"), 1, "boxing", "argument boxes Value into an interface per row in hot Next"),
+	}
+	p1 := filepath.Join(root, "one.json")
+	p2 := filepath.Join(root, "two.json")
+	if err := NewBaseline(root, diags).WriteBaseline(p1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second generation: load, regenerate from the same findings, write.
+	if err := NewBaseline(root, diags).WriteBaseline(p2); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Fatalf("rewrite is not byte-identical:\n%s\n----\n%s", d1, d2)
+	}
+	regs, absorbed := loaded.Regressions(root, diags)
+	if len(regs) != 0 || absorbed != len(diags) {
+		t.Fatalf("rewritten snapshot: %d regressions, %d absorbed; want 0, %d", len(regs), absorbed, len(diags))
+	}
+}
+
 // TestLoadBaselineRejectsUnknownVersion guards the format gate.
 func TestLoadBaselineRejectsUnknownVersion(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "lint.baseline.json")

@@ -3,7 +3,9 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 )
 
@@ -105,7 +107,7 @@ func BuildCallGraph(l *Loader) *CallGraph {
 	methodsByName := make(map[string][]*FuncNode)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			addNodes(g, pkg, f, methodsByName)
+			addNodes(g, l.Fset, pkg, f, methodsByName)
 		}
 	}
 
@@ -118,7 +120,7 @@ func BuildCallGraph(l *Loader) *CallGraph {
 }
 
 // addNodes creates a FuncNode for every declaration and literal in f.
-func addNodes(g *CallGraph, pkg *Package, f *ast.File, methodsByName map[string][]*FuncNode) {
+func addNodes(g *CallGraph, fset *token.FileSet, pkg *Package, f *ast.File, methodsByName map[string][]*FuncNode) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
@@ -147,7 +149,7 @@ func addNodes(g *CallGraph, pkg *Package, f *ast.File, methodsByName map[string]
 				Body: fn.Body,
 				Typ:  fn.Type,
 				Pkg:  pkg,
-				Name: litName(pkg, fn),
+				Name: litName(fset, pkg, fn),
 			}
 			g.Nodes = append(g.Nodes, node)
 			g.byLit[fn] = node
@@ -157,8 +159,13 @@ func addNodes(g *CallGraph, pkg *Package, f *ast.File, methodsByName map[string]
 }
 
 // litName renders a stable display name for a literal from its position.
-func litName(pkg *Package, fn *ast.FuncLit) string {
-	return fmt.Sprintf("%s.func@%d", pkg.Types.Name(), fn.Pos())
+// File-and-line, not the raw token.Pos offset: offsets depend on the
+// order files were added to the shared FileSet, which varies across
+// runs with the parse worker pool — and the name reaches diagnostic
+// messages, where it must be deterministic for the baseline ratchet.
+func litName(fset *token.FileSet, pkg *Package, fn *ast.FuncLit) string {
+	p := fset.Position(fn.Pos())
+	return fmt.Sprintf("%s.func@%s:%d", pkg.Types.Name(), filepath.Base(p.Filename), p.Line)
 }
 
 // qualifiedName renders "pkg.Func" or "pkg.(*Recv).Method".

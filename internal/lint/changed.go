@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ChangedDirs narrows candidate package directories to those affected by
+// changedFiles (module-root-relative or absolute paths): the packages
+// owning a changed Go file plus every candidate that transitively
+// imports one of them. Import edges are read with ImportsOnly parses,
+// so the narrowing never pays a type-check. A change to the module's
+// go.mod is global and returns every candidate; changed non-Go files
+// are ignored. Changed packages outside the candidate set (a dependency
+// the pattern did not select) still pull in the candidates that import
+// them.
+func (l *Loader) ChangedDirs(dirs []string, changedFiles []string) ([]string, error) {
+	// affected is keyed by import path; seeded with the packages that
+	// own a changed file, grown to the reverse-dependency closure over
+	// the candidates.
+	affected := make(map[string]bool)
+	for _, f := range changedFiles {
+		if f == "" {
+			continue
+		}
+		abs := f
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(l.ModuleRoot, filepath.FromSlash(f))
+		}
+		if filepath.Base(abs) == "go.mod" && filepath.Dir(abs) == l.ModuleRoot {
+			return append([]string(nil), dirs...), nil
+		}
+		if !strings.HasSuffix(abs, ".go") {
+			continue
+		}
+		path, err := l.importPathFor(filepath.Dir(abs))
+		if err != nil {
+			continue // outside the module: cannot affect it
+		}
+		affected[path] = true
+	}
+	if len(affected) == 0 {
+		return nil, nil
+	}
+
+	// Module-internal import edges of each candidate.
+	pathOf := make(map[string]string, len(dirs))
+	imports := make(map[string][]string, len(dirs))
+	fset := token.NewFileSet()
+	for _, d := range dirs {
+		p, err := l.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pathOf[d] = p
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool)
+		for _, e := range ents {
+			if e.IsDir() || !isSourceFile(e.Name()) {
+				continue
+			}
+			file, err := parser.ParseFile(fset, filepath.Join(d, e.Name()), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range file.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if !seen[ip] && (ip == l.ModulePath || strings.HasPrefix(ip, l.ModulePath+"/")) {
+					seen[ip] = true
+					imports[d] = append(imports[d], ip)
+				}
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, d := range dirs {
+			if affected[pathOf[d]] {
+				continue
+			}
+			for _, ip := range imports[d] {
+				if affected[ip] {
+					affected[pathOf[d]] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []string
+	for _, d := range dirs {
+		if affected[pathOf[d]] {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

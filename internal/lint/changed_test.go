@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// changedFixtureLoader expands the whole module for ChangedDirs tests.
+func changedFixtureLoader(t *testing.T) (*Loader, []string) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand([]string{l.ModuleRoot + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("expected the whole module, got %d dirs", len(dirs))
+	}
+	return l, dirs
+}
+
+func dirSet(dirs []string) map[string]bool {
+	set := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		set[d] = true
+	}
+	return set
+}
+
+// TestChangedDirsClosure: a change in a leaf package pulls in its
+// reverse dependencies and nothing else.
+func TestChangedDirsClosure(t *testing.T) {
+	l, dirs := changedFixtureLoader(t)
+	got, err := l.ChangedDirs(dirs, []string{"internal/lint/lint.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := dirSet(got)
+	lintDir := filepath.Join(l.ModuleRoot, "internal", "lint")
+	driverDir := filepath.Join(l.ModuleRoot, "cmd", "gislint")
+	typesDir := filepath.Join(l.ModuleRoot, "internal", "types")
+	if !set[lintDir] {
+		t.Errorf("changed package %s missing from result %v", lintDir, got)
+	}
+	if !set[driverDir] {
+		t.Errorf("reverse dependency %s missing from result %v", driverDir, got)
+	}
+	if set[typesDir] {
+		t.Errorf("unrelated package %s swept into result %v", typesDir, got)
+	}
+	if len(got) >= len(dirs) {
+		t.Errorf("narrowing kept all %d packages", len(dirs))
+	}
+}
+
+// TestChangedDirsTransitive: a change deep in the dependency tree
+// reaches indirect importers.
+func TestChangedDirsTransitive(t *testing.T) {
+	l, dirs := changedFixtureLoader(t)
+	got, err := l.ChangedDirs(dirs, []string{"internal/types/row.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := dirSet(got)
+	for _, rel := range [][]string{
+		{"internal", "types"},
+		{"internal", "expr"}, // imports types directly
+		{"internal", "core"}, // imports types only through intermediaries
+	} {
+		d := filepath.Join(append([]string{l.ModuleRoot}, rel...)...)
+		if !set[d] {
+			t.Errorf("expected %s in result", d)
+		}
+	}
+}
+
+// TestChangedDirsGoMod: a go.mod change is global.
+func TestChangedDirsGoMod(t *testing.T) {
+	l, dirs := changedFixtureLoader(t)
+	got, err := l.ChangedDirs(dirs, []string{"go.mod", "README.md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(dirs) {
+		t.Fatalf("go.mod change kept %d of %d packages", len(got), len(dirs))
+	}
+}
+
+// TestChangedDirsIrrelevant: non-Go changes outside go.mod affect
+// nothing.
+func TestChangedDirsIrrelevant(t *testing.T) {
+	l, dirs := changedFixtureLoader(t)
+	got, err := l.ChangedDirs(dirs, []string{"README.md", "scripts/check.sh", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("irrelevant changes matched %d packages: %v", len(got), got)
+	}
+}

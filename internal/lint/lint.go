@@ -81,6 +81,10 @@ func All() []*Analyzer {
 		LockHeld(),
 		SQLShip(),
 		GoLeak(),
+		LockGuard(),
+		AtomicMix(),
+		WGLifecycle(),
+		ChanMisuse(),
 		HotAlloc(),
 		Boxing(),
 		HotDefer(),
@@ -177,6 +181,10 @@ type RunInfo struct {
 	// Hot-set census: bodies graded hot or better, bodies graded
 	// hot-loop, and loop-nested call sites inside hot bodies.
 	HotFuncs, HotLoopFuncs, HotSites int
+	// Guard-model census: guardable structs (a mutex plus data fields),
+	// data fields across them, counted accesses, and fields with an
+	// inferred guard.
+	GuardStructs, GuardFields, GuardAccesses, GuardedFields int
 }
 
 // Run executes analyzers over packages in parallel, applies lint:ignore
@@ -206,6 +214,12 @@ func RunWithInfo(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnosti
 		info.HotFuncs = ip.Hot.HotFuncs
 		info.HotLoopFuncs = ip.Hot.HotLoopFuncs
 		info.HotSites = ip.Hot.HotSites
+	}
+	if ip.Guards != nil {
+		info.GuardStructs = ip.Guards.NumStructs
+		info.GuardFields = ip.Guards.NumFields
+		info.GuardAccesses = ip.Guards.NumAccesses
+		info.GuardedFields = ip.Guards.NumGuarded
 	}
 
 	var (

@@ -1,0 +1,45 @@
+package lint
+
+// LockGuard reports accesses that contradict an inferred lock-guard
+// discipline. The inference itself — which mutex of a struct guards
+// which data field, judged by majority over every access in the module
+// with interprocedural held-set propagation — lives in guardmodel.go
+// and is built once per Run; this analyzer only surfaces the verdicts,
+// one pass per package so diagnostics land in the package that owns the
+// offending access.
+//
+// A finding means: the module's own code holds T.mu at the overwhelming
+// majority of accesses of T.f, and this site does not. Either the site
+// is a race (fix: take the lock) or the field is intentionally
+// unguarded at this point (initialization before escape that the
+// creation heuristic could not see, a post-join read) — then record the
+// reason with //lint:ignore lockguard.
+func LockGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "lockguard",
+		Doc:  "field accesses must hold the mutex that guards the field (majority-inferred per struct)",
+	}
+	a.Run = func(pass *Pass) {
+		ip := pass.Interproc()
+		if ip == nil || ip.Guards == nil {
+			return
+		}
+		for _, v := range ip.Guards.violations {
+			if v.pkg != pass.Pkg {
+				continue
+			}
+			inf := ip.Guards.InferenceFor(v.field)
+			if inf == nil {
+				continue
+			}
+			verb := "read"
+			if v.write {
+				verb = "written"
+			}
+			pass.Reportf(v.pos, "%s.%s is %s without %s, which guards it at %d of %d accesses module-wide",
+				inf.Struct.Obj().Name(), v.field.Name(), verb,
+				inf.Mutex.Name(), inf.Guarded, inf.Total)
+		}
+	}
+	return a
+}

@@ -77,6 +77,11 @@ type Summary struct {
 	// TaintedSQL: the function returns a string assembled by
 	// concatenating/formatting SQL keyword literals with runtime values.
 	TaintedSQL bool
+	// AddsToWaitGroup / CallsWGDone: the body (transitively, on the
+	// calling goroutine) calls WaitGroup.Add or WaitGroup.Done — the two
+	// sides of the counter protocol wglifecycle audits.
+	AddsToWaitGroup bool
+	CallsWGDone     bool
 
 	// SpanFate / IterFate map parameter index → fate for *obs.Span and
 	// source.RowIter parameters respectively.
@@ -85,13 +90,27 @@ type Summary struct {
 	// SQLSinkParams marks string parameter indices the function forwards
 	// into a SQL parse/execute sink (directly or transitively).
 	SQLSinkParams map[int]bool
+	// ClosesChanParams marks channel parameter indices the function may
+	// close (directly or transitively) — chanmisuse uses it to see a
+	// close hidden behind a helper extraction.
+	ClosesChanParams map[int]bool
+	// LocksRecvPaths / UnlocksRecvPaths: mutex paths relative to the
+	// receiver (".mu", ".s.mu") the method leaves locked on return /
+	// releases by return (deferred unlocks included — they have run by
+	// the time the caller resumes). This is how the guard model sees
+	// through ensureLocked-style helpers that acquire for their caller.
+	LocksRecvPaths   map[string]bool
+	UnlocksRecvPaths map[string]bool
 }
 
 func newSummary() *Summary {
 	return &Summary{
-		SpanFate:      make(map[int]ParamFate),
-		IterFate:      make(map[int]ParamFate),
-		SQLSinkParams: make(map[int]bool),
+		SpanFate:         make(map[int]ParamFate),
+		IterFate:         make(map[int]ParamFate),
+		SQLSinkParams:    make(map[int]bool),
+		ClosesChanParams: make(map[int]bool),
+		LocksRecvPaths:   make(map[string]bool),
+		UnlocksRecvPaths: make(map[string]bool),
 	}
 }
 
@@ -123,6 +142,14 @@ func (s *Summary) join(o *Summary) bool {
 	orb(&s.JoinsWaitGroup, o.JoinsWaitGroup)
 	orb(&s.ReturnsFreshIter, o.ReturnsFreshIter)
 	orb(&s.TaintedSQL, o.TaintedSQL)
+	orb(&s.AddsToWaitGroup, o.AddsToWaitGroup)
+	orb(&s.CallsWGDone, o.CallsWGDone)
+	for i, b := range o.ClosesChanParams {
+		if b && !s.ClosesChanParams[i] {
+			s.ClosesChanParams[i] = true
+			changed = true
+		}
+	}
 	for i, f := range o.SpanFate {
 		if f > s.SpanFate[i] {
 			s.SpanFate[i] = f
@@ -141,6 +168,18 @@ func (s *Summary) join(o *Summary) bool {
 			changed = true
 		}
 	}
+	for p, b := range o.LocksRecvPaths {
+		if b && !s.LocksRecvPaths[p] {
+			s.LocksRecvPaths[p] = true
+			changed = true
+		}
+	}
+	for p, b := range o.UnlocksRecvPaths {
+		if b && !s.UnlocksRecvPaths[p] {
+			s.UnlocksRecvPaths[p] = true
+			changed = true
+		}
+	}
 	return changed
 }
 
@@ -154,6 +193,9 @@ type Interproc struct {
 	// Hot is the hot-path grading of the graph (see hotpath.go), read by
 	// the perf analyzers and the driver's -stats census.
 	Hot *HotSet
+	// Guards is the module-wide lock-guard inference (see guardmodel.go),
+	// read by the lockguard analyzer and the driver's -stats census.
+	Guards *GuardModel
 
 	loader    *Loader
 	summaries map[*FuncNode]*Summary
@@ -200,6 +242,7 @@ func BuildInterproc(l *Loader) *Interproc {
 		}
 	}
 	ip.Hot = BuildHotSet(ip)
+	ip.Guards = BuildGuardModel(ip)
 	return ip
 }
 
@@ -255,6 +298,13 @@ func (ip *Interproc) scan(n *FuncNode) *Summary {
 				case "Wait", "Done":
 					if isWaitGroupMethod(fn) {
 						s.JoinsWaitGroup = true
+						if fn.Name() == "Done" {
+							s.CallsWGDone = true
+						}
+					}
+				case "Add":
+					if isWaitGroupMethod(fn) {
+						s.AddsToWaitGroup = true
 					}
 				}
 			case "net":
@@ -308,6 +358,12 @@ func (ip *Interproc) scan(n *FuncNode) *Summary {
 			if ts.ReleasesLock {
 				s.ReleasesLock = true
 			}
+			if ts.AddsToWaitGroup {
+				s.AddsToWaitGroup = true
+			}
+			if ts.CallsWGDone {
+				s.CallsWGDone = true
+			}
 		}
 	}
 
@@ -352,8 +408,15 @@ func (ip *Interproc) scan(n *FuncNode) *Summary {
 			if isStringType(pv.Type()) && ip.paramReachesSQLSink(n, pv) {
 				s.SQLSinkParams[i] = true
 			}
+			if _, isChan := pv.Type().Underlying().(*types.Chan); isChan && ip.paramMayBeClosed(n, pv) {
+				s.ClosesChanParams[i] = true
+			}
 		}
 	}
+
+	// Receiver-relative lock balance (for the guard model's view through
+	// lock helpers).
+	ip.scanLockPaths(n, s)
 
 	// Tainted SQL returns.
 	if sig != nil && sigReturnsString(sig) {
@@ -748,6 +811,148 @@ func (ip *Interproc) rootSinkPositions(fn *types.Func) []int {
 		}
 	}
 	return nil
+}
+
+// scanLockPaths computes the receiver-relative lock balance of one
+// method body: every sync mutex reachable from the receiver that the
+// body locks without a matching unlock is left locked for the caller
+// (ensureLocked-style), and vice versa (release-style). Helper calls on
+// receiver-rooted paths contribute their own summaries, so the balance
+// is transitive through the SCC fixpoint. A path that is both locked
+// and unlocked in the same body is balanced and contributes nothing.
+func (ip *Interproc) scanLockPaths(n *FuncNode, s *Summary) {
+	sig := nodeSig(n)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv()
+	if recv.Name() == "" || recv.Name() == "_" {
+		return
+	}
+	relOf := func(ref lockRef) (string, bool) {
+		if ref.root != recv {
+			return "", false
+		}
+		return strings.TrimPrefix(ref.path, recv.Name()), true
+	}
+	lockSet := make(map[string]bool)
+	unlockSet := make(map[string]bool)
+	walkNode(n.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, isDefer := n.Pkg.Parent(call).(*ast.DeferStmt)
+		if op, ref, ok := pkgSyncLockOp(n.Pkg, call); ok {
+			rel, ok := relOf(ref)
+			if !ok {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				if !isDefer {
+					lockSet[rel] = true
+				}
+			case "Unlock", "RUnlock":
+				unlockSet[rel] = true
+			}
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := refPath(n.Pkg, sel.X)
+		if !ok {
+			return true
+		}
+		baseRel, ok := relOf(base)
+		if !ok {
+			return true
+		}
+		site := ip.Graph.SiteOf(call)
+		if site == nil || site.Interface || site.InGo || len(site.Targets) == 0 {
+			return true
+		}
+		var locks map[string]bool
+		for i, t := range site.Targets {
+			ts := ip.summaries[t]
+			if ts == nil {
+				locks = nil
+				break
+			}
+			if i == 0 {
+				locks = ts.LocksRecvPaths
+			} else {
+				merged := make(map[string]bool)
+				for p := range locks {
+					if ts.LocksRecvPaths[p] {
+						merged[p] = true
+					}
+				}
+				locks = merged
+			}
+			for p := range ts.UnlocksRecvPaths {
+				unlockSet[baseRel+p] = true
+			}
+		}
+		if !isDefer {
+			for p := range locks {
+				lockSet[baseRel+p] = true
+			}
+		}
+		return true
+	}, nil)
+	for p := range lockSet {
+		if !unlockSet[p] {
+			s.LocksRecvPaths[p] = true
+		}
+	}
+	for p := range unlockSet {
+		if !lockSet[p] {
+			s.UnlocksRecvPaths[p] = true
+		}
+	}
+}
+
+// paramMayBeClosed reports whether the channel parameter pv may be
+// closed anywhere lexically inside n — nested literals included, since
+// a close in a spawned producer goroutine still closes the caller's
+// channel — either by the close builtin or by forwarding pv into a
+// resolved concrete callee summarized as closing that position.
+func (ip *Interproc) paramMayBeClosed(n *FuncNode, pv *types.Var) bool {
+	found := false
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+			if _, isBuiltin := n.Pkg.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "close" {
+				if aid, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && n.Pkg.ObjectOf(aid) == pv {
+					found = true
+					return false
+				}
+			}
+		}
+		site := ip.Graph.SiteOf(call)
+		if site == nil || site.Interface {
+			return true
+		}
+		for i, a := range call.Args {
+			aid, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok || n.Pkg.ObjectOf(aid) != pv {
+				continue
+			}
+			for _, t := range site.Targets {
+				if ts := ip.summaries[t]; ts != nil && ts.ClosesChanParams[i] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // paramReachesSQLSink reports whether pv is forwarded as a sink-position

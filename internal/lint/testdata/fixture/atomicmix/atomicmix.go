@@ -1,0 +1,72 @@
+// Package atomicmix is a gislint test fixture: variables reached by
+// sync/atomic in one place must not be touched by plain load/store in
+// another. Lines carrying a want comment must produce a diagnostic
+// containing the quoted substring; unmarked lines must not.
+package atomicmix
+
+import "sync/atomic"
+
+// counter mixes disciplines on hits: the increment and the fast-path
+// read go through sync/atomic, but the log read and the reset skip it.
+type counter struct {
+	hits int64
+	miss int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counter) log() int64 {
+	return c.hits // want "counter.hits is accessed via sync/atomic elsewhere but plainly read here"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "counter.hits is accessed via sync/atomic elsewhere but plainly written here"
+}
+
+// missed is all-atomic: consistent discipline, no finding.
+func (c *counter) missed() int64 {
+	atomic.AddInt64(&c.miss, 1)
+	return atomic.LoadInt64(&c.miss)
+}
+
+// fresh initializes before the value escapes its creator: the plain
+// store is single-threaded by construction and stays silent.
+func fresh() *counter {
+	c := &counter{}
+	c.hits = 5
+	return c
+}
+
+// served is a package-level counter with the same mixed shape.
+var served int64
+
+func serve() { atomic.AddInt64(&served, 1) }
+
+func report() int64 {
+	return served // want "served is accessed via sync/atomic elsewhere but plainly read here"
+}
+
+// drained is read after every worker has joined; the waiver records
+// why the plain read is safe.
+func drained(c *counter) int64 {
+	//lint:ignore atomicmix read after the worker pool has joined
+	return c.hits
+}
+
+// plain never meets sync/atomic, so its plain traffic is fine.
+var plain int64
+
+func bump() { plain++ }
+
+var _ = (*counter).inc
+var _ = (*counter).read
+var _ = (*counter).log
+var _ = (*counter).reset
+var _ = (*counter).missed
+var _ = fresh
+var _ = serve
+var _ = report
+var _ = drained
+var _ = bump

@@ -1,0 +1,99 @@
+// Package chanmisuse is a gislint test fixture: channel operations that
+// panic or hang under the wrong interleaving. Lines carrying a want
+// comment must produce a diagnostic containing the quoted substring;
+// unmarked lines must not.
+package chanmisuse
+
+// doubleClose reaches the second close with the channel possibly
+// already closed on the done=true path.
+func doubleClose(done bool, ch chan int) {
+	if done {
+		close(ch)
+	}
+	close(ch) // want "close of ch, which may already be closed on another path"
+}
+
+// sendAfterClose sends on a channel a branch may have closed.
+func sendAfterClose(flush bool, ch chan int) {
+	if flush {
+		close(ch)
+	}
+	ch <- 1 // want "send on ch, which may already be closed on another path"
+}
+
+// shutdown closes its parameter; callers inherit the may-closed fact
+// through its summary.
+func shutdown(ch chan int) {
+	close(ch)
+}
+
+func helperClose(ch chan int) {
+	shutdown(ch)
+	close(ch) // want "close of ch, which may already be closed on another path"
+}
+
+// remade re-makes the channel between the closes: a fresh channel, the
+// fact dies, no finding.
+func remade(ch chan int) chan int {
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+	return ch
+}
+
+// deferClose releases at return, after the send: no finding.
+func deferClose(ch chan int) {
+	defer close(ch)
+	ch <- 1
+}
+
+// spawnUnbuffered sends from a goroutine on an unbuffered channel with
+// nothing to free the send if the receiver bails.
+func spawnUnbuffered() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want "goroutine sends on unbuffered ch with no select"
+	}()
+	return <-ch
+}
+
+// spawnBuffered sizes the buffer to the fan-out: every send completes
+// without a receiver, the sanctioned parallel-collect pattern.
+func spawnBuffered(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i)
+	}
+}
+
+// spawnGuarded wraps the send in a select with an escape arm.
+func spawnGuarded(done chan struct{}) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+	return <-ch
+}
+
+// spawnKnown documents why the bare send cannot block forever.
+func spawnKnown() int {
+	ch := make(chan int)
+	go func() {
+		//lint:ignore chanmisuse the receive below runs unconditionally
+		ch <- 1
+	}()
+	return <-ch
+}
+
+var _ = doubleClose
+var _ = sendAfterClose
+var _ = helperClose
+var _ = remade
+var _ = deferClose
+var _ = spawnUnbuffered
+var _ = spawnBuffered
+var _ = spawnGuarded
+var _ = spawnKnown

@@ -1,0 +1,147 @@
+// Package lockguard is a gislint test fixture: majority-inferred
+// mutex/field guard discipline. Lines carrying a want comment must
+// produce a diagnostic containing the quoted substring; unmarked lines
+// must not.
+package lockguard
+
+import "sync"
+
+// registry is the guardable shape: one mutex, data fields. tables is
+// accessed under mu at five sites (two of them only interprocedurally)
+// and without it at two, so mu is inferred as its guard and the
+// unguarded sites are findings.
+type registry struct {
+	mu     sync.Mutex
+	tables map[string]int
+	hits   int
+}
+
+// newRegistry initializes before the value escapes: the unguarded store
+// must not dilute the inference (pre-escape accesses are discarded).
+func newRegistry() *registry {
+	r := &registry{}
+	r.tables = make(map[string]int)
+	return r
+}
+
+// Put locks lexically and writes through a helper: putLocked inherits
+// the held set from its only call site.
+func (r *registry) Put(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.putLocked(k)
+}
+
+func (r *registry) putLocked(k string) {
+	r.tables[k] = 1
+}
+
+// Get and Has are plain lock-wrapped reads.
+func (r *registry) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tables[k]
+}
+
+func (r *registry) Has(k string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.tables[k]
+	return ok
+}
+
+func (r *registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tables)
+}
+
+// lock/unlock are ensureLocked-style helpers: their summaries record
+// that they leave r.mu locked (released), so Update's access below
+// counts as guarded even though no Lock call is lexically visible.
+func (r *registry) lock()   { r.mu.Lock() }
+func (r *registry) unlock() { r.mu.Unlock() }
+
+func (r *registry) Update(k string) {
+	r.lock()
+	r.tables[k]++
+	r.unlock()
+}
+
+// Race writes the inferred-guarded map with no lock — the bug the
+// analyzer exists to catch.
+func (r *registry) Race(k string) {
+	r.tables[k] = 2 // want "registry.tables is written without mu, which guards it at 5 of 7 accesses"
+}
+
+// Reset is the sanctioned escape hatch: an intentional unguarded write
+// waived with a reasoned suppression.
+func (r *registry) Reset() {
+	//lint:ignore lockguard teardown runs after every worker has joined
+	r.tables = nil
+}
+
+// hits never appears under the lock, so no guard is inferred for it and
+// these accesses stay silent.
+func (r *registry) bump()     { r.hits++ }
+func (r *registry) Hits() int { return r.hits }
+
+// mixed has no convention to enforce: one guarded and one unguarded
+// access never reach the two-corroborating-sites threshold.
+type mixed struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (m *mixed) locked() {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+}
+
+func (m *mixed) unlocked() { m.n++ }
+
+// config.name is read under the lock three times and outside it once —
+// enough for the majority rule — but it is never written outside its
+// creator, and a read-read is not a race, so no guard is inferred.
+type config struct {
+	mu   sync.Mutex
+	name string
+	vals map[string]string
+}
+
+func newConfig(name string) *config {
+	return &config{name: name, vals: make(map[string]string)}
+}
+
+func (c *config) Name() string { return c.name }
+
+func (c *config) Set(k, v string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.name == "" {
+		return
+	}
+	c.vals[k] = v
+}
+
+func (c *config) Val(k string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.name == "" {
+		return ""
+	}
+	return c.vals[k]
+}
+
+func (c *config) Tag() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.name
+}
+
+var _ = newRegistry
+var _ = newConfig
+var _ = (*registry).bump
+var _ = (*mixed).locked
+var _ = (*mixed).unlocked

@@ -1,0 +1,96 @@
+// Package wglifecycle is a gislint test fixture: the WaitGroup counter
+// protocol. Lines carrying a want comment must produce a diagnostic
+// containing the quoted substring; unmarked lines must not.
+package wglifecycle
+
+import "sync"
+
+// addInGoroutine runs Add inside the spawned goroutine: the spawner can
+// reach Wait while the counter is still zero.
+func addInGoroutine(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine races the spawner's Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker adds to the group it is handed; spawning it hides the same
+// race behind a call, caught through the callee's summary.
+func worker(wg *sync.WaitGroup) {
+	wg.Add(1)
+	defer wg.Done()
+}
+
+func spawnHelper() {
+	var wg sync.WaitGroup
+	go worker(&wg) // want "adds to a WaitGroup passed from this scope"
+	wg.Wait()
+}
+
+// reuse recycles the group after its round was joined: a straggler from
+// the first round races the second.
+func reuse() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1) // want "wg.Add after Wait reuses the group in the same body"
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+// undone reaches Done with no Add on the ready=false path: the counter
+// goes negative and panics.
+func undone(ready bool) {
+	var wg sync.WaitGroup
+	if ready {
+		wg.Add(1)
+	}
+	wg.Done() // want "wg.Done is not dominated by Add"
+	wg.Wait()
+}
+
+// doubleJoin waits twice on a drained counter.
+func doubleJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Wait() // want "second wg.Wait with no Add in between"
+}
+
+// clean is the canonical shape: Add before the go statement, Done in
+// the goroutine, one Wait. Loop reuse joins with the not-yet-waited
+// entry path and stays silent.
+func clean(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// recycled reuses the group on purpose; the waiver records why.
+func recycled() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	//lint:ignore wglifecycle harness reuses the group between isolated rounds
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+var _ = addInGoroutine
+var _ = spawnHelper
+var _ = reuse
+var _ = undone
+var _ = doubleJoin
+var _ = clean
+var _ = recycled

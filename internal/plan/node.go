@@ -7,7 +7,7 @@
 package plan
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"gis/internal/catalog"
@@ -81,7 +81,16 @@ func (s *GlobalScan) Describe() string {
 		out += " filter=" + s.Filter.String()
 	}
 	if s.Cols != nil {
-		out += fmt.Sprintf(" cols=%v", s.Cols)
+		var b strings.Builder
+		b.WriteString(" cols=[")
+		for i, c := range s.Cols {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+		b.WriteByte(']')
+		out += b.String()
 	}
 	return out
 }
@@ -153,7 +162,7 @@ func (s *FragScan) Children() []Node { return nil }
 
 // Describe implements Node.
 func (s *FragScan) Describe() string {
-	out := fmt.Sprintf("FragScan %s.%s [%s]", s.Frag.Source, s.Frag.RemoteTable, s.Query)
+	out := "FragScan " + s.Frag.Source + "." + s.Frag.RemoteTable + " [" + s.Query.String() + "]"
 	if !s.Residual.Empty() {
 		out += " +compensate"
 	}
@@ -250,7 +259,7 @@ func (k JoinKind) String() string {
 	case JoinAnti:
 		return "anti"
 	default:
-		return fmt.Sprintf("JoinKind(%d)", uint8(k))
+		return "JoinKind(" + strconv.Itoa(int(k)) + ")"
 	}
 }
 
@@ -283,7 +292,7 @@ func (s Strategy) String() string {
 	case StrategyBind:
 		return "bind"
 	default:
-		return fmt.Sprintf("Strategy(%d)", uint8(s))
+		return "Strategy(" + strconv.Itoa(int(s)) + ")"
 	}
 }
 
@@ -333,7 +342,7 @@ func (j *Join) Children() []Node { return []Node{j.L, j.R} }
 
 // Describe implements Node.
 func (j *Join) Describe() string {
-	out := fmt.Sprintf("Join %s", j.Kind)
+	out := "Join " + j.Kind.String()
 	if j.Strategy != StrategyAuto {
 		out += " strategy=" + j.Strategy.String()
 	}
@@ -411,9 +420,9 @@ func (a *Aggregate) Describe() string {
 		if ag.Arg != nil {
 			arg = ag.Arg.String()
 		}
-		aggs = append(aggs, fmt.Sprintf("%s(%s)", ag.Kind, arg))
+		aggs = append(aggs, ag.Kind.String()+"("+arg+")")
 	}
-	return fmt.Sprintf("Aggregate group=[%s] aggs=[%s]", strings.Join(parts, ", "), strings.Join(aggs, ", "))
+	return "Aggregate group=[" + strings.Join(parts, ", ") + "] aggs=[" + strings.Join(aggs, ", ") + "]"
 }
 
 // SortKey is one ORDER BY key bound over the input schema.
@@ -462,9 +471,9 @@ func (l *Limit) Children() []Node { return []Node{l.Input} }
 // Describe implements Node.
 func (l *Limit) Describe() string {
 	if l.Offset > 0 {
-		return fmt.Sprintf("Limit %d offset %d", l.N, l.Offset)
+		return "Limit " + strconv.FormatInt(l.N, 10) + " offset " + strconv.FormatInt(l.Offset, 10)
 	}
-	return fmt.Sprintf("Limit %d", l.N)
+	return "Limit " + strconv.FormatInt(l.N, 10)
 }
 
 // Union concatenates the outputs of its inputs (schemas must be
@@ -522,7 +531,7 @@ func (v *Values) Schema() *types.Schema { return v.Out }
 func (v *Values) Children() []Node { return nil }
 
 // Describe implements Node.
-func (v *Values) Describe() string { return fmt.Sprintf("Values %d row(s)", len(v.Rows)) }
+func (v *Values) Describe() string { return "Values " + strconv.Itoa(len(v.Rows)) + " row(s)" }
 
 // Explain renders a plan tree as indented text.
 func Explain(n Node) string {

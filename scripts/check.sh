@@ -8,6 +8,9 @@
 #                   valuecompare, exhaustive), CFG-based flow-sensitive
 #                   (iterclose, spanfinish, ctxflow, lockheld),
 #                   interprocedural/summary-based (sqlship, goleak),
+#                   concurrency-safety (lockguard, atomicmix,
+#                   wglifecycle, chanmisuse; see DESIGN.md
+#                   "Concurrency model & guard inference"),
 #                   and hot-path perf (hotalloc, boxing, hotdefer,
 #                   valcopy); ratcheted against lint.baseline.json —
 #                   known perf findings are absorbed, anything NEW
@@ -17,13 +20,18 @@
 #                       -update-baseline ./...
 #                   see DESIGN.md "Static analysis & invariants" and
 #                   "Hot-path model & perf lint"
+#   3a. concurrency — the four concurrency-safety analyzers once more
+#                   in isolation at their native error severity (no
+#                   baseline: a lock-protocol finding is a bug, not
+#                   ratcheted debt) — a clean run proves the guard
+#                   model still infers zero violations module-wide
 #   3b. fixtures  — each analyzer must still fire on its fixture
 #                   package (an analyzer that stops finding its own
 #                   fixture has gone blind); any unexpected-finding
 #                   diff here is a hard FAILURE, not a warning, and
-#                   the gate covers the sqlship/goleak and perf-lint
-#                   fixtures plus the call-graph/summary/hotness/
-#                   baseline unit tests
+#                   the gate covers the sqlship/goleak, concurrency-
+#                   safety, and perf-lint fixtures plus the call-graph/
+#                   summary/hotness/baseline/changed-mode unit tests
 #   4. go build   — everything compiles
 #   5. go test    — full suite under the race detector, including the
 #                   race-stress and seeded-chaos tests (both skipped
@@ -59,6 +67,15 @@ echo '== gislint (ratchet) =='
 # any finding not in lint.baseline.json fails the build.
 if ! make --no-print-directory lint-ratchet; then
     echo 'check: FAIL — new lint findings not in lint.baseline.json (fix them, or if intentional rerun gislint with -update-baseline and commit the snapshot)' >&2
+    exit 1
+fi
+
+echo '== gislint concurrency (error severity, no baseline) =='
+# make lint-concurrency exactly, so this gate and the Makefile target
+# can never drift apart. The concurrency-safety analyzers are never
+# ratcheted: any finding fails the build outright.
+if ! make --no-print-directory lint-concurrency; then
+    echo 'check: FAIL — concurrency-safety findings (lockguard/atomicmix/wglifecycle/chanmisuse); fix the race or add a reasoned //lint:ignore' >&2
     exit 1
 fi
 
