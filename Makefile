@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-ratchet lint-fixtures lint-concurrency lint-stats fmt vet check chaos bench
+.PHONY: build test race lint lint-ratchet lint-fixtures lint-concurrency lint-stats fmt vet check chaos overload bench
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ check:
 # (see DESIGN.md "Resilience & fault model").
 chaos:
 	$(GO) test -race -run TestChaos ./...
+
+# Overload robustness: the multi-tenant admission chaos suite (memory
+# ceiling, fair shedding, goroutine-leak checks under -race) plus a
+# quick OV1 overload bench, JSON schema-validated (see DESIGN.md
+# "Admission, quotas & backpressure").
+overload:
+	$(GO) test -race -run TestChaosOverload -count=1 ./internal/core
+	$(GO) run ./cmd/gisbench -overload -tenants 8 -scale 0.05 -reps 1 -latency 200us -json | $(GO) run ./scripts/benchjson
 
 bench:
 	$(GO) test -bench=. -benchmem

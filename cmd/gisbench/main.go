@@ -11,6 +11,8 @@
 //	gisbench -reps 5         # median-of-N timing
 //	gisbench -json           # one experiments.Record JSON object per line
 //	gisbench -quick          # smoke configuration: tiny scale, 1 rep, T1+F3
+//	gisbench -overload       # admission-control stress (OV1): admitted/shed/p50/p99
+//	gisbench -tenants 16     # concurrent tenant clients for -overload
 //
 // With -json each experiment emits one experiments.Record object on
 // stdout (schema documented in EXPERIMENTS.md) and the banner moves to
@@ -39,6 +41,9 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per measurement (median)")
 		asJSON  = flag.Bool("json", false, "emit one JSON record per experiment instead of tables")
 		quick   = flag.Bool("quick", false, "smoke run: scale 0.02, 1 rep, experiments T1,F3 unless -exp is set")
+
+		overload = flag.Bool("overload", false, "run the OV1 overload experiment (admission shed + latency percentiles)")
+		tenants  = flag.Int("tenants", 8, "concurrent tenant clients for -overload")
 	)
 	flag.Parse()
 
@@ -47,6 +52,7 @@ func main() {
 	sc.Reps = *reps
 	sc.Link.Latency = *latency
 	sc.Link.BytesPerSec = *bwMB << 20
+	sc.Tenants = *tenants
 
 	var ids []string
 	if *quick {
@@ -55,9 +61,12 @@ func main() {
 		sc.Link.Latency = 100 * time.Microsecond
 		ids = []string{"T1", "F3"}
 	}
+	if *overload {
+		ids = []string{"OV1"}
+	}
 	if *expList != "" {
 		ids = strings.Split(*expList, ",")
-	} else if !*quick {
+	} else if !*quick && !*overload {
 		ids = []string{"T1", "T2", "F3", "T4", "F5", "T6", "F7", "T8", "F9"}
 	}
 

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/faults"
 	"gis/internal/obs"
 	"gis/internal/relstore"
@@ -59,7 +60,15 @@ func main() {
 		faultPlan = flag.String("fault-plan", "", `seeded fault-injection plan, e.g. "seed=7;*:err=0.05,stall=50ms,stallp=0.1"`)
 		queryLog  = flag.String("query-log", "", "append structured JSON query-log records to this file")
 		qlSample  = flag.Float64("query-log-sample", 0, "fraction of fast sub-queries to log (slow ones are always logged)")
-		tables    tableFlag
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission: max concurrently executing sub-queries (0 = unlimited)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "admission: per-tenant sustained sub-queries/sec (0 = unlimited)")
+		tenantQuota  = flag.Int64("tenant-quota", 0, "admission: per-tenant result-stream memory quota in bytes (0 = unlimited)")
+		maxFrame     = flag.Int("max-frame-bytes", 0, "reject wire frames larger than this (0 = protocol default 16MiB)")
+		creditWindow = flag.Int("credit-window", 0, "flow control: max row frames in flight per stream (0 = protocol default 32)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, let in-flight sub-queries finish up to this long before closing")
+
+		tables tableFlag
 	)
 	flag.Var(&tables, "table", "table definition: name=path:col:type[,col:type...] (repeatable)")
 	flag.Parse()
@@ -92,6 +101,22 @@ func main() {
 		srvOpts = append(srvOpts, wire.WithServerFaults(fp))
 		log.Printf("gisd: fault injection armed: %s", *faultPlan)
 	}
+	if *maxInflight > 0 || *tenantRate > 0 || *tenantQuota > 0 {
+		ctrl := admission.New(admission.Config{
+			MaxInFlight: *maxInflight,
+			TenantRate:  *tenantRate,
+			MemQuota:    *tenantQuota,
+		})
+		srvOpts = append(srvOpts, wire.WithAdmission(ctrl))
+		log.Printf("gisd: admission control armed: max-inflight=%d tenant-rate=%.1f tenant-quota=%d",
+			*maxInflight, *tenantRate, *tenantQuota)
+	}
+	if *maxFrame > 0 {
+		srvOpts = append(srvOpts, wire.WithServerMaxFrameBytes(*maxFrame))
+	}
+	if *creditWindow > 0 {
+		srvOpts = append(srvOpts, wire.WithServerCreditWindow(*creditWindow))
+	}
 	srv, err := wire.Serve(ctx, *listen, store, srvOpts...)
 	if err != nil {
 		log.Fatalf("gisd: %v", err)
@@ -121,10 +146,15 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("gisd: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("gisd: close: %v", err)
+	// Graceful drain: stop accepting, let in-flight sub-queries finish
+	// up to -drain-timeout, then close whatever is left.
+	log.Printf("gisd: draining (up to %s)", *drainTimeout)
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("gisd: shutdown: %v", err)
 	}
+	log.Printf("gisd: bye")
 }
 
 // loadTable parses one -table definition and loads its CSV data.

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/catalog"
 	"gis/internal/core"
 	"gis/internal/faults"
@@ -65,6 +66,12 @@ func main() {
 		dialTO    = flag.Duration("connect-timeout", wire.DefaultDialTimeout, "TCP connect timeout for component systems")
 		queryLog  = flag.String("query-log", "", "append structured JSON query-log records to this file")
 		qlSample  = flag.Float64("query-log-sample", 0, "fraction of fast statements to log (slow ones are always logged)")
+
+		tenant      = flag.String("tenant", "", "tenant to run statements as (rides the wire handshake to component systems)")
+		deadline    = flag.Duration("deadline", 0, "default per-statement deadline, propagated to remote fragments (0 = none)")
+		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing statements (0 = unlimited)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "admission: per-tenant sustained statements/sec (0 = unlimited)")
+		tenantQuota = flag.Int64("tenant-quota", 0, "admission: per-tenant result-stream memory quota in bytes (0 = unlimited)")
 	)
 	flag.Var(&sources, "source", "component system: name=host:port (repeatable)")
 	flag.Parse()
@@ -92,6 +99,18 @@ func main() {
 		clientFaults = fp
 	}
 	connectTimeout = *dialTO
+	clientTenant = *tenant
+	if *maxInflight > 0 || *tenantRate > 0 || *tenantQuota > 0 || *deadline > 0 {
+		e.SetAdmission(admission.New(admission.Config{
+			MaxInFlight:     *maxInflight,
+			TenantRate:      *tenantRate,
+			MemQuota:        *tenantQuota,
+			DefaultDeadline: *deadline,
+			// Breaker-style shedding: when any source's breaker is open,
+			// over-limit statements are shed instead of queued.
+			Degraded: e.Catalog().Health().Degraded,
+		}))
+	}
 	if *queryLog != "" {
 		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -102,6 +121,9 @@ func main() {
 		e.Queries().SetStructured(obs.NewStructuredLog(f, *qlSample, sql.Fingerprint))
 	}
 	ctx := context.Background()
+	if *tenant != "" {
+		ctx = admission.WithTenant(ctx, *tenant)
+	}
 
 	if *debugAddr != "" {
 		go func() {
@@ -155,10 +177,12 @@ func main() {
 }
 
 // clientFaults, when set by -fault-plan, injects faults on every
-// client-side link; connectTimeout bounds the TCP dial.
+// client-side link; connectTimeout bounds the TCP dial; clientTenant is
+// announced in every connection handshake.
 var (
 	clientFaults   *faults.Plan
 	connectTimeout = wire.DefaultDialTimeout
+	clientTenant   string
 )
 
 // dialOpts assembles the wire options shared by every outbound dial.
@@ -166,6 +190,9 @@ func dialOpts(name string) []wire.Option {
 	opts := []wire.Option{wire.WithName(name), wire.WithConnectTimeout(connectTimeout)}
 	if clientFaults != nil {
 		opts = append(opts, wire.WithFaultPlan(clientFaults))
+	}
+	if clientTenant != "" {
+		opts = append(opts, wire.WithTenant(clientTenant))
 	}
 	return opts
 }

@@ -1,0 +1,441 @@
+// Package admission is the mediator's overload-protection front end:
+// every top-level query passes through a Controller before planning.
+// The controller enforces a global in-flight cap with queue-with-
+// deadline semantics, weighted-fair per-tenant token buckets, and a
+// per-tenant memory quota over result-stream bytes. Over-limit queries
+// wait up to their deadline and are then shed with a typed
+// *OverloadError (errors.Is-matchable via ErrOverload, with a
+// retryable hint), so clients can tell transient pressure from hard
+// failure. When the resilience health tracker reports the federation
+// degraded, the controller stops queueing and sheds breaker-style.
+package admission
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gis/internal/obs"
+)
+
+// Config tunes a Controller. The zero value of any field disables that
+// limit, so Config{} admits everything (but still tracks metrics).
+type Config struct {
+	// MaxInFlight caps concurrently executing queries across all
+	// tenants. 0 = unlimited.
+	MaxInFlight int
+	// MaxQueue caps how many over-limit queries may wait for a slot;
+	// arrivals beyond it are shed immediately. 0 defaults to
+	// 4*MaxInFlight (a queue deeper than that only adds latency).
+	MaxQueue int
+	// MaxWait bounds how long a query without a context deadline may
+	// queue (for a slot or a token). 0 defaults to 1s. Queries with a
+	// deadline wait up to the deadline.
+	MaxWait time.Duration
+	// TenantRate is each tenant's sustained admission rate in queries
+	// per second; TenantBurst is the bucket capacity (defaults to
+	// max(1, TenantRate)). 0 = no per-tenant rate limit.
+	TenantRate  float64
+	TenantBurst float64
+	// Weights scales a tenant's rate and burst (weighted fairness);
+	// missing tenants weigh 1.
+	Weights map[string]float64
+	// MemQuota bounds the result-stream bytes a tenant's in-flight
+	// sessions may hold in aggregate. Exceeding it aborts the tenant's
+	// largest session (never the process). 0 = unlimited.
+	MemQuota int64
+	// DefaultDeadline is applied to queries whose context carries no
+	// deadline. 0 = none.
+	DefaultDeadline time.Duration
+	// Degraded, when set, reports that the federation's health tracker
+	// considers it degraded (some breaker open): over-limit queries are
+	// then shed immediately instead of queued.
+	Degraded func() bool
+}
+
+// Controller is the admission front end. Safe for concurrent use.
+type Controller struct {
+	cfg   Config
+	slots chan struct{} // nil when MaxInFlight == 0
+
+	queued atomic.Int64
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	mAdmitted  *obs.Counter
+	mShed      *obs.Counter
+	mQueued    *obs.Counter
+	mMemAborts *obs.Counter
+	gInflight  *obs.Gauge
+	gQueue     *obs.Gauge
+	hQueueWait *obs.Histogram
+}
+
+// tenantState is one tenant's bucket and memory account. The bucket is
+// mutated under Controller.mu (once per query); the byte account uses
+// atomics because it is touched per row batch.
+type tenantState struct {
+	name   string
+	tokens float64 // may go negative: reservations queue on the bucket
+	last   time.Time
+	rate   float64
+	burst  float64
+
+	bytes    atomic.Int64
+	sessions map[*Session]struct{} // guarded by Controller.mu
+
+	mAdmitted *obs.Counter
+	mShed     *obs.Counter
+}
+
+// New builds a controller from cfg.
+func New(cfg Config) *Controller {
+	if cfg.MaxQueue == 0 && cfg.MaxInFlight > 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = time.Second
+	}
+	if cfg.TenantBurst == 0 && cfg.TenantRate > 0 {
+		cfg.TenantBurst = cfg.TenantRate
+		if cfg.TenantBurst < 1 {
+			cfg.TenantBurst = 1
+		}
+	}
+	c := &Controller{
+		cfg:     cfg,
+		tenants: make(map[string]*tenantState),
+
+		mAdmitted:  obs.Default().Counter("admission.admitted"),
+		mShed:      obs.Default().Counter("admission.shed"),
+		mQueued:    obs.Default().Counter("admission.queued"),
+		mMemAborts: obs.Default().Counter("admission.mem_aborts"),
+		gInflight:  obs.Default().Gauge("admission.inflight"),
+		gQueue:     obs.Default().Gauge("admission.queue_depth"),
+		hQueueWait: obs.Default().Histogram("admission.queue_seconds", obs.LatencyBuckets),
+	}
+	if cfg.MaxInFlight > 0 {
+		c.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return c
+}
+
+// tenant returns (creating on first use) the named tenant's state.
+// Caller holds c.mu.
+func (c *Controller) tenant(name string) *tenantState {
+	t, ok := c.tenants[name]
+	if !ok {
+		w := 1.0
+		if cw, ok := c.cfg.Weights[name]; ok && cw > 0 {
+			w = cw
+		}
+		t = &tenantState{
+			name:      name,
+			rate:      c.cfg.TenantRate * w,
+			burst:     c.cfg.TenantBurst * w,
+			tokens:    c.cfg.TenantBurst * w,
+			last:      time.Now(),
+			sessions:  make(map[*Session]struct{}),
+			mAdmitted: obs.Default().Counter("admission.tenant." + name + ".admitted"),
+			mShed:     obs.Default().Counter("admission.tenant." + name + ".shed"),
+		}
+		c.tenants[name] = t
+	}
+	return t
+}
+
+// reserveToken refills t's bucket and reserves one token, returning how
+// long the caller must wait before its reservation matures (0 = a token
+// was available). Caller holds c.mu. The bucket may go negative — that
+// is the queue — but the caller sheds (and calls unreserve) when the
+// wait exceeds its deadline.
+func (t *tenantState) reserveToken(now time.Time) time.Duration {
+	if t.rate <= 0 {
+		return 0
+	}
+	t.tokens += now.Sub(t.last).Seconds() * t.rate
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	t.last = now
+	t.tokens--
+	if t.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-t.tokens / t.rate * float64(time.Second))
+}
+
+// unreserve returns a reserved token after a shed decision.
+func (t *tenantState) unreserve() { t.tokens++ }
+
+// Admit gates one query for the given tenant ("" is the anonymous
+// tenant, which shares one bucket). On success it returns a derived
+// context the query MUST run under (it carries the session, the default
+// deadline, and the controller's abort lever) plus the session to
+// Release when the query finishes. On overload it returns a typed
+// *OverloadError matching ErrOverload.
+func (c *Controller) Admit(ctx context.Context, tenant string) (context.Context, *Session, error) {
+	if c == nil {
+		return ctx, nil, nil
+	}
+	now := time.Now()
+	deadline, hasDeadline := ctx.Deadline()
+	maxWait := c.cfg.MaxWait
+	if hasDeadline {
+		if until := time.Until(deadline); until < maxWait {
+			maxWait = until
+		}
+	}
+	if maxWait <= 0 {
+		c.shed(nil, tenant, ReasonDeadline, false, 0)
+		return ctx, nil, shedError(tenant, ReasonDeadline, false, 0)
+	}
+	degraded := c.cfg.Degraded != nil && c.cfg.Degraded()
+
+	// Per-tenant token bucket (weighted-fair rate limiting).
+	c.mu.Lock()
+	t := c.tenant(tenant)
+	wait := t.reserveToken(now)
+	if wait > 0 && (degraded || wait > maxWait) {
+		t.unreserve()
+		c.mu.Unlock()
+		reason := ReasonTenantRate
+		if degraded {
+			reason = ReasonDegraded
+		}
+		c.shed(t, tenant, reason, true, wait)
+		return ctx, nil, shedError(tenant, reason, true, wait)
+	}
+	c.mu.Unlock()
+
+	if wait > 0 {
+		if err := c.sleep(ctx, wait); err != nil {
+			c.mu.Lock()
+			t.unreserve()
+			c.mu.Unlock()
+			c.shed(t, tenant, ReasonDeadline, false, 0)
+			return ctx, nil, shedError(tenant, ReasonDeadline, false, 0)
+		}
+		maxWait -= wait
+	}
+
+	// Global in-flight cap with a bounded, deadline-limited queue.
+	if c.slots != nil {
+		select {
+		case c.slots <- struct{}{}:
+		default:
+			if degraded || maxWait <= 0 {
+				reason := ReasonDegraded
+				retryable := true
+				if !degraded {
+					reason, retryable = ReasonDeadline, false
+				}
+				c.shed(t, tenant, reason, retryable, 0)
+				return ctx, nil, shedError(tenant, reason, retryable, 0)
+			}
+			if int(c.queued.Load()) >= c.cfg.MaxQueue {
+				c.shed(t, tenant, ReasonQueueFull, true, maxWait)
+				return ctx, nil, shedError(tenant, ReasonQueueFull, true, maxWait)
+			}
+			qstart := time.Now()
+			c.queued.Add(1)
+			c.gQueue.Set(float64(c.queued.Load()))
+			c.mQueued.Inc()
+			timer := time.NewTimer(maxWait)
+			var err error
+			select {
+			case c.slots <- struct{}{}:
+			case <-ctx.Done():
+				err = shedError(tenant, ReasonDeadline, false, 0)
+			case <-timer.C:
+				err = shedError(tenant, ReasonDeadline, false, 0)
+			}
+			timer.Stop()
+			c.queued.Add(-1)
+			c.gQueue.Set(float64(c.queued.Load()))
+			c.hQueueWait.ObserveSince(qstart)
+			if err != nil {
+				c.shed(t, tenant, ReasonDeadline, false, 0)
+				return ctx, nil, err
+			}
+		}
+	}
+
+	// Admitted: derive the session context (default deadline + abort
+	// lever) and register the session for memory accounting.
+	s := &Session{c: c, t: t, tenant: tenant}
+	var cancelT context.CancelFunc
+	if c.cfg.DefaultDeadline > 0 && !hasDeadline {
+		ctx, cancelT = context.WithTimeout(ctx, c.cfg.DefaultDeadline)
+	}
+	ctx, s.cancel = context.WithCancelCause(ctx)
+	s.cancelTimeout = cancelT
+	ctx = withSession(ctx, s)
+	c.mu.Lock()
+	t.sessions[s] = struct{}{}
+	c.mu.Unlock()
+	c.mAdmitted.Inc()
+	t.mAdmitted.Inc()
+	c.gInflight.Add(1)
+	return ctx, s, nil
+}
+
+// sleep waits d or until ctx is done.
+func (c *Controller) sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// shed records one shed decision in the metrics. t may be nil when the
+// decision fired before tenant state was resolved.
+func (c *Controller) shed(t *tenantState, tenant string, reason Reason, retryable bool, after time.Duration) {
+	c.mShed.Inc()
+	if t == nil {
+		c.mu.Lock()
+		t = c.tenant(tenant)
+		c.mu.Unlock()
+	}
+	t.mShed.Inc()
+}
+
+// Session is one admitted query's handle: it accounts result-stream
+// bytes against the tenant's memory quota and releases the in-flight
+// slot when the query finishes.
+type Session struct {
+	c      *Controller
+	t      *tenantState
+	tenant string
+
+	cancel        context.CancelCauseFunc
+	cancelTimeout context.CancelFunc // DefaultDeadline timer, if armed
+
+	bytes    atomic.Int64
+	released atomic.Bool
+	aborted  atomic.Pointer[OverloadError]
+}
+
+// Tenant returns the tenant this session was admitted for.
+func (s *Session) Tenant() string {
+	if s == nil {
+		return ""
+	}
+	return s.tenant
+}
+
+// AddBytes accounts n bytes of result-stream data against the tenant's
+// memory quota. When the quota is exceeded the tenant's largest session
+// is aborted (its context is cancelled and its subsequent AddBytes
+// calls return the overload error); other sessions continue. A nil
+// session accounts nothing.
+func (s *Session) AddBytes(n int64) error {
+	if s == nil {
+		return nil
+	}
+	if e := s.aborted.Load(); e != nil {
+		return e
+	}
+	s.bytes.Add(n)
+	total := s.t.bytes.Add(n)
+	if q := s.c.cfg.MemQuota; q > 0 && total > q {
+		s.c.abortWorst(s.t)
+		if e := s.aborted.Load(); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Bytes returns the session's accounted result-stream bytes.
+func (s *Session) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytes.Load()
+}
+
+// Err returns the overload error that aborted this session, or nil.
+// Engines use it to surface a typed ErrOverload instead of the bare
+// context.Canceled the abort provoked.
+func (s *Session) Err() error {
+	if s == nil {
+		return nil
+	}
+	if e := s.aborted.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Release returns the session's in-flight slot and removes its bytes
+// from the tenant account. Idempotent.
+func (s *Session) Release() {
+	if s == nil || !s.released.CompareAndSwap(false, true) {
+		return
+	}
+	s.t.bytes.Add(-s.bytes.Load())
+	s.c.mu.Lock()
+	delete(s.t.sessions, s)
+	s.c.mu.Unlock()
+	if s.c.slots != nil {
+		<-s.c.slots
+	}
+	s.c.gInflight.Add(-1)
+	s.cancel(nil)
+	if s.cancelTimeout != nil {
+		s.cancelTimeout()
+	}
+}
+
+// abortWorst aborts the tenant's largest un-aborted session: it stores
+// the typed error on the victim and cancels the victim's context, so
+// the query fails with ErrOverload while the process (and the tenant's
+// other sessions) survive. Re-checks the quota under the lock so
+// concurrent AddBytes calls abort at most one victim per overrun.
+func (c *Controller) abortWorst(t *tenantState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.bytes.Load() <= c.cfg.MemQuota {
+		return
+	}
+	var worst *Session
+	var worstBytes int64
+	for s := range t.sessions {
+		if s.aborted.Load() != nil {
+			continue
+		}
+		if b := s.bytes.Load(); worst == nil || b > worstBytes {
+			worst, worstBytes = s, b
+		}
+	}
+	if worst == nil {
+		return
+	}
+	e := &OverloadError{Tenant: t.name, Reason: ReasonMemQuota, Retryable: false}
+	if worst.aborted.CompareAndSwap(nil, e) {
+		// Remove the victim's bytes from the account immediately so the
+		// surviving sessions stop tripping the quota while the victim
+		// unwinds; Release subtracts only what accrued afterwards.
+		t.bytes.Add(-worst.bytes.Swap(0))
+		worst.cancel(e)
+		c.mMemAborts.Inc()
+		c.mShed.Inc()
+		t.mShed.Inc()
+	}
+}
+
+// InFlight reports the number of currently admitted sessions (metrics
+// gauge readback for tests).
+func (c *Controller) InFlight() int {
+	if c == nil || c.slots == nil {
+		return -1
+	}
+	return len(c.slots)
+}

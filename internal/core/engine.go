@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/catalog"
 	"gis/internal/exec"
 	"gis/internal/expr"
@@ -46,6 +47,12 @@ type Engine struct {
 	// recorded instead of failing the query, and the Result carries a
 	// typed PartialResultError describing what is missing.
 	partial atomic.Bool
+	// admit, when set, gates every top-level statement through admission
+	// control: over-limit statements are shed with a typed ErrOverload
+	// before any planning work is done. Statements whose context already
+	// carries an admitted session (sub-statements, or queries the wire
+	// server admitted) pass through untouched.
+	admit atomic.Pointer[admission.Controller]
 }
 
 // mPartialQueries counts top-level SELECTs that completed degraded.
@@ -89,6 +96,15 @@ func (e *Engine) SetPartialResults(on bool) { e.partial.Store(on) }
 // PartialResults reports whether graceful degradation is enabled.
 func (e *Engine) PartialResults() bool { return e.partial.Load() }
 
+// SetAdmission installs (or, with nil, removes) the admission
+// controller gating top-level statements. The controller's Degraded
+// hook is typically wired to the catalog health tracker's Degraded.
+func (e *Engine) SetAdmission(ctrl *admission.Controller) { e.admit.Store(ctrl) }
+
+// Admission returns the installed admission controller (nil when
+// admission control is off).
+func (e *Engine) Admission() *admission.Controller { return e.admit.Load() }
+
 // SetTracing toggles per-statement tracing. Off by default: with it off
 // the only per-query cost is the query-log bookkeeping.
 func (e *Engine) SetTracing(on bool) { e.tracing.Store(on) }
@@ -104,16 +120,28 @@ func (e *Engine) TraceLast() *obs.Trace { return e.lastTrace.Load() }
 // retained slow ones.
 func (e *Engine) Queries() *obs.QueryLog { return e.qlog }
 
-// instrument begins query-log tracking for one top-level statement and,
-// when tracing is on and the context does not already carry a trace,
-// attaches a fresh one rooted at a query span. The returned context
-// must be used for the statement; finish must be called exactly once
-// with the statement's outcome. Nested statements (subqueries, Run
-// dispatching to ExplainAnalyze) pass through here too — their spans
-// attach under the outer root and only the outermost call publishes
-// lastTrace.
-func (e *Engine) instrument(ctx context.Context, text string) (context.Context, func(error)) {
+// instrument gates one top-level statement through admission control
+// (when enabled), begins query-log tracking, and — when tracing is on
+// and the context does not already carry a trace — attaches a fresh one
+// rooted at a query span. A shed statement returns the typed overload
+// error immediately, before any planning work. On success the returned
+// context must be used for the statement; finish must be called exactly
+// once with the statement's outcome and returns that outcome with a
+// session abort mapped back to its typed ErrOverload. Nested statements
+// (subqueries, Run dispatching to ExplainAnalyze) pass through here too
+// — they are already admitted, their spans attach under the outer root,
+// and only the outermost call publishes lastTrace.
+func (e *Engine) instrument(ctx context.Context, text string) (context.Context, func(error) error, error) {
 	id := e.qlog.Begin(text)
+	var sess *admission.Session
+	if ctrl := e.admit.Load(); ctrl != nil && admission.SessionFrom(ctx) == nil {
+		actx, s, err := ctrl.Admit(ctx, admission.TenantFrom(ctx))
+		if err != nil {
+			e.qlog.Finish(id, err, nil)
+			return ctx, nil, err
+		}
+		ctx, sess = actx, s
+	}
 	tr := obs.TraceFrom(ctx)
 	owned := false
 	if tr == nil && (e.tracing.Load() || e.qlog.IsSampled(id)) {
@@ -129,7 +157,9 @@ func (e *Engine) instrument(ctx context.Context, text string) (context.Context, 
 	if tr != nil {
 		ctx, root = obs.StartSpan(ctx, obs.SpanQuery, text)
 	}
-	return ctx, func(err error) {
+	sctx := ctx
+	return ctx, func(err error) error {
+		err = admission.ResolveErr(sctx, err)
 		if err != nil {
 			root.SetAttr("error", err.Error())
 		}
@@ -138,7 +168,9 @@ func (e *Engine) instrument(ctx context.Context, text string) (context.Context, 
 			e.lastTrace.Store(tr)
 		}
 		e.qlog.Finish(id, err, tr)
-	}
+		sess.Release()
+		return err
+	}, nil
 }
 
 // Catalog exposes the global catalog for registration and mapping.
@@ -216,8 +248,11 @@ func writePadded(b *strings.Builder, s string, width int) {
 
 // Query parses, plans, and executes a SELECT, materializing the result.
 func (e *Engine) Query(ctx context.Context, text string, params ...types.Value) (res *Result, err error) {
-	ctx, finish := e.instrument(ctx, text)
-	defer func() { finish(err) }()
+	ctx, finish, err := e.instrument(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { err = finish(err) }()
 	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return nil, err
@@ -240,7 +275,10 @@ func (e *Engine) parse(ctx context.Context, text string, params ...types.Value) 
 // QueryIter plans and executes a SELECT, streaming rows. The returned
 // schema describes the stream.
 func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Value) (*types.Schema, source.RowIter, error) {
-	ctx, finish := e.instrument(ctx, text)
+	ctx, finish, err := e.instrument(ctx, text)
+	if err != nil {
+		return nil, nil, err
+	}
 	var outc *resilience.Outcomes
 	if e.partial.Load() && resilience.OutcomesFrom(ctx) == nil {
 		ctx, outc = resilience.WithOutcomes(ctx)
@@ -249,29 +287,27 @@ func (e *Engine) QueryIter(ctx context.Context, text string, params ...types.Val
 	sel, err := sql.ParseSelect(text, params...)
 	pspan.End()
 	if err != nil {
-		finish(err)
-		return nil, nil, err
+		return nil, nil, finish(err)
 	}
 	p, err := e.planSelect(ctx, sel)
 	if err != nil {
-		finish(err)
-		return nil, nil, err
+		return nil, nil, finish(err)
 	}
 	it, err := exec.Run(ctx, p)
 	if err != nil {
-		finish(err)
-		return nil, nil, err
+		return nil, nil, finish(err)
 	}
 	// The statement is live until the stream is closed.
-	return p.Schema(), &finishIter{in: it, fn: finish, outc: outc, root: obs.CurrentSpan(ctx)}, nil
+	return p.Schema(), &finishIter{ctx: ctx, in: it, fn: finish, outc: outc, root: obs.CurrentSpan(ctx)}, nil
 }
 
 // finishIter completes a streamed statement's instrumentation when the
 // consumer closes the stream, and carries the degradation collector for
 // streamed partial results.
 type finishIter struct {
+	ctx  context.Context
 	in   source.RowIter
-	fn   func(error)
+	fn   func(error) error
 	outc *resilience.Outcomes
 	root *obs.Span // statement root span; rows_out is set at close
 	rows int64
@@ -288,6 +324,10 @@ func (f *finishIter) Next() (types.Row, error) {
 		if pre := f.outc.Partial(); pre != nil && pre.AllFailed() {
 			return nil, pre
 		}
+	} else {
+		// A memory-quota abort cancels the stream's context; surface the
+		// typed overload error instead of the bare cancellation.
+		err = admission.ResolveErr(f.ctx, err)
 	}
 	return r, err
 }
@@ -306,7 +346,7 @@ func (f *finishIter) Close() error {
 		if pre := f.outc.Partial(); pre != nil {
 			f.root.SetAttr("partial", pre.Error())
 		}
-		f.fn(err)
+		err = f.fn(err)
 	}
 	return err
 }
@@ -392,8 +432,11 @@ func (e *Engine) Explain(ctx context.Context, text string, params ...types.Value
 // Run executes any statement: SELECT returns a Result; INSERT, UPDATE
 // and DELETE return the affected-row count in a single-column Result.
 func (e *Engine) Run(ctx context.Context, text string, params ...types.Value) (res *Result, err error) {
-	ctx, finish := e.instrument(ctx, text)
-	defer func() { finish(err) }()
+	ctx, finish, err := e.instrument(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { err = finish(err) }()
 	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return nil, err
@@ -437,8 +480,11 @@ func (e *Engine) Run(ctx context.Context, text string, params ...types.Value) (r
 // number of affected rows. Writes spanning several sources run under
 // two-phase commit.
 func (e *Engine) Exec(ctx context.Context, text string, params ...types.Value) (n int64, err error) {
-	ctx, finish := e.instrument(ctx, text)
-	defer func() { finish(err) }()
+	ctx, finish, err := e.instrument(ctx, text)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { err = finish(err) }()
 	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return 0, err
@@ -653,8 +699,11 @@ func (e *Engine) CreateView(name, selectSQL string) error {
 // annotated with each operator's measured row count and inclusive time,
 // followed by the total.
 func (e *Engine) ExplainAnalyze(ctx context.Context, text string, params ...types.Value) (out string, err error) {
-	ctx, finish := e.instrument(ctx, text)
-	defer func() { finish(err) }()
+	ctx, finish, err := e.instrument(ctx, text)
+	if err != nil {
+		return "", err
+	}
+	defer func() { err = finish(err) }()
 	stmt, err := e.parse(ctx, text, params...)
 	if err != nil {
 		return "", err

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/expr"
 	"gis/internal/obs"
 	"gis/internal/plan"
@@ -45,7 +46,10 @@ func runFragScan(ctx context.Context, fs *plan.FragScan, extraRemoteFilter expr.
 	if p := profileFrom(ctx); p != nil {
 		st = p.node(fs)
 	}
-	instrumented := &fetchIter{in: remote, st: st, ship: ship, fetch: fetch, shipStart: shipStart}
+	instrumented := &fetchIter{
+		in: remote, st: st, ship: ship, fetch: fetch, shipStart: shipStart,
+		sess: admission.SessionFrom(ctx),
+	}
 	if extraRemoteFilter == nil {
 		// Plan telemetry, always on: semijoin/bind-augmented scans are
 		// skipped because the planner's estimate describes the original

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/obs"
 	"gis/internal/source"
 	"gis/internal/types"
@@ -45,13 +46,36 @@ type fetchIter struct {
 	// estimate actually corresponds to the shipped predicate).
 	fbScope, fbFP string
 	est           float64
+	// sess, when set, charges fetched bytes against the admitted
+	// session's tenant memory quota; acct batches the charge so the
+	// per-row cost stays two integer adds.
+	sess *admission.Session
+	acct int64
 }
+
+// acctFlushBytes batches quota accounting: the tenant account lags the
+// true stream size by at most this much per fragment, in exchange for
+// one atomic update per chunk instead of two per row.
+const acctFlushBytes = 32 << 10
 
 func (f *fetchIter) Next() (types.Row, error) {
 	r, err := f.in.Next()
 	if err == nil {
 		f.rows++
-		f.bytes += int64(r.EstimatedSize())
+		n := int64(r.EstimatedSize())
+		f.bytes += n
+		if f.sess != nil {
+			f.acct += n
+			if f.acct >= acctFlushBytes {
+				charge := f.acct
+				f.acct = 0
+				if aerr := f.sess.AddBytes(charge); aerr != nil {
+					// The tenant blew its memory quota and this session
+					// was (or already had been) chosen as the victim.
+					return nil, aerr
+				}
+			}
+		}
 	} else if err == io.EOF {
 		f.finish()
 	}
@@ -69,6 +93,10 @@ func (f *fetchIter) finish() {
 		return
 	}
 	f.done = true
+	if f.sess != nil && f.acct > 0 {
+		_ = f.sess.AddBytes(f.acct) // the stream is over; nothing to abort
+		f.acct = 0
+	}
 	mSourceRows.Add(f.rows)
 	mSourceBytes.Add(f.bytes)
 	mShipLatency.ObserveSince(f.shipStart)

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/core"
 	"gis/internal/plan"
 	"gis/internal/types"
@@ -121,6 +122,9 @@ type Scale struct {
 	Rows float64
 	Reps int
 	Link workload.Link
+	// Tenants sets the concurrent client count for the overload
+	// experiment (OV1); zero means its default.
+	Tenants int
 }
 
 // DefaultScale is the full evaluation configuration.
@@ -581,9 +585,96 @@ func ByID(ctx context.Context, id string, sc Scale) (*Table, error) {
 		return T8Capability(ctx, sc)
 	case "F9":
 		return F9Ablation(ctx, sc)
+	case "OV1":
+		return OV1Overload(ctx, sc)
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (T1,T2,F3,T4,F5,T6,F7,T8,F9)", id)
+		return nil, fmt.Errorf("unknown experiment %q (T1,T2,F3,T4,F5,T6,F7,T8,F9,OV1)", id)
 	}
+}
+
+// OV1Overload measures admission control under sustained overload: N
+// tenants hammer the same federated aggregate while the controller caps
+// concurrency at N/4 of the offered parallelism (≥4x overload), so a
+// slice of every tenant's traffic must be shed. Reported per tenant:
+// admitted count, typed-overload shed count, and latency percentiles of
+// the admitted queries against an uncontended sequential baseline. Not
+// part of the default sweep — run via `gisbench -overload`.
+func OV1Overload(ctx context.Context, sc Scale) (*Table, error) {
+	tenants := sc.Tenants
+	if tenants <= 0 {
+		tenants = 8
+	}
+	rows := sc.n(5000)
+	f, err := workload.TwoTable(ctx, 100, rows, true, sc.Link)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	const q = "SELECT region, SUM(amount) FROM orders GROUP BY region"
+
+	// Uncontended baseline: sequential, no controller installed.
+	baseReps := sc.Reps * 3
+	if baseReps < 5 {
+		baseReps = 5
+	}
+	if _, err := f.Engine.Query(ctx, q); err != nil { // warm-up
+		return nil, err
+	}
+	base := make([]time.Duration, 0, baseReps)
+	for i := 0; i < baseReps; i++ {
+		d, err := workload.Timed(queryOnce(ctx, f.Engine, q))
+		if err != nil {
+			return nil, err
+		}
+		base = append(base, d)
+	}
+
+	inflight := tenants / 4
+	if inflight < 1 {
+		inflight = 1
+	}
+	f.Engine.SetAdmission(admission.New(admission.Config{
+		MaxInFlight: inflight,
+		MaxQueue:    inflight * 2,
+		MaxWait:     100 * time.Millisecond,
+	}))
+	perTenant := sc.Reps * 4
+	if perTenant < 8 {
+		perTenant = 8
+	}
+	results := workload.RunOverload(ctx, f.Engine, tenants, perTenant, q)
+
+	t := &Table{
+		ID:     "OV1",
+		Title:  "Admission control under overload (offered load vs. capacity)",
+		Header: []string{"tenant", "admitted", "shed", "p50_ms", "p99_ms"},
+		Notes: fmt.Sprintf("tenants=%d max_inflight=%d per_tenant=%d orders=%d rows; shed = typed ErrOverload",
+			tenants, inflight, perTenant, rows),
+	}
+	t.Rows = append(t.Rows, []string{
+		"uncontended", fmt.Sprint(baseReps), "0",
+		ms(workload.Percentile(base, 50)), ms(workload.Percentile(base, 99)),
+	})
+	var admitted, shed, failed int64
+	var all []time.Duration
+	for _, r := range results {
+		admitted += r.Admitted
+		shed += r.Shed
+		failed += r.Failed
+		all = append(all, r.Latencies...)
+		t.Rows = append(t.Rows, []string{
+			r.Tenant, fmt.Sprint(r.Admitted), fmt.Sprint(r.Shed),
+			ms(workload.Percentile(r.Latencies, 50)), ms(workload.Percentile(r.Latencies, 99)),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"all", fmt.Sprint(admitted), fmt.Sprint(shed),
+		ms(workload.Percentile(all, 50)), ms(workload.Percentile(all, 99)),
+	})
+	if failed > 0 {
+		return nil, fmt.Errorf("overload run: %d hard failures (every rejection must be a typed overload)", failed)
+	}
+	return t, nil
 }
 
 var _ = types.Null

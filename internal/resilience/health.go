@@ -152,6 +152,24 @@ func (t *Tracker) Healthy(name string) bool {
 	return h.Healthy()
 }
 
+// Degraded reports whether any tracked source's breaker is currently
+// open. The admission controller uses it to switch from queueing to
+// breaker-style shedding: when part of the federation is already
+// failing, buffering more load only deepens the incident.
+func (t *Tracker) Degraded() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range t.m {
+		if !h.Healthy() {
+			return true
+		}
+	}
+	return false
+}
+
 // Names returns the tracked source names, sorted.
 func (t *Tracker) Names() []string {
 	if t == nil {

@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/expr"
 	"gis/internal/faults"
 	"gis/internal/obs"
@@ -39,6 +41,23 @@ type Client struct {
 	// inj is this link's fault injector, shared by every connection so
 	// the plan's decision sequence is per-link, not per-conn.
 	inj *faults.Injector
+
+	// tenant rides the per-connection hello handshake so the component
+	// system can enforce its own per-tenant quotas on sub-queries.
+	tenant string
+	// creditWindow is the flow-control window this client requests
+	// (msgRows frames in flight before a grant is required); 0
+	// disables flow control.
+	creditWindow int
+	// maxFrameBytes bounds inbound frames on every connection.
+	maxFrameBytes int
+	// legacy is set once a server rejects msgHello: the link proceeds
+	// without tenancy or flow control and never retries the handshake.
+	legacy atomic.Bool
+	// rtt holds the link's EWMA round-trip nanoseconds, observed on
+	// request/response calls; Execute subtracts half of it from
+	// propagated deadlines (the one-way WAN share).
+	rtt atomic.Int64
 
 	// baseCtx detaches long-lived background calls (the one-shot
 	// capability fetch) from the dialing context's cancellation.
@@ -95,6 +114,30 @@ func WithTraceTrailerTimeout(d time.Duration) Option {
 	return func(c *Client) { c.trailerTimeout = d }
 }
 
+// WithTenant sets the tenant announced in the connection handshake, so
+// the component system can attribute and quota this link's sub-queries.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
+}
+
+// WithCreditWindow overrides the requested flow-control window
+// (msgRows frames in flight before the server needs a credit grant).
+// 0 disables flow control for this link; the effective window is
+// negotiated down to the server's limit in the handshake.
+func WithCreditWindow(frames int) Option {
+	return func(c *Client) { c.creditWindow = frames }
+}
+
+// WithMaxFrameBytes bounds inbound frames on this link's connections;
+// larger frames are rejected with ErrFrameTooLarge before allocation.
+func WithMaxFrameBytes(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxFrameBytes = n
+		}
+	}
+}
+
 // DialContext connects to a wire server, bounding the connect by ctx
 // and by the connect timeout (DefaultDialTimeout unless overridden).
 func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, error) {
@@ -103,6 +146,8 @@ func DialContext(ctx context.Context, addr string, opts ...Option) (*Client, err
 		name:           addr,
 		connectTimeout: DefaultDialTimeout,
 		trailerTimeout: defaultTrailerTimeout,
+		creditWindow:   defaultCreditWindow,
+		maxFrameBytes:  maxFrame,
 		ctrlSem:        make(chan struct{}, 1),
 	}
 	for _, o := range opts {
@@ -131,7 +176,49 @@ func (c *Client) dial(ctx context.Context) (*frameConn, error) {
 	fc := newFrameConn(conn, c.up, c.down)
 	fc.metrics = c.lm
 	fc.inj = c.inj
+	fc.limit = c.maxFrameBytes
+	fc.rttEWMA = &c.rtt
+	if err := c.handshake(ctx, fc); err != nil {
+		c.discard(fc)
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
 	return fc, nil
+}
+
+// handshake sends msgHello on a fresh connection and applies the
+// negotiated credit window and frame bounds. The exchange bypasses the
+// fault injector deliberately: it is connection setup, not an operation
+// in the seeded fault sequence, so enabling it does not perturb
+// fault-plan decision streams. A non-OK answer (an old server's
+// "unknown tag" msgErr) marks the whole link legacy — the connection,
+// and every later one on this link, proceeds without tenancy or flow
+// control, exactly as before this protocol revision.
+func (c *Client) handshake(ctx context.Context, fc *frameConn) error {
+	if c.legacy.Load() {
+		return nil
+	}
+	var e Encoder
+	e.hello(&hello{Version: helloVersion, Tenant: c.tenant, Window: c.creditWindow, MaxRead: c.maxFrameBytes})
+	if err := fc.writeFrame(ctx, msgHello, e.Bytes()); err != nil {
+		return err
+	}
+	tag, resp, err := fc.readFrame(ctx)
+	if err != nil {
+		return err
+	}
+	if tag != msgOK {
+		c.legacy.Store(true)
+		return nil
+	}
+	rep, err := NewDecoder(resp).helloReply()
+	if err != nil {
+		return err
+	}
+	fc.window = negotiateWindow(c.creditWindow, rep.Window)
+	if rep.MaxRead > 0 && rep.MaxRead < fc.wlimit {
+		fc.wlimit = rep.MaxRead
+	}
+	return nil
 }
 
 // getConn returns a pooled or fresh connection for a result stream.
@@ -238,6 +325,11 @@ func checkResp(tag byte, payload []byte) ([]byte, error) {
 		msg, err := NewDecoder(payload).String()
 		if err != nil {
 			return nil, fmt.Errorf("wire: malformed error response")
+		}
+		// Overload sheds travel as a marked error string so the typed
+		// OverloadError (reason, retryable hint) survives the wire.
+		if oe, ok := admission.ParseWireError(msg); ok {
+			return nil, oe
 		}
 		return nil, errors.New(msg)
 	default:
@@ -350,6 +442,15 @@ func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, 
 		tc = &traceContext{TraceID: tr.ID(), ParentSpan: parent.ID(), Sampled: true}
 	}
 	e.traceContext(tc)
+	// Ship the remaining deadline budget, shrunk by the link's one-way
+	// latency estimate, so the remote fragment's deadline expires no
+	// later than ours. A budget the WAN latency has already consumed
+	// fails fast instead of paying for a round trip that cannot finish.
+	budget, ok := executeBudget(ctx, c.rtt.Load())
+	if !ok {
+		return nil, context.DeadlineExceeded
+	}
+	e.deadlineBudget(budget)
 	fc, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
@@ -364,7 +465,7 @@ func (c *Client) Execute(ctx context.Context, q *source.Query) (source.RowIter, 
 		c.putConn(fc)
 		return nil, err
 	}
-	it := &streamIter{ctx: ctx, c: c, fc: fc}
+	it := &streamIter{ctx: ctx, c: c, fc: fc, window: fc.window}
 	if tc != nil {
 		it.traced = true
 		it.traceID = tc.TraceID
@@ -394,6 +495,13 @@ type streamIter struct {
 	traced  bool
 	traceID string
 	parent  *obs.Span
+
+	// window is the stream's negotiated credit window (0 = flow control
+	// off); pending counts msgRows frames consumed since the last
+	// grant. Granting at half the window keeps the server streaming
+	// while bounding its in-flight frames.
+	window  int
+	pending int
 }
 
 // Next implements source.RowIter.
@@ -421,6 +529,13 @@ func (it *streamIter) Next() (types.Row, error) {
 	}
 	tag, payload, err := it.fc.readFrame(it.ctx)
 	if err != nil {
+		// Only msgEnd terminates a stream. A transport EOF here means
+		// the connection died with rows in flight; surfacing it as a
+		// plain io.EOF would let Drain mistake truncation for a clean
+		// end of stream.
+		if errors.Is(err, io.EOF) {
+			err = fmt.Errorf("wire: result stream severed mid-flight: %w", io.ErrUnexpectedEOF)
+		}
 		it.fail(err)
 		return nil, err
 	}
@@ -460,6 +575,18 @@ func (it *streamIter) Next() (types.Row, error) {
 			}
 		}
 		it.pos = 0
+		if it.window > 0 {
+			it.pending++
+			if it.pending >= it.window/2 {
+				var ge Encoder
+				ge.Uvarint(uint64(it.pending))
+				if err := it.fc.writeFrame(it.ctx, msgCredit, ge.Bytes()); err != nil {
+					it.fail(err)
+					return nil, err
+				}
+				it.pending = 0
+			}
+		}
 		return it.Next()
 	default:
 		err := fmt.Errorf("wire: unexpected stream tag %d", tag)

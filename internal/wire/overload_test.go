@@ -1,0 +1,463 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gis/internal/admission"
+	"gis/internal/source"
+	"gis/internal/types"
+)
+
+// --- handshake & credit flow ---------------------------------------
+
+func TestHelloNegotiatesWindow(t *testing.T) {
+	_, cl := startRelServer(t, 10, WithCreditWindow(4), WithTenant("acme"))
+	fc, err := cl.getConn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.putConn(fc)
+	if cl.legacy.Load() {
+		t.Error("modern server must not mark the link legacy")
+	}
+	// The server's default window (32) is larger, so min wins.
+	if fc.window != 4 {
+		t.Errorf("negotiated window = %d, want 4", fc.window)
+	}
+}
+
+func TestCreditFlowStreamsCompletely(t *testing.T) {
+	// The minimum window forces many block/grant cycles: 3000 rows =
+	// 12 batches through a 2-frame window.
+	_, cl := startRelServer(t, 3000, WithCreditWindow(2))
+	for round := 0; round < 3; round++ {
+		it, err := cl.Execute(ctx, source.NewScan("items"))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		rows, err := source.Drain(it)
+		if err != nil || len(rows) != 3000 {
+			t.Fatalf("round %d: %d rows, %v", round, len(rows), err)
+		}
+	}
+}
+
+func TestCreditFlowSlowConsumer(t *testing.T) {
+	_, cl := startRelServer(t, 2000, WithCreditWindow(2))
+	it, err := cl.Execute(ctx, source.NewScan("items"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume with pauses: the server must stall on credits, not error.
+	n := 0
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("row %d: %v", n, err)
+		}
+		_ = row
+		n++
+		if n%500 == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if n != 2000 {
+		t.Fatalf("slow consumer got %d rows, want 2000", n)
+	}
+}
+
+// --- interop with peers predating the handshake --------------------
+
+// serveLegacy runs a minimal pre-handshake wire server: msgHello gets
+// the "unknown tag" msgErr an old binary would send, msgTables a valid
+// reply. Everything else closes the connection.
+func serveLegacy(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				fc := newFrameConn(conn, SimLink{}, SimLink{})
+				for {
+					tag, _, err := fc.readFrame(context.Background())
+					if err != nil {
+						return
+					}
+					switch tag {
+					case msgHello:
+						if sendErr(context.Background(), fc, errors.New("wire: unknown message tag 18")) != nil {
+							return
+						}
+					case msgTables:
+						var e Encoder
+						e.Uvarint(1)
+						e.String("oldtable")
+						if fc.writeFrame(context.Background(), msgOK, e.Bytes()) != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestLegacyServerFallback(t *testing.T) {
+	addr := serveLegacy(t)
+	cl, err := DialContext(ctx, addr, WithTenant("acme"), WithCreditWindow(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tables, err := cl.Tables(ctx)
+	if err != nil || len(tables) != 1 || tables[0] != "oldtable" {
+		t.Fatalf("Tables via legacy peer = %v, %v", tables, err)
+	}
+	if !cl.legacy.Load() {
+		t.Error("a msgErr hello answer must mark the link legacy")
+	}
+	// Later dials on the marked link skip the handshake entirely.
+	fc, err := cl.dial(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.putConn(fc)
+	if fc.window != 0 {
+		t.Errorf("legacy link window = %d, want 0 (flow control off)", fc.window)
+	}
+}
+
+func TestRawLegacyClientStreams(t *testing.T) {
+	// A pre-handshake client never sends msgHello or msgCredit; the
+	// server must leave the window at 0 (unlimited) and stream to
+	// completion without waiting for grants. Speak the old protocol
+	// raw: straight to msgExecute on a fresh conn.
+	_, cl := startRelServer(t, 600)
+	conn, err := net.Dial("tcp", cl.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fc := newFrameConn(conn, SimLink{}, SimLink{})
+	var e Encoder
+	if err := e.Query(source.NewScan("items")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.writeFrame(ctx, msgExecute, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	sawEnd := false
+	for !sawEnd {
+		tag, payload, err := fc.readFrame(ctx)
+		if err != nil {
+			t.Fatalf("legacy stream read: %v", err)
+		}
+		switch tag {
+		case msgOK, msgRows:
+		case msgEnd:
+			sawEnd = true
+		case msgErr:
+			msg, _ := NewDecoder(payload).String()
+			t.Fatalf("legacy stream got error: %s", msg)
+		default:
+			t.Fatalf("legacy stream got unexpected tag %d", tag)
+		}
+	}
+}
+
+// --- frame-size bounds ---------------------------------------------
+
+func TestOversizedFrameRejectedBeforeAllocation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	writer := newFrameConn(a, SimLink{}, SimLink{})
+	reader := newFrameConn(b, SimLink{}, SimLink{})
+	reader.limit = 1024
+
+	go writer.writeFrame(ctx, msgRows, make([]byte, 64<<10))
+	_, _, err := reader.readFrame(ctx)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read = %v, want ErrFrameTooLarge", err)
+	}
+
+	// The write side refuses before touching the socket.
+	writer.wlimit = 512
+	if err := writer.writeFrame(ctx, msgRows, make([]byte, 1024)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestMaxFrameBytesTravelsInHello(t *testing.T) {
+	// The client advertises a tiny inbound bound; the handshake must
+	// lower the server's outbound bound so a full 256-row batch can no
+	// longer be sent. The stream fails cleanly; the client survives and
+	// a later small result works.
+	_, cl := startRelServer(t, 2000, WithMaxFrameBytes(1024))
+	it, err := cl.Execute(ctx, source.NewScan("items"))
+	if err == nil {
+		_, err = source.Drain(it)
+	}
+	if err == nil {
+		t.Fatal("a batch larger than the advertised bound must fail the stream")
+	}
+	if tables, err := cl.Tables(ctx); err != nil || len(tables) != 1 {
+		t.Fatalf("client must recover after a bounded-frame failure: %v, %v", tables, err)
+	}
+}
+
+// --- deadline propagation ------------------------------------------
+
+// blockingSource hangs every Next until the execute context is
+// cancelled, then reports the cancellation; it stands in for a slow
+// component store that only stops when told to.
+type blockingSource struct {
+	sawCancel chan struct{}
+	once      sync.Once
+}
+
+func (b *blockingSource) Name() string                             { return "blocky" }
+func (b *blockingSource) Tables(context.Context) ([]string, error) { return []string{"t"}, nil }
+func (b *blockingSource) Capabilities() source.Capabilities {
+	return source.Capabilities{Filter: source.FilterFull}
+}
+func (b *blockingSource) TableInfo(context.Context, string) (*source.TableInfo, error) {
+	return &source.TableInfo{Schema: types.NewSchema(types.Column{Name: "id", Type: types.KindInt}), RowCount: 1}, nil
+}
+func (b *blockingSource) Execute(ctx context.Context, q *source.Query) (source.RowIter, error) {
+	return &blockingIter{src: b, ctx: ctx}, nil
+}
+
+type blockingIter struct {
+	src *blockingSource
+	ctx context.Context
+}
+
+func (it *blockingIter) Next() (types.Row, error) {
+	<-it.ctx.Done()
+	it.src.once.Do(func() { close(it.src.sawCancel) })
+	return nil, it.ctx.Err()
+}
+func (it *blockingIter) Close() error { return nil }
+
+func TestDeadlinePropagationCancelsRemoteFragment(t *testing.T) {
+	src := &blockingSource{sawCancel: make(chan struct{})}
+	srv, err := Serve(context.Background(), "127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := DialContext(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	dctx, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+	defer cancel()
+	it, err := cl.Execute(dctx, source.NewScan("t"))
+	if err == nil {
+		_, err = it.Next()
+	}
+	if err == nil {
+		t.Fatal("a blocked stream under a deadline must fail")
+	}
+	// The acceptance bar: the component store's execute context observes
+	// the cancellation — the deadline rode the wire, the server armed it,
+	// and the fragment stopped on its own machine.
+	select {
+	case <-src.sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("component store never observed the propagated cancellation")
+	}
+}
+
+func TestExpiredDeadlineFailsFast(t *testing.T) {
+	_, cl := startRelServer(t, 10)
+	dctx, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := cl.Execute(dctx, source.NewScan("items")); err == nil {
+		t.Fatal("an already-expired deadline must not ship the fragment")
+	}
+}
+
+// --- server-side admission ------------------------------------------
+
+// slowSource serves rows with a fixed delay per Execute so concurrent
+// requests overlap and the admission slot stays occupied.
+type slowSource struct {
+	hold time.Duration
+}
+
+func (s *slowSource) Name() string                             { return "slow" }
+func (s *slowSource) Tables(context.Context) ([]string, error) { return []string{"t"}, nil }
+func (s *slowSource) Capabilities() source.Capabilities {
+	return source.Capabilities{Filter: source.FilterFull}
+}
+func (s *slowSource) TableInfo(context.Context, string) (*source.TableInfo, error) {
+	return &source.TableInfo{Schema: types.NewSchema(types.Column{Name: "id", Type: types.KindInt}), RowCount: 1}, nil
+}
+func (s *slowSource) Execute(ctx context.Context, q *source.Query) (source.RowIter, error) {
+	return &slowIter{ctx: ctx, hold: s.hold}, nil
+}
+
+type slowIter struct {
+	ctx  context.Context
+	hold time.Duration
+	done bool
+}
+
+func (it *slowIter) Next() (types.Row, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	it.done = true
+	select {
+	case <-time.After(it.hold):
+		return types.Row{types.NewInt(1)}, nil
+	case <-it.ctx.Done():
+		return nil, it.ctx.Err()
+	}
+}
+func (it *slowIter) Close() error { return nil }
+
+func TestServerAdmissionShedsTyped(t *testing.T) {
+	ctrl := admission.New(admission.Config{MaxInFlight: 1, MaxQueue: 1, MaxWait: 30 * time.Millisecond})
+	srv, err := Serve(context.Background(), "127.0.0.1:0", &slowSource{hold: 400 * time.Millisecond},
+		WithAdmission(ctrl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := DialContext(ctx, srv.Addr(), WithTenant("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	const clients = 4
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			it, err := cl.Execute(ctx, source.NewScan("t"))
+			if err == nil {
+				_, err = source.Drain(it)
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	var ok, shed int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, admission.ErrOverload):
+			shed++
+			var oe *admission.OverloadError
+			if !errors.As(err, &oe) {
+				t.Errorf("overload error lost its type over the wire: %v", err)
+			} else if oe.Tenant != "acme" {
+				t.Errorf("shed tenant = %q, want acme (hello must carry tenancy)", oe.Tenant)
+			}
+		default:
+			t.Errorf("unexpected hard failure: %v", err)
+		}
+	}
+	if ok == 0 {
+		t.Error("at least one request must be admitted")
+	}
+	if shed == 0 {
+		t.Error("overload must shed with a typed, wire-travelling ErrOverload")
+	}
+}
+
+// --- graceful drain -------------------------------------------------
+
+func TestShutdownDrainsInFlightStream(t *testing.T) {
+	srv, err := Serve(context.Background(), "127.0.0.1:0", &slowSource{hold: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialContext(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	got := make(chan error, 1)
+	go func() {
+		it, err := cl.Execute(ctx, source.NewScan("t"))
+		if err == nil {
+			_, err = source.Drain(it)
+		}
+		got <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the stream get in flight
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight stream must finish during drain, got %v", err)
+	}
+	// New connections are refused after drain.
+	if _, err := DialContext(ctx, srv.Addr()); err == nil {
+		t.Error("dial after shutdown must fail")
+	}
+}
+
+func TestShutdownForceClosesAfterTimeout(t *testing.T) {
+	src := &blockingSource{sawCancel: make(chan struct{})}
+	srv, err := Serve(context.Background(), "127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialContext(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	go func() {
+		it, err := cl.Execute(ctx, source.NewScan("t"))
+		if err == nil {
+			it.Next()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	sctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	srv.Shutdown(sctx)
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown took %v; must force-close stragglers at the drain deadline", d)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/expr"
 	"gis/internal/faults"
 	"gis/internal/obs"
@@ -35,9 +36,14 @@ type Server struct {
 
 	mu     sync.Mutex
 	nextTx uint64
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connTrack
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	// cancelConns cancels every handler's context. Force-close paths
+	// must use it alongside closing the sockets: a handler blocked
+	// inside a source call never touches its socket, so only context
+	// cancellation can unblock it.
+	cancelConns context.CancelFunc
 
 	// Logf receives connection-level errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -52,6 +58,16 @@ type Server struct {
 	// inj injects server-side faults (gisd -fault-plan); shared across
 	// connections so the plan's decision sequence is per-link.
 	inj *faults.Injector
+
+	// admit, when set, gates every msgExecute through admission control:
+	// over-limit requests are shed with a wire-marked OverloadError the
+	// client decodes back into the typed form.
+	admit *admission.Controller
+	// creditWindow is the server's flow-control cap (msgRows frames in
+	// flight per stream); the handshake grants min(client, server).
+	creditWindow int
+	// maxFrameBytes bounds inbound frames on every connection.
+	maxFrameBytes int
 }
 
 // ServerOption configures a server before it starts accepting.
@@ -65,6 +81,30 @@ func WithServerFaults(p *faults.Plan) ServerOption {
 	return func(s *Server) { s.inj = p.Link(s.src.Name()) }
 }
 
+// WithAdmission gates every msgExecute through ctrl: requests over the
+// in-flight cap or tenant quota are shed with a typed overload error
+// instead of deepening the overload.
+func WithAdmission(ctrl *admission.Controller) ServerOption {
+	return func(s *Server) { s.admit = ctrl }
+}
+
+// WithServerCreditWindow overrides the server's flow-control cap
+// (msgRows frames in flight per stream; 0 disables flow control). The
+// effective per-connection window is min(client request, this cap).
+func WithServerCreditWindow(frames int) ServerOption {
+	return func(s *Server) { s.creditWindow = frames }
+}
+
+// WithServerMaxFrameBytes bounds inbound frames on every connection;
+// larger frames are rejected with ErrFrameTooLarge before allocation.
+func WithServerMaxFrameBytes(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxFrameBytes = n
+		}
+	}
+}
+
 // Serve starts serving src on addr (e.g. "127.0.0.1:0") and returns the
 // running server. Use Addr to discover the bound address. ctx is the
 // server's root context: every source call made on behalf of a client
@@ -76,15 +116,19 @@ func Serve(ctx context.Context, addr string, src source.Source, opts ...ServerOp
 		return nil, err
 	}
 	s := &Server{
-		src: src, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf,
-		Queries: obs.NewQueryLog(250*time.Millisecond, 64),
-		lm:      newLinkMetrics("server", src.Name()),
+		src: src, ln: ln, conns: make(map[net.Conn]*connTrack), Logf: log.Printf,
+		Queries:       obs.NewQueryLog(250*time.Millisecond, 64),
+		lm:            newLinkMetrics("server", src.Name()),
+		creditWindow:  defaultCreditWindow,
+		maxFrameBytes: maxFrame,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	cctx, cancel := context.WithCancel(ctx)
+	s.cancelConns = cancel
 	s.wg.Add(1)
-	go s.acceptLoop(ctx)
+	go s.acceptLoop(cctx)
 	return s, nil
 }
 
@@ -96,6 +140,7 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	err := s.ln.Close()
+	s.cancelConns()
 	s.mu.Lock()
 	for c := range s.conns {
 		_ = c.Close() // force-close; handlers report their own errors
@@ -105,6 +150,48 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server: it stops accepting, closes idle
+// connections immediately (an idle conn is a client's pooled socket,
+// not work), lets connections with an in-flight request finish until
+// ctx expires, then force-closes the stragglers. Always waits for every
+// handler to exit before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c, t := range s.conns {
+		if !t.busy.Load() {
+			_ = c.Close() // idle; the client will re-dial elsewhere
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelConns()
+		return err
+	case <-ctx.Done():
+	}
+	s.cancelConns()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close() // drain timeout: cut the remaining streams
+	}
+	s.mu.Unlock()
+	<-done
+	return err
+}
+
+// connTrack marks whether a connection is between requests (idle) or
+// serving one; Shutdown closes idle connections without waiting.
+type connTrack struct {
+	busy atomic.Bool
+}
+
 func (s *Server) acceptLoop(ctx context.Context) {
 	defer s.wg.Done()
 	for {
@@ -112,8 +199,15 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		if err != nil {
 			return
 		}
+		tr := &connTrack{}
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		if s.closed.Load() {
+			// Lost the race with Shutdown/Close: do not serve.
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = tr
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -124,7 +218,7 @@ func (s *Server) acceptLoop(ctx context.Context) {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			err := s.serveConn(ctx, conn)
+			err := s.serveConn(ctx, conn, tr)
 			if err != nil && !errors.Is(err, io.EOF) && !s.closed.Load() && !benignNetErr(err) {
 				s.Logf("wire server %s: connection error: %v", s.src.Name(), err)
 			}
@@ -132,15 +226,18 @@ func (s *Server) acceptLoop(ctx context.Context) {
 	}
 }
 
-// connState tracks per-connection transactions.
+// connState tracks per-connection transactions and the handshake's
+// tenant.
 type connState struct {
-	txs map[string]source.Tx
+	txs    map[string]source.Tx
+	tenant string
 }
 
-func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
+func (s *Server) serveConn(ctx context.Context, conn net.Conn, tr *connTrack) error {
 	fc := newFrameConn(conn, SimLink{}, SimLink{})
 	fc.metrics = s.lm
 	fc.inj = s.inj
+	fc.limit = s.maxFrameBytes
 	st := &connState{txs: make(map[string]source.Tx)}
 	defer func() {
 		// Abort any transaction the client abandoned. The abort must run
@@ -159,7 +256,10 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 		if err != nil {
 			return err
 		}
-		if err := s.handle(ctx, fc, st, tag, payload); err != nil {
+		tr.busy.Store(true)
+		err = s.handle(ctx, fc, st, tag, payload)
+		tr.busy.Store(false)
+		if err != nil {
 			return err
 		}
 	}
@@ -172,6 +272,19 @@ func sendErr(ctx context.Context, fc *frameConn, err error) error {
 }
 
 func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag byte, payload []byte) error {
+	// Handshake and flow-control frames bypass the fault injector: they
+	// are connection plumbing, not operations, and their arrival depends
+	// on pool reuse and batch timing — routing them through the injector
+	// would make seeded fault sequences non-reproducible.
+	switch tag {
+	case msgHello:
+		return s.handleHello(ctx, fc, st, payload)
+	case msgCredit:
+		// A stale grant from a stream that already ended; the credit it
+		// carries is void. Ignoring it here keeps pooled connections in
+		// protocol sync.
+		return nil
+	}
 	// Server-side fault point: transient injections are reported to the
 	// client as protocol errors (the conn survives); drops and
 	// partitions kill the connection like a crashed component system.
@@ -240,7 +353,7 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 		return fc.writeFrame(ctx, msgOK, e.Bytes())
 
 	case msgExecute:
-		return s.handleExecute(ctx, fc, d)
+		return s.handleExecute(ctx, fc, st, d)
 
 	case msgBeginTx:
 		t, ok := s.src.(source.Transactional)
@@ -359,13 +472,47 @@ func (s *Server) handle(ctx context.Context, fc *frameConn, st *connState, tag b
 	}
 }
 
-// handleExecute serves one msgExecute request: decode the query and the
-// optional trace context, run the fragment (under a server-local trace
-// when the mediator sent a sampled context), stream the rows, and then
-// — best-effort — return the finished span subtree in a msgTrace
-// trailer. The trailer travels strictly after msgEnd so its loss can
-// never cost rows; the mediator degrades to its local-only trace.
-func (s *Server) handleExecute(ctx context.Context, fc *frameConn, d *Decoder) error {
+// handleHello answers the optional per-connection handshake: record the
+// tenant, grant the negotiated credit window, and exchange frame-size
+// bounds (each side lowers its outbound bound to the peer's inbound
+// one).
+func (s *Server) handleHello(ctx context.Context, fc *frameConn, st *connState, payload []byte) error {
+	h, err := NewDecoder(payload).hello()
+	if err != nil {
+		return sendErr(ctx, fc, err)
+	}
+	st.tenant = h.Tenant
+	fc.window = negotiateWindow(h.Window, s.creditWindow)
+	if h.MaxRead > 0 && h.MaxRead < fc.wlimit {
+		fc.wlimit = h.MaxRead
+	}
+	var e Encoder
+	e.helloReply(&helloReply{Version: helloVersion, Window: fc.window, MaxRead: s.maxFrameBytes})
+	return fc.writeFrame(ctx, msgOK, e.Bytes())
+}
+
+// sendShed reports an admission shed to the client. Typed overload
+// errors travel in marked string form so the client can reconstruct the
+// reason and retryable hint; anything else degrades to a plain error.
+func sendShed(ctx context.Context, fc *frameConn, err error) error {
+	var oe *admission.OverloadError
+	if errors.As(err, &oe) {
+		var e Encoder
+		e.String(oe.MarshalWire())
+		return fc.writeFrame(ctx, msgErr, e.Bytes())
+	}
+	return sendErr(ctx, fc, err)
+}
+
+// handleExecute serves one msgExecute request: decode the query, the
+// optional trace context, and the optional deadline budget; pass
+// admission control; run the fragment (under a server-local trace when
+// the mediator sent a sampled context) with the budget enforced as a
+// context deadline; stream the rows; and then — best-effort — return
+// the finished span subtree in a msgTrace trailer. The trailer travels
+// strictly after msgEnd so its loss can never cost rows; the mediator
+// degrades to its local-only trace.
+func (s *Server) handleExecute(ctx context.Context, fc *frameConn, st *connState, d *Decoder) error {
 	q, err := d.Query()
 	if err != nil {
 		return sendErr(ctx, fc, err)
@@ -373,6 +520,26 @@ func (s *Server) handleExecute(ctx context.Context, fc *frameConn, d *Decoder) e
 	tc, err := d.traceContext()
 	if err != nil {
 		return sendErr(ctx, fc, err)
+	}
+	budget, err := d.deadlineBudget()
+	if err != nil {
+		return sendErr(ctx, fc, err)
+	}
+	if budget > 0 {
+		// The propagated deadline caps this fragment: when it fires, the
+		// source's Execute/Next observe ctx cancellation and the stream
+		// reports the expiry instead of pinning the connection.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	if s.admit != nil {
+		actx, sess, err := s.admit.Admit(ctx, st.tenant)
+		if err != nil {
+			return sendShed(ctx, fc, err)
+		}
+		defer sess.Release()
+		ctx = actx
 	}
 	rctx := ctx
 	var tr *obs.Trace
@@ -437,20 +604,48 @@ func (s *Server) streamQuery(ctx context.Context, fc *frameConn, q *source.Query
 // streamRows drains it into msgRows batches and terminates the stream
 // with msgEnd (flagged when a trace trailer will follow). The bool
 // reports whether msgEnd was written.
+//
+// When the connection negotiated a credit window, each msgRows frame
+// spends one credit; at zero the server blocks reading msgCredit grants
+// instead of buffering ahead, so a slow consumer stalls this stream
+// rather than ballooning server memory. A context deadline (propagated
+// or local) is reported to the client as a clean in-stream error: the
+// connection survives, the stream does not.
 func (s *Server) streamRows(ctx context.Context, fc *frameConn, it source.RowIter, traced bool) (bool, error) {
 	_, ssp := obs.StartSpan(ctx, obs.SpanStream, "rows")
 	defer ssp.End()
 	var e Encoder
 	batch, rows := 0, int64(0)
+	credit := fc.window
+	sendBatch := func(n int) error {
+		if fc.window > 0 {
+			if credit == 0 {
+				if err := awaitCredit(ctx, fc, &credit); err != nil {
+					return err
+				}
+			}
+			credit--
+		}
+		hdr := prependCount(e.Bytes(), n)
+		return fc.writeFrame(ctx, msgRows, hdr)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			// The deadline (propagated or local) fired mid-stream. Tell
+			// the client on a detached context: the notice is one bounded
+			// frame and must not itself be suppressed by the expiry.
+			//lint:ignore ctxflow the expiry notice must outlive the deadline that triggered it; single bounded frame
+			return false, sendErr(context.WithoutCancel(ctx), fc, err)
 		}
 		row, err := it.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				//lint:ignore ctxflow the expiry notice must outlive the deadline that triggered it; single bounded frame
+				return false, sendErr(context.WithoutCancel(ctx), fc, err)
+			}
 			return false, sendErr(ctx, fc, err)
 		}
 		if batch == 0 {
@@ -469,16 +664,14 @@ func (s *Server) streamRows(ctx context.Context, fc *frameConn, it source.RowIte
 				}
 				return false, err
 			}
-			hdr := prependCount(e.Bytes(), batch)
-			if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
+			if err := sendBatch(batch); err != nil {
 				return false, err
 			}
 			batch = 0
 		}
 	}
 	if batch > 0 {
-		hdr := prependCount(e.Bytes(), batch)
-		if err := fc.writeFrame(ctx, msgRows, hdr); err != nil {
+		if err := sendBatch(batch); err != nil {
 			return false, err
 		}
 	}
@@ -491,6 +684,39 @@ func (s *Server) streamRows(ctx context.Context, fc *frameConn, it source.RowIte
 		return false, err
 	}
 	return true, nil
+}
+
+// awaitCredit blocks until the client grants more stream credit,
+// accumulating grants into credit. The read is bounded by the stream
+// context's deadline (set on the socket, so a blocked read observes
+// it); a client that abandons the stream closes its connection, which
+// surfaces here as a read error.
+func awaitCredit(ctx context.Context, fc *frameConn, credit *int) error {
+	rd, hasDeadline := fc.rw.(readDeadliner)
+	if hasDeadline {
+		if dl, ok := ctx.Deadline(); ok {
+			_ = rd.SetReadDeadline(dl)
+			defer func() { _ = rd.SetReadDeadline(time.Time{}) }()
+		}
+	}
+	for *credit == 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tag, payload, err := fc.readFrame(ctx)
+		if err != nil {
+			return err
+		}
+		if tag != msgCredit {
+			return fmt.Errorf("wire: expected credit grant mid-stream, got tag %d", tag)
+		}
+		n, err := NewDecoder(payload).Uvarint()
+		if err != nil {
+			return err
+		}
+		*credit += int(n)
+	}
+	return nil
 }
 
 // handleWrite decodes the shared (txid, table) prefix of write requests,

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"gis/internal/faults"
@@ -37,6 +38,19 @@ const (
 	// a sampled trace context (see tracewire.go). Losing it degrades
 	// the mediator to its local-only trace; it never affects rows.
 	msgTrace
+	// msgHello is the optional per-connection handshake: the client
+	// announces its protocol version, tenant, requested credit window,
+	// and frame-size bound; the server answers msgOK with the
+	// negotiated values (see hello.go). Servers predating the tag
+	// answer msgErr, which the client treats as "legacy peer" and
+	// continues without tenancy or flow control.
+	msgHello
+	// msgCredit is the client→server flow-control grant on a result
+	// stream: its payload is a uvarint count of additional msgRows
+	// frames the server may send. The server stops streaming when the
+	// window is exhausted, so a slow consumer stalls the producer
+	// instead of ballooning server memory.
+	msgCredit
 )
 
 // rowBatchSize is how many rows travel per msgRows frame.
@@ -115,6 +129,13 @@ func newLinkMetrics(scope, name string) *linkMetrics {
 	}
 }
 
+// ErrFrameTooLarge marks a frame that exceeds the connection's size
+// bound. It is detected from the length header alone, before any
+// allocation, so a corrupt or malicious peer cannot provoke an
+// unbounded allocation; callers treat it as a fatal protocol error for
+// the connection.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
 // frameConn reads and writes tagged frames over an io stream:
 // [4-byte big-endian length][1-byte tag][payload].
 type frameConn struct {
@@ -125,7 +146,19 @@ type frameConn struct {
 	metrics *linkMetrics
 	// inj, when set, injects faults per operation (see injure).
 	inj *faults.Injector
-	hdr [5]byte
+	// limit bounds inbound frames (readFrame rejects larger ones
+	// before allocating); wlimit bounds outbound frames and is lowered
+	// to the peer's advertised limit by the hello handshake.
+	limit, wlimit int
+	// window is the negotiated credit window for result streams on
+	// this connection (msgRows frames in flight); 0 disables flow
+	// control (legacy peer or feature off).
+	window int
+	// rttEWMA, when set, receives an exponentially-weighted moving
+	// average of observed round-trip nanoseconds (the client uses it to
+	// decrement propagated deadlines by WAN latency).
+	rttEWMA *atomic.Int64
+	hdr     [5]byte
 	// rbuf backs msgRows payloads across readFrame calls. Row frames
 	// dominate traffic and their payloads are fully decoded (with every
 	// string/bytes value copied out) before the next read on this conn,
@@ -136,7 +169,7 @@ type frameConn struct {
 }
 
 func newFrameConn(rw io.ReadWriter, send, recv SimLink) *frameConn {
-	return &frameConn{rw: rw, send: send, recv: recv}
+	return &frameConn{rw: rw, send: send, recv: recv, limit: maxFrame, wlimit: maxFrame}
 }
 
 // injure consults the fault injector for one operation of the given
@@ -158,8 +191,8 @@ func (f *frameConn) injure(ctx context.Context, class faults.OpClass) error {
 
 // writeFrame sends one frame, applying uplink simulation.
 func (f *frameConn) writeFrame(ctx context.Context, tag byte, payload []byte) error {
-	if len(payload) > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	if len(payload) > f.wlimit {
+		return fmt.Errorf("wire: outbound frame of %d bytes over %d-byte bound: %w", len(payload), f.wlimit, ErrFrameTooLarge)
 	}
 	if m := f.metrics; m != nil {
 		m.framesOut.Inc()
@@ -188,8 +221,8 @@ func (f *frameConn) readFrame(ctx context.Context) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	if uint64(n) > uint64(f.limit) {
+		return 0, nil, fmt.Errorf("wire: inbound frame of %d bytes over %d-byte bound: %w", n, f.limit, ErrFrameTooLarge)
 	}
 	var payload []byte
 	if hdr[4] == msgRows {
@@ -224,8 +257,26 @@ func (f *frameConn) call(ctx context.Context, tag byte, payload []byte) (byte, [
 		return 0, nil, err
 	}
 	tag, resp, err := f.readFrame(ctx)
-	if err == nil && f.metrics != nil {
-		f.metrics.rtt.ObserveSince(start)
+	if err == nil {
+		if f.metrics != nil {
+			f.metrics.rtt.ObserveSince(start)
+		}
+		f.observeRTT(time.Since(start))
 	}
 	return tag, resp, err
+}
+
+// observeRTT folds one round-trip observation into the shared EWMA
+// (new = 3/4·old + 1/4·sample). Writers race benignly: the value is a
+// smoothing estimate, not an account.
+func (f *frameConn) observeRTT(d time.Duration) {
+	if f.rttEWMA == nil {
+		return
+	}
+	old := f.rttEWMA.Load()
+	if old == 0 {
+		f.rttEWMA.Store(int64(d))
+		return
+	}
+	f.rttEWMA.Store(old - old/4 + int64(d)/4)
 }

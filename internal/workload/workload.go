@@ -8,11 +8,15 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"gis/internal/admission"
 	"gis/internal/catalog"
 	"gis/internal/core"
 	"gis/internal/docstore"
@@ -431,4 +435,76 @@ func Timed(fn func() error) (time.Duration, error) {
 	start := time.Now()
 	err := fn()
 	return time.Since(start), err
+}
+
+// OverloadResult tallies one tenant's outcomes from RunOverload.
+type OverloadResult struct {
+	Tenant   string
+	Admitted int64 // queries that completed
+	Shed     int64 // queries rejected with a typed admission.ErrOverload
+	Failed   int64 // any other error (a hard failure, not load shedding)
+	// Latencies holds one wall-clock sample per admitted query.
+	Latencies []time.Duration
+}
+
+// RunOverload drives eng with `tenants` concurrent clients, each running
+// query `perTenant` times under its own tenant identity, and classifies
+// every outcome. It is the offered-load half of the overload harness:
+// arm the engine (or the wire server behind it) with an admission
+// controller sized below tenants to push it past capacity.
+func RunOverload(ctx context.Context, eng *core.Engine, tenants, perTenant int, query string) []OverloadResult {
+	out := make([]OverloadResult, tenants)
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			res := &out[t]
+			res.Tenant = fmt.Sprintf("tenant%02d", t)
+			tctx := admission.WithTenant(ctx, res.Tenant)
+			for i := 0; i < perTenant; i++ {
+				start := time.Now()
+				_, err := eng.Query(tctx, query)
+				switch {
+				case err == nil:
+					res.Admitted++
+					res.Latencies = append(res.Latencies, time.Since(start))
+				case errors.Is(err, admission.ErrOverload):
+					res.Shed++
+					// Honest-client backoff: a shed is an instruction to
+					// slow down. Without it a shedding tenant spins through
+					// its whole attempt budget in microseconds and can
+					// starve before a single slot churns.
+					backoff := time.Millisecond
+					var oe *admission.OverloadError
+					if errors.As(err, &oe) && oe.RetryAfter > backoff {
+						backoff = oe.RetryAfter
+					}
+					if backoff > 5*time.Millisecond {
+						backoff = 5 * time.Millisecond
+					}
+					time.Sleep(backoff)
+				default:
+					res.Failed++
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	return out
+}
+
+// Percentile returns the p-th percentile (0–100, nearest-rank) of ds
+// without mutating it; zero when ds is empty.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
 }

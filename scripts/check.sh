@@ -96,6 +96,15 @@ go test -race ./...
 echo '== chaos (seeded fault injection) =='
 go test -race -run TestChaos -count=1 ./internal/wire ./internal/core
 
+echo '== overload (admission, quotas, backpressure) =='
+# make overload exactly, so this gate and the Makefile target can never
+# drift apart: the multi-tenant overload chaos suite plus a quick OV1
+# bench run validated against the gisbench JSON schema.
+if ! make --no-print-directory overload; then
+    echo 'check: FAIL — overload robustness gate (admission control / backpressure / quota enforcement)' >&2
+    exit 1
+fi
+
 echo '== gisbench -json -quick =='
 go run ./cmd/gisbench -json -quick | go run ./scripts/benchjson
 
