@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-ratchet lint-fixtures lint-concurrency lint-stats fmt vet check chaos overload bench
+.PHONY: build test race lint lint-ratchet lint-fixtures lint-concurrency lint-deadlock lint-stats fmt vet check chaos overload bench
 
 build:
 	$(GO) build ./...
@@ -25,16 +25,26 @@ lint-ratchet:
 # Assert every analyzer still fires on its fixture package (guards
 # against an analyzer silently going blind). Covers the interprocedural
 # fixtures, the sqlship/goleak suites, the concurrency-safety suites
-# (lockguard/atomicmix/wglifecycle/chanmisuse), the hot-path perf
-# fixtures, and the hotness/baseline/changed-mode unit tests; any
-# unexpected-finding diff is a hard failure.
+# (lockguard/atomicmix/wglifecycle/chanmisuse), the deadlock suites
+# (lockorder/selfdeadlock/blockcycle, plus the TestDeadlock* runtime
+# confirmation), the hot-path perf fixtures, and the
+# hotness/baseline/changed-mode unit tests; any unexpected-finding diff
+# is a hard failure.
 lint-fixtures:
-	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph|TestHotness|TestBaseline|TestLoadBaseline|TestChanged' -count=1
+	$(GO) test ./internal/lint -run 'TestFixtures|TestSuppressions|TestSummary|TestCallGraph|TestHotness|TestBaseline|TestLoadBaseline|TestChanged|TestDeadlock' -count=1
 
 # Concurrency-safety analyzers alone, at their native error severity
 # (no baseline: a lock-protocol finding is a bug, not ratcheted debt).
 lint-concurrency:
 	$(GO) run ./cmd/gislint -only lockguard,atomicmix,wglifecycle,chanmisuse ./...
+
+# Deadlock analyzers alone, at their native error severity (no
+# baseline: a lock-order cycle, self-deadlock, or lock-wait cycle is a
+# hang waiting for its interleaving, never ratcheted debt). The
+# module-wide lock-order graph itself is inspectable with
+#   go run ./cmd/gislint -dot lockorder ./...
+lint-deadlock:
+	$(GO) run ./cmd/gislint -only lockorder,selfdeadlock,blockcycle ./...
 
 # Findings-by-analyzer counts plus call-graph/SCC dimensions, the
 # hot-set census, and the guard-model census (guardable structs, data

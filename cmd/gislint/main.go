@@ -15,6 +15,9 @@
 //	atomicmix    no mixing of sync/atomic and plain access to one field
 //	wglifecycle  WaitGroup Add/Done/Wait ordered so Wait cannot miss work
 //	chanmisuse   no close/send on a possibly-closed channel; spawned sends guarded
+//	lockorder    no lock-order cycles: one global acquisition order for every mutex pair
+//	selfdeadlock no re-acquisition of a held non-reentrant mutex (double Lock, upgrade)
+//	blockcycle   no parking on a channel/WaitGroup while holding a lock the waker needs
 //	hotalloc     no per-row allocations in hot executor/codec code (warning)
 //	boxing       no scalar-to-interface boxing in hot code (warning)
 //	hotdefer     no defer inside hot loops (warning)
@@ -23,7 +26,7 @@
 // Usage:
 //
 //	gislint [-only name[,name]] [-skip name[,name]] [-json|-sarif] [-v] [-stats] [-list]
-//	        [-baseline file [-update-baseline]] [-changed git-ref] [packages]
+//	        [-baseline file [-update-baseline]] [-changed git-ref] [-dot lockorder] [packages]
 //
 // Correctness analyzers report errors: any finding fails the run.
 // Performance analyzers report warnings and are normally gated through
@@ -68,7 +71,8 @@ func run(args []string) int {
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	asSARIF := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
 	verbose := fs.Bool("v", false, "report per-analyzer wall time on stderr")
-	stats := fs.Bool("stats", false, "report findings per analyzer, call-graph size, hot-set and guard-model census on stderr")
+	stats := fs.Bool("stats", false, "report findings per analyzer, call-graph size, hot-set, guard-model and lock-order census on stderr")
+	dotGraph := fs.String("dot", "", "emit a Graphviz DOT graph on stdout and exit; the only supported graph is 'lockorder'")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	baselinePath := fs.String("baseline", "", "report only findings not absorbed by this ratchet snapshot")
 	changedRef := fs.String("changed", "", "lint only packages changed since this git ref, plus their reverse dependencies")
@@ -148,6 +152,20 @@ func run(args []string) int {
 		pkgs = append(pkgs, pkg)
 	}
 
+	if *dotGraph != "" {
+		if *dotGraph != "lockorder" {
+			fmt.Fprintf(os.Stderr, "gislint: unknown -dot graph %q (supported: lockorder)\n", *dotGraph)
+			return 2
+		}
+		ip := lint.BuildInterproc(loader)
+		if ip.Locks == nil {
+			fmt.Fprintln(os.Stderr, "gislint: no lock-order model built")
+			return 2
+		}
+		fmt.Print(ip.Locks.Dot())
+		return 0
+	}
+
 	diags, info := lint.RunWithInfo(loader, pkgs, analyzers)
 	absorbed := 0
 	if *baselinePath != "" {
@@ -224,6 +242,8 @@ func printRunInfo(w *os.File, info *lint.RunInfo, verbose, stats bool) {
 			info.HotFuncs, info.HotLoopFuncs, info.HotSites)
 		fmt.Fprintf(w, "gislint: guard model: %d guardable struct(s), %d data field(s), %d access(es), %d guarded field(s)\n",
 			info.GuardStructs, info.GuardFields, info.GuardAccesses, info.GuardedFields)
+		fmt.Fprintf(w, "gislint: lock order: %d class(es), %d edge(s), %d SCC(s), %d cycle(s), max witness %d step(s)\n",
+			info.LockClasses, info.LockEdges, info.LockSCCs, info.LockCycles, info.LockMaxWitness)
 	}
 }
 

@@ -1,0 +1,40 @@
+package lint
+
+// BlockCycle reports lock-wait cycles that mix primitives: a goroutine
+// parks on an unbuffered channel send/receive or a WaitGroup.Wait while
+// holding a mutex that the counterpart goroutine — the one that must
+// receive, send, or call Done to wake the parked one — acquires on some
+// path before reaching its counterpart operation. Neither side can
+// proceed: the parked goroutine holds what the waking goroutine needs.
+// This two-node wait cycle spans a mutex and a channel/WaitGroup, so it
+// is invisible both to a mutex-only order graph and to per-site lock
+// checks.
+//
+// The detection (lockordermodel.go) is deliberately narrow to stay
+// sound-ish without alias analysis: the parked goroutine and the
+// spawner of the counterpart must be the same function, the channel
+// must be visibly unbuffered (a `make(chan T)` / `make(chan T, 0)` in
+// that function), and the counterpart's lock acquisition must be
+// reachable before its channel/WaitGroup operation under a may-analysis
+// of its body ("Done not yet called" survives a deferred Done, which
+// runs only at exit). Fix by releasing the lock before parking, or by
+// making the counterpart's operation precede its lock acquisition.
+func BlockCycle() *Analyzer {
+	a := &Analyzer{
+		Name: "blockcycle",
+		Doc:  "no parking on a channel/WaitGroup while holding a lock the counterpart goroutine needs",
+	}
+	a.Run = func(pass *Pass) {
+		ip := pass.Interproc()
+		if ip == nil || ip.Locks == nil {
+			return
+		}
+		for _, f := range ip.Locks.blockFindings {
+			if f.pkg != pass.Pkg {
+				continue
+			}
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return a
+}

@@ -85,6 +85,9 @@ func All() []*Analyzer {
 		AtomicMix(),
 		WGLifecycle(),
 		ChanMisuse(),
+		LockOrder(),
+		SelfDeadlock(),
+		BlockCycle(),
 		HotAlloc(),
 		Boxing(),
 		HotDefer(),
@@ -185,6 +188,9 @@ type RunInfo struct {
 	// data fields across them, counted accesses, and fields with an
 	// inferred guard.
 	GuardStructs, GuardFields, GuardAccesses, GuardedFields int
+	// Lock-order census: mutex classes, order edges, SCCs of the class
+	// graph, reported cycles, and the deepest witness chain (steps).
+	LockClasses, LockEdges, LockSCCs, LockCycles, LockMaxWitness int
 }
 
 // Run executes analyzers over packages in parallel, applies lint:ignore
@@ -220,6 +226,13 @@ func RunWithInfo(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnosti
 		info.GuardFields = ip.Guards.NumFields
 		info.GuardAccesses = ip.Guards.NumAccesses
 		info.GuardedFields = ip.Guards.NumGuarded
+	}
+	if ip.Locks != nil {
+		info.LockClasses = ip.Locks.NumClasses
+		info.LockEdges = ip.Locks.NumEdges
+		info.LockSCCs = ip.Locks.NumSCCs
+		info.LockCycles = ip.Locks.NumCycles
+		info.LockMaxWitness = ip.Locks.MaxWitness
 	}
 
 	var (

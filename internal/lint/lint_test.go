@@ -86,7 +86,7 @@ func runFixture(t *testing.T, name string) []Diagnostic {
 // want comment must be matched by exactly one diagnostic on its line,
 // and no diagnostic may appear on an unmarked line.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"iterclose", "errdrop", "valuecompare", "exhaustive", "spanfinish", "ctxflow", "lockheld", "sqlship", "goleak", "lockguard", "atomicmix", "wglifecycle", "chanmisuse", "hotalloc", "boxing", "hotdefer", "valcopy"} {
+	for _, name := range []string{"iterclose", "errdrop", "valuecompare", "exhaustive", "spanfinish", "ctxflow", "lockheld", "sqlship", "goleak", "lockguard", "atomicmix", "wglifecycle", "chanmisuse", "lockorder", "selfdeadlock", "blockcycle", "hotalloc", "boxing", "hotdefer", "valcopy"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "fixture", name)
 			wants := parseWants(t, dir)
@@ -135,7 +135,7 @@ func TestFixturesFailUnderFullSuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	var pkgs []*Package
-	for _, name := range []string{"iterclose", "errdrop", "valuecompare", "exhaustive", "spanfinish", "ctxflow", "lockheld", "sqlship", "goleak", "lockguard", "atomicmix", "wglifecycle", "chanmisuse", "hotalloc", "boxing", "hotdefer", "valcopy"} {
+	for _, name := range []string{"iterclose", "errdrop", "valuecompare", "exhaustive", "spanfinish", "ctxflow", "lockheld", "sqlship", "goleak", "lockguard", "atomicmix", "wglifecycle", "chanmisuse", "lockorder", "selfdeadlock", "blockcycle", "hotalloc", "boxing", "hotdefer", "valcopy"} {
 		pkg, err := l.LoadDir(filepath.Join("testdata", "fixture", name))
 		if err != nil {
 			t.Fatal(err)

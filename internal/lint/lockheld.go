@@ -238,16 +238,22 @@ func derefNamed(t types.Type) *types.Named {
 // inSelectWithDefault reports whether n is the communication of a select
 // case in a select that has a default clause (then the op cannot block).
 func inSelectWithDefault(pass *Pass, n ast.Node) bool {
+	return pkgInSelectWithDefault(pass.Pkg, n)
+}
+
+// pkgInSelectWithDefault is the Package-level twin, usable outside an
+// analyzer pass (the summary scanner and the lock-order model).
+func pkgInSelectWithDefault(pkg *Package, n ast.Node) bool {
 	cur := ast.Node(n)
 	for i := 0; i < 4 && cur != nil; i++ {
-		parent := pass.Parent(cur)
+		parent := pkg.Parent(cur)
 		if cc, ok := parent.(*ast.CommClause); ok {
 			// The clause's parent is the select's body block.
-			body, ok := pass.Parent(cc).(*ast.BlockStmt)
+			body, ok := pkg.Parent(cc).(*ast.BlockStmt)
 			if !ok {
 				return false
 			}
-			sel, ok := pass.Parent(body).(*ast.SelectStmt)
+			sel, ok := pkg.Parent(body).(*ast.SelectStmt)
 			if !ok {
 				return false
 			}

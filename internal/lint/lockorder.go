@@ -1,0 +1,37 @@
+package lint
+
+// LockOrder reports lock-order cycles: two (or more) lock classes that
+// some pair of code paths acquires in conflicting orders, the classic
+// ABBA deadlock of a layered mediator. The graph itself — one node per
+// mutex class, an edge A→B for every "B acquired while A held" site,
+// tracked through call sites via the per-function transitive acquire
+// summaries — is built once per Run in lockordermodel.go; this analyzer
+// surfaces each cycle as one diagnostic, anchored at the first witness
+// step and carrying every conflicting path as a file:line chain.
+//
+// A finding means the module can interleave two goroutines into a
+// mutual wait with no timeout, no error, and no log line. Fix by
+// restoring the canonical lock order documented in DESIGN.md (acquire
+// the lower-ranked lock first, or release before crossing layers); a
+// deliberate exception (e.g. two instances ranked by address) needs a
+// //lint:ignore lockorder waiver with the reason.
+func LockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "no lock-order cycles: every pair of mutex classes is acquired in one global order",
+	}
+	a.Run = func(pass *Pass) {
+		ip := pass.Interproc()
+		if ip == nil || ip.Locks == nil {
+			return
+		}
+		for _, c := range ip.Locks.Cycles {
+			anchor := c.Edges[0].Steps[0]
+			if anchor.fn.Pkg != pass.Pkg {
+				continue
+			}
+			pass.Reportf(anchor.pos, "%s", ip.Locks.RenderCycle(c))
+		}
+	}
+	return a
+}

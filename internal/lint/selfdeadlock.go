@@ -1,0 +1,38 @@
+package lint
+
+// SelfDeadlock reports one goroutine wedging itself on a non-reentrant
+// mutex: a path that acquires a lock it already holds. Go's sync.Mutex
+// and sync.RWMutex are not recursive — a second Lock on the same
+// instance parks the goroutine forever, and an RLock→Lock upgrade is
+// worse, deadlocking even without a second goroutine (the writer waits
+// behind its own reader). The path-sensitive replay lives in
+// lockordermodel.go and convicts three shapes:
+//
+//   - double Lock of the same instance on one path;
+//   - RLock→Lock upgrade (and Lock→RLock, which wedges when a writer
+//     queues between the two acquisitions);
+//   - Lock, then a call into a callee whose receiver-relative summary
+//     (AcquiresRecvPaths) says it acquires the same instance's mutex.
+//
+// Recursive RLock→RLock is deliberately out of scope: it only deadlocks
+// when a writer arrives between the reads, and convicting it would flag
+// pervasive legitimate read-sharing.
+func SelfDeadlock() *Analyzer {
+	a := &Analyzer{
+		Name: "selfdeadlock",
+		Doc:  "no re-acquisition of a held non-reentrant mutex (double Lock, RLock→Lock upgrade, via callee)",
+	}
+	a.Run = func(pass *Pass) {
+		ip := pass.Interproc()
+		if ip == nil || ip.Locks == nil {
+			return
+		}
+		for _, f := range ip.Locks.selfFindings {
+			if f.pkg != pass.Pkg {
+				continue
+			}
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return a
+}

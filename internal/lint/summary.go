@@ -101,16 +101,39 @@ type Summary struct {
 	// through ensureLocked-style helpers that acquire for their caller.
 	LocksRecvPaths   map[string]bool
 	UnlocksRecvPaths map[string]bool
+	// AcquiresRecvPaths: receiver-relative mutex paths the body may
+	// acquire on the calling goroutine at any point (transitively through
+	// receiver-rooted helper calls), with the acquisition mode. Unlike
+	// LocksRecvPaths this is not a balance: a lock/unlock pair still
+	// acquires, which is what self-deadlock detection needs — calling a
+	// helper that transiently takes r.mu while r.mu is already held
+	// blocks forever regardless of the helper's exit balance.
+	AcquiresRecvPaths map[string]uint8
+	// BlocksOnChan / BlocksOnWG: a channel send or receive outside a
+	// select-with-default, or a WaitGroup.Wait, is reachable on the
+	// calling goroutine — the per-function blocking-op facts the
+	// blockcycle analyzer composes with lock acquisition to find
+	// lock-wait cycles hidden behind helper extractions.
+	BlocksOnChan bool
+	BlocksOnWG   bool
 }
+
+// Acquisition modes recorded in AcquiresRecvPaths (a bitmask: a path
+// acquired both ways carries both bits).
+const (
+	acquireRead  uint8 = 1
+	acquireWrite uint8 = 2
+)
 
 func newSummary() *Summary {
 	return &Summary{
-		SpanFate:         make(map[int]ParamFate),
-		IterFate:         make(map[int]ParamFate),
-		SQLSinkParams:    make(map[int]bool),
-		ClosesChanParams: make(map[int]bool),
-		LocksRecvPaths:   make(map[string]bool),
-		UnlocksRecvPaths: make(map[string]bool),
+		SpanFate:          make(map[int]ParamFate),
+		IterFate:          make(map[int]ParamFate),
+		SQLSinkParams:     make(map[int]bool),
+		ClosesChanParams:  make(map[int]bool),
+		LocksRecvPaths:    make(map[string]bool),
+		UnlocksRecvPaths:  make(map[string]bool),
+		AcquiresRecvPaths: make(map[string]uint8),
 	}
 }
 
@@ -180,6 +203,14 @@ func (s *Summary) join(o *Summary) bool {
 			changed = true
 		}
 	}
+	for p, m := range o.AcquiresRecvPaths {
+		if s.AcquiresRecvPaths[p]|m != s.AcquiresRecvPaths[p] {
+			s.AcquiresRecvPaths[p] |= m
+			changed = true
+		}
+	}
+	orb(&s.BlocksOnChan, o.BlocksOnChan)
+	orb(&s.BlocksOnWG, o.BlocksOnWG)
 	return changed
 }
 
@@ -196,6 +227,10 @@ type Interproc struct {
 	// Guards is the module-wide lock-guard inference (see guardmodel.go),
 	// read by the lockguard analyzer and the driver's -stats census.
 	Guards *GuardModel
+	// Locks is the module-wide lock-order/deadlock model (see
+	// lockordermodel.go), read by the lockorder/selfdeadlock/blockcycle
+	// analyzers, the driver's -stats census, and -dot lockorder.
+	Locks *LockOrderModel
 
 	loader    *Loader
 	summaries map[*FuncNode]*Summary
@@ -243,6 +278,7 @@ func BuildInterproc(l *Loader) *Interproc {
 	}
 	ip.Hot = BuildHotSet(ip)
 	ip.Guards = BuildGuardModel(ip)
+	ip.Locks = BuildLockOrderModel(ip)
 	return ip
 }
 
@@ -300,6 +336,8 @@ func (ip *Interproc) scan(n *FuncNode) *Summary {
 						s.JoinsWaitGroup = true
 						if fn.Name() == "Done" {
 							s.CallsWGDone = true
+						} else {
+							s.BlocksOnWG = true
 						}
 					}
 				case "Add":
@@ -364,6 +402,12 @@ func (ip *Interproc) scan(n *FuncNode) *Summary {
 			if ts.CallsWGDone {
 				s.CallsWGDone = true
 			}
+			if ts.BlocksOnChan {
+				s.BlocksOnChan = true
+			}
+			if ts.BlocksOnWG {
+				s.BlocksOnWG = true
+			}
 		}
 	}
 
@@ -372,14 +416,22 @@ func (ip *Interproc) scan(n *FuncNode) *Summary {
 		switch m := m.(type) {
 		case *ast.GoStmt:
 			s.StartsGoroutine = true
+		case *ast.SendStmt:
+			if !pkgInSelectWithDefault(n.Pkg, m) {
+				s.BlocksOnChan = true
+			}
 		case *ast.UnaryExpr:
 			if m.Op == token.ARROW {
 				s.HasChanRecv = true
+				if !pkgInSelectWithDefault(n.Pkg, m) {
+					s.BlocksOnChan = true
+				}
 			}
 		case *ast.RangeStmt:
 			if t := n.Pkg.TypeOf(m.X); t != nil {
 				if _, isChan := t.Underlying().(*types.Chan); isChan {
 					s.HasChanRecv = true
+					s.BlocksOnChan = true
 				}
 			}
 		}
@@ -852,6 +904,11 @@ func (ip *Interproc) scanLockPaths(n *FuncNode, s *Summary) {
 			case "Lock", "RLock":
 				if !isDefer {
 					lockSet[rel] = true
+					if op == "RLock" {
+						s.AcquiresRecvPaths[rel] |= acquireRead
+					} else {
+						s.AcquiresRecvPaths[rel] |= acquireWrite
+					}
 				}
 			case "Unlock", "RUnlock":
 				unlockSet[rel] = true
@@ -894,6 +951,13 @@ func (ip *Interproc) scanLockPaths(n *FuncNode, s *Summary) {
 			}
 			for p := range ts.UnlocksRecvPaths {
 				unlockSet[baseRel+p] = true
+			}
+			// Acquisition is a may-fact: ANY target acquiring taints the
+			// site (unlike leaves-locked, which needs every target).
+			if !isDefer {
+				for p, mode := range ts.AcquiresRecvPaths {
+					s.AcquiresRecvPaths[baseRel+p] |= mode
+				}
 			}
 		}
 		if !isDefer {

@@ -1,0 +1,127 @@
+// Package blockcycle is a gislint test fixture: goroutines parked on an
+// unbuffered channel or WaitGroup while holding a lock the counterpart
+// goroutine needs before it can wake them. Lines carrying a want
+// comment must produce a diagnostic containing the quoted substring;
+// unmarked lines must not.
+package blockcycle
+
+import "sync"
+
+// pool guards shared state touched by worker goroutines.
+type pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+// waitHolding parks on wg.Wait with mu held, but the worker must take
+// mu before it reaches Done: a two-node wait cycle.
+func (p *pool) waitHolding() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.mu.Lock()
+	go func() {
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait() // want "lock-wait cycle: goroutine parks on WaitGroup.Wait while holding blockcycle.pool.mu"
+	p.mu.Unlock()
+}
+
+// sendHolding parks on an unbuffered send with mu held; the consumer
+// locks mu before receiving.
+func (p *pool) sendHolding() {
+	ch := make(chan int)
+	p.mu.Lock()
+	go func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.n += <-ch
+	}()
+	ch <- 1 // want "lock-wait cycle: goroutine parks on send on unbuffered channel while holding blockcycle.pool.mu"
+	p.mu.Unlock()
+}
+
+// waitAll is the helper shape: the summary's blocking-op fact carries
+// Wait through the call.
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// helperWaitHolding parks inside waitAll with mu held.
+func (p *pool) helperWaitHolding() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.mu.Lock()
+	go func() {
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+		wg.Done()
+	}()
+	waitAll(&wg) // want "lock-wait cycle: goroutine parks on WaitGroup.Wait while holding blockcycle.pool.mu"
+	p.mu.Unlock()
+}
+
+// doneFirst signals before touching the lock: the waiter wakes, then
+// the worker queues on mu until the waiter releases it. No cycle.
+func (p *pool) doneFirst() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.mu.Lock()
+	go func() {
+		wg.Done()
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+	}()
+	wg.Wait()
+	p.mu.Unlock()
+}
+
+// buffered sends into capacity: the send cannot park, no cycle.
+func (p *pool) buffered() {
+	ch := make(chan int, 1)
+	p.mu.Lock()
+	go func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.n += <-ch
+	}()
+	ch <- 1
+	p.mu.Unlock()
+}
+
+// unlocked releases mu before parking: the worker can always proceed.
+func (p *pool) unlocked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	go func() {
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// waived documents a deliberate park-under-lock (e.g. the counterpart
+// is known to run lock-free in production) with a reasoned suppression.
+func (p *pool) waived() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.mu.Lock()
+	go func() {
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+		wg.Done()
+	}()
+	//lint:ignore blockcycle fixture exercises a reasoned waiver
+	wg.Wait()
+	p.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+// Package lockorder is a gislint test fixture: lock-order cycles (ABBA
+// deadlocks) across functions and through call sites. Lines carrying
+// a want comment must produce a diagnostic containing the quoted
+// substring; unmarked lines must not. Cycle diagnostics anchor at the
+// first witness step — the acquisition of the already-held lock on the
+// first conflicting path.
+package lockorder
+
+import "sync"
+
+// pair carries the two mutexes of the direct ABBA cycle.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// lockAB acquires a then b — one half of the conflict.
+func (p *pair) lockAB() {
+	p.a.Lock() // want "path 2 (lockorder.pair.b before lockorder.pair.a): lockorder.go:"
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// lockBA acquires b then a — the other half; together with lockAB this
+// is exactly one cycle, reported once with both witness paths.
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// pair2 carries the interprocedural cycle: each side takes its first
+// lock directly and the second through a helper.
+type pair2 struct {
+	c sync.Mutex
+	d sync.Mutex
+	n int
+}
+
+// viaHelperCD holds c across a call to a helper that locks d.
+func (p *pair2) viaHelperCD() {
+	p.c.Lock() // want "lock-order cycle lockorder.pair2.c -> lockorder.pair2.d -> lockorder.pair2.c"
+	p.bumpUnderD()
+	p.c.Unlock()
+}
+
+// viaHelperDC holds d across a call to a helper that locks c.
+func (p *pair2) viaHelperDC() {
+	p.d.Lock()
+	p.bumpUnderC()
+	p.d.Unlock()
+}
+
+func (p *pair2) bumpUnderD() {
+	p.d.Lock()
+	p.n++
+	p.d.Unlock()
+}
+
+func (p *pair2) bumpUnderC() {
+	p.c.Lock()
+	p.n++
+	p.c.Unlock()
+}
+
+// consistent carries the negative shapes: a consistent global order and
+// RLock-only readers.
+type consistent struct {
+	e  sync.Mutex
+	f  sync.Mutex
+	g  sync.RWMutex
+	h  sync.RWMutex
+	n  int
+	m  int
+	ro int
+}
+
+// orderEF and orderEFAgain acquire e before f on every path: edges
+// e→f only, no cycle.
+func (c *consistent) orderEF() {
+	c.e.Lock()
+	c.f.Lock()
+	c.n++
+	c.f.Unlock()
+	c.e.Unlock()
+}
+
+func (c *consistent) orderEFAgain() {
+	c.e.Lock()
+	c.f.Lock()
+	c.m++
+	c.f.Unlock()
+	c.e.Unlock()
+}
+
+// readGH and readHG nest read locks in opposite orders. The class graph
+// has the g⇄h cycle, but every edge is RLock-while-RLock: readers admit
+// each other, so the cycle is suppressed.
+func (c *consistent) readGH() int {
+	c.g.RLock()
+	c.h.RLock()
+	v := c.ro
+	c.h.RUnlock()
+	c.g.RUnlock()
+	return v
+}
+
+func (c *consistent) readHG() int {
+	c.h.RLock()
+	c.g.RLock()
+	v := c.ro
+	c.g.RUnlock()
+	c.h.RUnlock()
+	return v
+}
+
+// waived carries an ABBA pair whose cycle is deliberately suppressed:
+// the diagnostic anchors at the first witness acquisition, so the
+// waiver sits there.
+type waived struct {
+	i sync.Mutex
+	j sync.Mutex
+	n int
+}
+
+func (w *waived) lockIJ() {
+	//lint:ignore lockorder fixture exercises a reasoned deadlock waiver
+	w.i.Lock()
+	w.j.Lock()
+	w.n++
+	w.j.Unlock()
+	w.i.Unlock()
+}
+
+func (w *waived) lockJI() {
+	w.j.Lock()
+	w.i.Lock()
+	w.n++
+	w.i.Unlock()
+	w.j.Unlock()
+}

@@ -1,0 +1,109 @@
+// Package selfdeadlock is a gislint test fixture: one goroutine
+// re-acquiring a non-reentrant mutex it already holds. Lines carrying
+// a want comment must produce a diagnostic containing the quoted
+// substring; unmarked lines must not.
+package selfdeadlock
+
+import "sync"
+
+// reg guards a counter with a plain mutex and a snapshot with an
+// RWMutex.
+type reg struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	rw2  sync.RWMutex
+	n    int
+	snap int
+}
+
+// doubleLock parks forever on the second Lock.
+func (r *reg) doubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want "self-deadlock: selfdeadlock.reg.mu already held"
+	r.n++
+	r.mu.Unlock()
+}
+
+// upgrade wedges even alone: the writer queues behind its own reader.
+func (r *reg) upgrade() {
+	r.rw.RLock()
+	r.rw.Lock() // want "RLock→Lock upgrade"
+	r.snap++
+	r.rw.Unlock()
+	r.rw.RUnlock()
+}
+
+// downgrade wedges as soon as any writer queues between the two.
+func (r *reg) downgrade() int {
+	r.rw2.Lock()
+	v := r.snapshotLocked() // want "call to selfdeadlock.(*reg).snapshotLocked acquires selfdeadlock.reg.rw2"
+	r.rw2.Unlock()
+	return v
+}
+
+// snapshotLocked takes the read lock itself — callers must not hold
+// rw2.
+func (r *reg) snapshotLocked() int {
+	r.rw2.RLock()
+	defer r.rw2.RUnlock()
+	return r.snap
+}
+
+// bump re-locks mu through a callee: the summary's receiver-relative
+// acquire path convicts the call site.
+func (r *reg) bump() {
+	r.mu.Lock()
+	r.incr() // want "call to selfdeadlock.(*reg).incr acquires selfdeadlock.reg.mu"
+	r.mu.Unlock()
+}
+
+func (r *reg) incr() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// sequential re-locks only after releasing: no overlap, no finding.
+func (r *reg) sequential() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// readers stack RLocks; recursive read locking is deliberately out of
+// scope (only deadlocks when a writer wedges between them).
+func (r *reg) readers() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.peek()
+}
+
+func (r *reg) peek() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.snap
+}
+
+// distinct nests two different mutexes of one struct: an order edge,
+// not a self-deadlock.
+func (r *reg) distinct() {
+	r.mu.Lock()
+	r.rw.Lock()
+	r.n++
+	r.snap = r.n
+	r.rw.Unlock()
+	r.mu.Unlock()
+}
+
+// waived documents a deliberate re-entry (e.g. a panic-only path) with
+// a reasoned suppression.
+func (r *reg) waived() {
+	r.mu.Lock()
+	//lint:ignore selfdeadlock fixture exercises a reasoned waiver
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

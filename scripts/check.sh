@@ -25,6 +25,12 @@
 #                   baseline: a lock-protocol finding is a bug, not
 #                   ratcheted debt) — a clean run proves the guard
 #                   model still infers zero violations module-wide
+#   3a'. deadlock — the three deadlock analyzers (lockorder,
+#                   selfdeadlock, blockcycle; see DESIGN.md "Lock
+#                   order & deadlock analysis") in isolation, same
+#                   no-baseline policy: a lock-order cycle is a hang
+#                   waiting for its interleaving, so any finding
+#                   fails the gate outright
 #   3b. fixtures  — each analyzer must still fire on its fixture
 #                   package (an analyzer that stops finding its own
 #                   fixture has gone blind); any unexpected-finding
@@ -76,6 +82,16 @@ echo '== gislint concurrency (error severity, no baseline) =='
 # ratcheted: any finding fails the build outright.
 if ! make --no-print-directory lint-concurrency; then
     echo 'check: FAIL — concurrency-safety findings (lockguard/atomicmix/wglifecycle/chanmisuse); fix the race or add a reasoned //lint:ignore' >&2
+    exit 1
+fi
+
+echo '== gislint deadlock (error severity, no baseline) =='
+# make lint-deadlock exactly, so this gate and the Makefile target can
+# never drift apart. Deadlock findings are never ratcheted: restore the
+# canonical lock order (DESIGN.md "Lock order & deadlock analysis") or
+# add a reasoned //lint:ignore at the witness site.
+if ! make --no-print-directory lint-deadlock; then
+    echo 'check: FAIL — deadlock findings (lockorder/selfdeadlock/blockcycle); restore the canonical lock order in DESIGN.md or add a reasoned //lint:ignore' >&2
     exit 1
 fi
 
